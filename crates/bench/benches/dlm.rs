@@ -1,0 +1,78 @@
+//! Microbenchmarks of the distributed lock manager: grant/release cost
+//! and conflict-scan behaviour under a populated lock table.
+
+use atomio_pfs::{LockKind, LockManager};
+use atomio_simgrid::{CostModel, Metrics, SimClock};
+use atomio_types::{ByteRange, ClientId};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_uncontended(c: &mut Criterion) {
+    c.bench_function("dlm/lock_unlock_uncontended", |b| {
+        let m = LockManager::new(CostModel::zero(), Metrics::new());
+        let clock = SimClock::new();
+        let p = clock.register();
+        b.iter(|| {
+            let h = m.lock(
+                &p,
+                ClientId::new(0),
+                black_box(ByteRange::new(0, 4096)),
+                LockKind::Exclusive,
+            );
+            m.unlock(&p, h);
+        });
+    });
+}
+
+fn bench_populated_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlm/grant_with_table");
+    for &held in &[16usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(held), &held, |b, &held| {
+            let m = LockManager::new(CostModel::zero(), Metrics::new());
+            let clock = SimClock::new();
+            let p = clock.register();
+            // Populate with `held` disjoint shared locks.
+            let handles: Vec<_> = (0..held)
+                .map(|i| {
+                    m.lock(
+                        &p,
+                        ClientId::new(i as u64),
+                        ByteRange::new(i as u64 * 10_000, 4096),
+                        LockKind::Shared,
+                    )
+                })
+                .collect();
+            // Time the conflict scan for a disjoint newcomer.
+            let far = ByteRange::new(held as u64 * 10_000 + 100_000, 64);
+            b.iter(|| {
+                let h = m.lock(&p, ClientId::new(9999), black_box(far), LockKind::Exclusive);
+                m.unlock(&p, h);
+            });
+            for h in handles {
+                m.unlock(&p, h);
+            }
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_reacquire(c: &mut Criterion) {
+    c.bench_function("dlm/shared_overlapping_locks", |b| {
+        let m = LockManager::new(CostModel::zero(), Metrics::new());
+        let clock = SimClock::new();
+        let p = clock.register();
+        b.iter(|| {
+            let h1 = m.lock(&p, ClientId::new(0), ByteRange::new(0, 1 << 20), LockKind::Shared);
+            let h2 = m.lock(&p, ClientId::new(1), ByteRange::new(0, 1 << 20), LockKind::Shared);
+            m.unlock(&p, h1);
+            m.unlock(&p, h2);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uncontended,
+    bench_populated_table,
+    bench_shared_reacquire
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the extent-list algebra — the hot path of every
+//! request flattening, conflict check, and verifier run.
+
+use atomio_types::{ByteRange, ExtentList};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn strided(count: u64, len: u64, stride: u64, phase: u64) -> ExtentList {
+    ExtentList::from_ranges((0..count).map(|i| ByteRange::new(phase + i * stride, len)))
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extent/from_ranges");
+    for &n in &[16u64, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let raw: Vec<ByteRange> = (0..n)
+                .rev()
+                .map(|i| ByteRange::new(i * 100 + (i % 7) * 3, 60))
+                .collect();
+            b.iter(|| ExtentList::from_ranges(black_box(raw.iter().copied())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extent/set_ops");
+    for &n in &[64u64, 1024] {
+        let a = strided(n, 80, 128, 0);
+        let b = strided(n, 80, 128, 64);
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).union(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).intersection(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("subtract", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).subtract(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("overlaps", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).overlaps(black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_contains(c: &mut Criterion) {
+    let list = strided(4096, 60, 100, 0);
+    c.bench_function("extent/contains_4096_ranges", |b| {
+        let mut pos = 0u64;
+        b.iter(|| {
+            pos = (pos + 997) % 409_600;
+            black_box(list.contains(black_box(pos)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_normalize, bench_set_ops, bench_contains);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks of MPI datatype flattening and view resolution — the
+//! ROMIO-side cost of non-contiguous access.
+
+use atomio_mpiio::{Datatype, FileView};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_flatten(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datatype/flatten");
+
+    for &rows in &[64u64, 256, 1024] {
+        let tile = Datatype::bytes(32)
+            .unwrap()
+            .subarray(&[rows * 2, rows * 2], &[rows, rows], &[rows / 2, rows / 2])
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("subarray", rows), &rows, |b, _| {
+            b.iter(|| black_box(&tile).flatten());
+        });
+    }
+
+    for &count in &[64u64, 1024] {
+        let vec = Datatype::double().vector(count, 4, 16).unwrap();
+        group.bench_with_input(BenchmarkId::new("vector", count), &count, |b, _| {
+            b.iter(|| black_box(&vec).flatten());
+        });
+    }
+
+    let blocks: Vec<(u64, u64)> = (0..512).map(|i| (i * 10, 3)).collect();
+    let indexed = Datatype::bytes(8).unwrap().indexed(&blocks).unwrap();
+    group.bench_function("indexed_512", |b| {
+        b.iter(|| black_box(&indexed).flatten());
+    });
+    group.finish();
+}
+
+fn bench_view_extents(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view/extents_for");
+    // Block-cyclic view: 4 KiB mine, 60 KiB others, repeated.
+    let ft = Datatype::bytes(4096).unwrap().resized(65536).unwrap();
+    let view = FileView::new(0, 4096, ft).unwrap();
+    for &tiles in &[16u64, 256] {
+        group.bench_with_input(BenchmarkId::new("block_cyclic", tiles), &tiles, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    view.extents_for(black_box(0), black_box(n * 4096))
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    // Tile view (mpi-tile-io shape).
+    let tile_ft = Datatype::bytes(32)
+        .unwrap()
+        .subarray(&[512, 512], &[256, 256], &[128, 128])
+        .unwrap();
+    let tile_view = FileView::new(0, 32, tile_ft).unwrap();
+    let tile_bytes = 256 * 256 * 32;
+    group.bench_function("tile_256x256", |b| {
+        b.iter(|| {
+            black_box(
+                tile_view
+                    .extents_for(black_box(0), black_box(tile_bytes))
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flatten, bench_view_extents);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of the atomicity verifier: segmentation, attribution,
+//! and witness search as writer count and fragmentation grow.
+
+use atomio_types::stamp::WriteStamp;
+use atomio_types::{ByteRange, ClientId, ExtentList};
+use atomio_workloads::verify::{check_serializable, replay, WriteRecord};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn overlapping_writes(writers: usize, regions: u64, region: u64) -> Vec<WriteRecord> {
+    let step = region / 2; // 50% neighbour overlap
+    (0..writers)
+        .map(|w| {
+            let extents = ExtentList::from_ranges((0..regions).map(|k| {
+                ByteRange::new((k * writers as u64 + w as u64) * step, region)
+            }));
+            WriteRecord::new(WriteStamp::new(ClientId::new(w as u64), 0), extents)
+        })
+        .collect()
+}
+
+fn bench_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verifier/check_serializable");
+    for &(writers, regions) in &[(4usize, 8u64), (16, 16), (32, 32)] {
+        let writes = overlapping_writes(writers, regions, 4096);
+        let order: Vec<usize> = (0..writes.len()).collect();
+        let end = writes
+            .iter()
+            .map(|w| w.extents.covering_range().end())
+            .max()
+            .unwrap();
+        let state = replay(end as usize, &writes, &order);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{writers}w_{regions}r")),
+            &writes,
+            |b, writes| {
+                b.iter(|| black_box(check_serializable(black_box(&state), writes).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let writes = overlapping_writes(16, 16, 4096);
+    let order: Vec<usize> = (0..writes.len()).collect();
+    let end = writes
+        .iter()
+        .map(|w| w.extents.covering_range().end())
+        .max()
+        .unwrap();
+    c.bench_function("verifier/replay_16w_16r", |b| {
+        b.iter(|| black_box(replay(end as usize, black_box(&writes), &order)));
+    });
+}
+
+criterion_group!(benches, bench_check, bench_replay);
+criterion_main!(benches);

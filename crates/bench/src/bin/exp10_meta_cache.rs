@@ -1,0 +1,95 @@
+//! E10 — extension: client-side metadata caching.
+//!
+//! Immutable tree nodes are cacheable forever — no invalidation
+//! protocol, one of the quiet payoffs of shadowing. This experiment
+//! measures read throughput with the cache on vs. off as readers re-read
+//! a snapshot (the visualization pattern: pan/zoom over the same
+//! dataset).
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp10_meta_cache`
+
+use atomio_bench::{ExperimentReport, Row};
+use atomio_core::{ReadVersion, Store, StoreConfig};
+use atomio_simgrid::clock::run_actors_on;
+use atomio_simgrid::SimClock;
+use atomio_types::{ByteRange, ExtentList};
+use bytes::Bytes;
+
+fn main() {
+    const DATA: u64 = 32 * 1024 * 1024;
+    const PASSES: usize = 4;
+
+    let mut report = ExperimentReport::new(
+        "E10",
+        "client metadata cache: repeated snapshot reads (32 MiB, 4 passes)",
+        "readers",
+    );
+    report.note("each reader scans the same snapshot 4 times in 512 KiB strided regions");
+
+    for &readers in &[1usize, 4, 16] {
+        for (label, cache_nodes) in [("cache-on", 65536usize), ("cache-off", 0usize)] {
+            let store = Store::new(
+                StoreConfig::default()
+                    .with_data_providers(16)
+                    .with_chunk_size(256 * 1024)
+                    .with_meta_cache(cache_nodes),
+            );
+            let blob = store.create_blob();
+            let clock = SimClock::new();
+            // Populate.
+            run_actors_on(&clock, 1, |_, p| {
+                blob.write(p, 0, Bytes::from(vec![0xCDu8; DATA as usize]))
+                    .unwrap();
+            });
+            let start = clock.now();
+            let total_bytes = std::sync::atomic::AtomicU64::new(0);
+            run_actors_on(&clock, readers, |i, p| {
+                // Reader i scans its strided slice of the snapshot.
+                let ext = ExtentList::from_ranges(
+                    (0..16u64).map(|k| {
+                        ByteRange::new(
+                            ((k * readers as u64 + i as u64) * 512 * 1024) % (DATA - 512 * 1024),
+                            512 * 1024,
+                        )
+                    }),
+                )
+                .clip(ByteRange::new(0, DATA));
+                for _ in 0..PASSES {
+                    let got = blob.read_list(p, ReadVersion::Latest, &ext).unwrap();
+                    total_bytes.fetch_add(got.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            let elapsed = clock.now() - start;
+            let bytes = total_bytes.load(std::sync::atomic::Ordering::Relaxed);
+            if let Some(cache) = blob.node_cache() {
+                report.note(format!(
+                    "{label} @ {readers} readers: node-cache hit rate {:.1}%",
+                    cache.hit_rate() * 100.0
+                ));
+            }
+            report.push(Row {
+                x: readers as u64,
+                backend: label.into(),
+                throughput_mib_s: bytes as f64
+                    / (1024.0 * 1024.0)
+                    / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+                elapsed_s: elapsed.as_secs_f64(),
+                bytes,
+                atomic_ok: None,
+            });
+        }
+        eprintln!("  ... {readers} readers done");
+    }
+
+    for x in report.xs() {
+        if let Some(s) = report.speedup_at(x, "cache-on", "cache-off") {
+            report.note(format!("cache gain at {x:>3} readers: {s:.2}x"));
+        }
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(atomio_bench::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

@@ -1,0 +1,121 @@
+//! E11 — extension: the storage cost of versioning under iterative
+//! checkpointing, and what garbage collection buys back.
+//!
+//! Versioning never overwrites, so an application that checkpoints every
+//! iteration grows the store linearly — the flip side of lock-free
+//! atomicity that the paper defers to future work. This experiment runs
+//! 8 checkpoint iterations (4 ranks, halo-overlapped slabs), tracks
+//! stored bytes per iteration, then collects all but the last two
+//! snapshots.
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp11_checkpoint_gc`
+
+use atomio_bench::BenchConfig;
+use atomio_core::gc::collect_below;
+use atomio_core::{Store, StoreConfig};
+use atomio_simgrid::clock::run_actors_on;
+use atomio_simgrid::SimClock;
+use atomio_types::stamp::WriteStamp;
+use atomio_types::{ClientId, VersionId};
+use atomio_workloads::CheckpointWorkload;
+use bytes::Bytes;
+
+fn main() {
+    let cfg = BenchConfig::default();
+    let store = Store::new(
+        StoreConfig::default()
+            .with_cost(cfg.cost)
+            .with_chunk_size(cfg.chunk_size)
+            .with_data_providers(cfg.servers)
+            .with_meta_shards(cfg.meta_shards),
+    );
+    let blob = store.create_blob();
+    let workload = CheckpointWorkload::new(4, 512 * 1024, 8, 16 * 1024);
+    let clock = SimClock::new();
+    const ITERS: u64 = 8;
+
+    println!("== E11 — checkpoint iterations: storage growth and GC ==");
+    println!(
+        "   4 ranks x {} MiB slabs (+{} KiB halos), {} iterations\n",
+        workload.cells_per_rank * workload.cell_size / (1024 * 1024),
+        workload.halo * workload.cell_size / 1024,
+        ITERS
+    );
+    println!(
+        "{:>10} {:>14} {:>16} {:>14}",
+        "iteration", "version", "stored (MiB)", "MiB/s (sim)"
+    );
+
+    let payload_per_iter: u64 = (0..workload.ranks).map(|r| workload.bytes_for(r)).sum();
+    let mut last_version = VersionId::INITIAL;
+    for iter in 0..ITERS {
+        let start = clock.now();
+        let versions = run_actors_on(&clock, workload.ranks, |rank, p| {
+            let ext = workload.extents_for(rank);
+            let stamp = WriteStamp::new(ClientId::new(rank as u64), iter);
+            blob.write_list(p, &ext, Bytes::from(stamp.payload_for(&ext)))
+                .unwrap()
+        });
+        let elapsed = clock.now() - start;
+        last_version = *versions.iter().max().unwrap();
+        let stored: u64 = store
+            .providers()
+            .providers()
+            .iter()
+            .map(|pr| pr.bytes_stored())
+            .sum();
+        println!(
+            "{:>10} {:>14} {:>16.1} {:>14.1}",
+            iter,
+            last_version.to_string(),
+            stored as f64 / (1024.0 * 1024.0),
+            payload_per_iter as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64()
+        );
+    }
+
+    // Collect everything below the second-to-last iteration's snapshots.
+    let keep_from = VersionId::new(last_version.raw().saturating_sub(2 * workload.ranks as u64 - 1));
+    let report = run_actors_on(&clock, 1, |_, p| {
+        collect_below(p, &blob, keep_from).unwrap()
+    })
+    .pop()
+    .unwrap();
+    let stored_after: u64 = store
+        .providers()
+        .providers()
+        .iter()
+        .map(|pr| pr.bytes_stored())
+        .sum();
+    println!(
+        "\nGC below {}: retired {} versions, evicted {} chunks / {} tree nodes, reclaimed {:.1} MiB",
+        keep_from,
+        report.versions_retired,
+        report.chunks_evicted,
+        report.nodes_evicted,
+        report.bytes_reclaimed as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "stored after GC: {:.1} MiB (last two iterations retained)",
+        stored_after as f64 / (1024.0 * 1024.0)
+    );
+
+    // Retained snapshots still read bit-exact.
+    run_actors_on(&clock, 1, |_, p| {
+        for rank in 0..workload.ranks {
+            let ext = workload.extents_for(rank);
+            let got = blob.read_at(p, last_version, &ext).unwrap();
+            let interior_stamp = WriteStamp::new(ClientId::new(rank as u64), ITERS - 1);
+            // The slab interior (outside halos) belongs to this rank's
+            // final iteration.
+            let lo = (rank as u64 * workload.cells_per_rank + workload.halo) * workload.cell_size;
+            let span = ext.covering_range();
+            let off_in_buf = (lo - span.offset) as usize;
+            let len = ((workload.cells_per_rank - 2 * workload.halo) * workload.cell_size) as usize;
+            assert!(
+                interior_stamp.matches(lo, &got[off_in_buf..off_in_buf + len]),
+                "rank {rank} final interior corrupted after GC"
+            );
+        }
+    });
+    println!("post-GC verification: latest snapshot bit-exact");
+}

@@ -1,0 +1,106 @@
+//! E12 — extension: sensitivity to storage stragglers.
+//!
+//! Real clusters are heterogeneous: one slow disk can gate everything
+//! that stripes across it. This experiment slows ONE of the 16 storage
+//! servers by a factor s ∈ {1, 2, 4, 10} and measures the E1 overlap
+//! workload at 16 clients on both backends.
+//!
+//! Versioning stripes every write over all providers (round-robin), so
+//! its aggregate throughput degrades toward the straggler's share; the
+//! locking baseline is already serialized by conflicts, so a straggler
+//! costs it proportionally less — quantifying a *limit* of the striping
+//! principle the paper does not discuss.
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp12_stragglers`
+
+use atomio_bench::{ExperimentReport, Row};
+use atomio_core::{Store, StoreConfig};
+use atomio_mpiio::adio::AdioDriver;
+use atomio_mpiio::drivers::{LockingDriver, VersioningDriver};
+use atomio_pfs::ParallelFs;
+use atomio_simgrid::{CostModel, FaultInjector, Metrics, SimClock};
+use atomio_types::ExtentList;
+use atomio_workloads::{run_write_round, OverlapWorkload};
+use std::sync::Arc;
+
+const SERVERS: usize = 16;
+const CLIENTS: usize = 16;
+
+fn slowed(base: CostModel, factor: u64) -> CostModel {
+    CostModel {
+        disk_bandwidth: base.disk_bandwidth / factor,
+        disk_seek: base.disk_seek * factor as u32,
+        ..base
+    }
+}
+
+fn main() {
+    let base = CostModel::grid5000();
+    let mut report = ExperimentReport::new(
+        "E12",
+        "straggler sensitivity: one of 16 servers slowed by s (16 clients, overlap stress)",
+        "slowdown",
+    );
+    report.note("server 0's disk runs at 1/s bandwidth and s x seek latency");
+
+    let workload = OverlapWorkload::new(CLIENTS, 32, 256 * 1024, 1, 2);
+    let extents: Vec<ExtentList> = (0..CLIENTS).map(|c| workload.extents_for(c)).collect();
+
+    for &factor in &[1u64, 2, 4, 10] {
+        let mut costs = vec![base; SERVERS];
+        costs[0] = slowed(base, factor);
+
+        // Versioning backend on the heterogeneous fleet.
+        let store = Store::new_heterogeneous(
+            StoreConfig::default()
+                .with_cost(base)
+                .with_chunk_size(256 * 1024)
+                .with_data_providers(SERVERS),
+            costs.clone(),
+        );
+        let driver: Arc<dyn AdioDriver> = Arc::new(VersioningDriver::new(store.create_blob()));
+        let clock = SimClock::new();
+        let out = run_write_round(&clock, &driver, &extents, true, 1, false);
+        report.push(Row {
+            x: factor,
+            backend: "versioning".into(),
+            throughput_mib_s: out.throughput_mib_s(),
+            elapsed_s: out.elapsed.as_secs_f64(),
+            bytes: out.total_bytes,
+            atomic_ok: None,
+        });
+
+        // Locking baseline on the same heterogeneous fleet.
+        let fs = ParallelFs::heterogeneous(
+            costs,
+            base,
+            Metrics::new(),
+            Arc::new(FaultInjector::default()),
+        );
+        let driver: Arc<dyn AdioDriver> =
+            Arc::new(LockingDriver::new(Arc::new(fs.create_file(256 * 1024))));
+        let clock = SimClock::new();
+        let out = run_write_round(&clock, &driver, &extents, true, 1, false);
+        report.push(Row {
+            x: factor,
+            backend: "lustre-lock".into(),
+            throughput_mib_s: out.throughput_mib_s(),
+            elapsed_s: out.elapsed.as_secs_f64(),
+            bytes: out.total_bytes,
+            atomic_ok: None,
+        });
+        eprintln!("  ... slowdown {factor}x done");
+    }
+
+    for x in report.xs() {
+        if let Some(s) = report.speedup_at(x, "versioning", "lustre-lock") {
+            report.note(format!("versioning lead at straggler {x:>2}x: {s:.2}x"));
+        }
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(atomio_bench::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

@@ -1,0 +1,81 @@
+//! E1 — §VI series 1: aggregated throughput vs. number of concurrent
+//! clients writing overlapping non-contiguous regions to one shared
+//! file under MPI atomic mode.
+//!
+//! "Our first experiment aims at evaluating the scalability of our
+//! approach when increasing the number of clients that concurrently
+//! write non-contiguous regions into the same file. [...] each of the
+//! clients writes a large set of non-contiguous regions that are
+//! intentionally selected in such way as to generate a large number of
+//! overlapping that need to obey MPI atomicity." (paper, §VI)
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp1_scalability`
+
+use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
+use atomio_simgrid::SimClock;
+use atomio_types::ExtentList;
+use atomio_workloads::{run_write_round, OverlapWorkload};
+
+fn main() {
+    let cfg = BenchConfig::default();
+    let mut report = ExperimentReport::new(
+        "E1",
+        "aggregated throughput vs. concurrent clients (overlapping non-contiguous atomic writes)",
+        "clients",
+    );
+    report.note(format!(
+        "{} servers, {} KiB stripes, 32 regions x 256 KiB per client, 50% neighbour overlap",
+        cfg.servers,
+        cfg.chunk_size / 1024
+    ));
+    report.note("cost model: grid5000 (GbE + SATA disks); throughput in simulated MiB/s");
+
+    let client_counts = [1usize, 2, 4, 8, 16, 32, 64];
+    for &clients in &client_counts {
+        let workload = OverlapWorkload::new(clients, 32, 256 * 1024, 1, 2);
+        let extents: Vec<ExtentList> =
+            (0..clients).map(|c| workload.extents_for(c)).collect();
+        // Verify atomicity at the small end (cheap), trust the strategy
+        // at the large end (timing only).
+        let verify = clients <= 8;
+        for backend in Backend::ATOMIC {
+            let (driver, _metrics) = cfg.build(backend);
+            let clock = SimClock::new();
+            let out = run_write_round(
+                &clock,
+                &driver,
+                &extents,
+                backend.atomic_flag(),
+                1,
+                verify,
+            );
+            if let Some(v) = &out.violation {
+                panic!("{} violated atomicity at {clients} clients: {v:?}", backend.label());
+            }
+            report.push(Row {
+                x: clients as u64,
+                backend: backend.label().to_owned(),
+                throughput_mib_s: out.throughput_mib_s(),
+                elapsed_s: out.elapsed.as_secs_f64(),
+                bytes: out.total_bytes,
+                atomic_ok: verify.then_some(out.violation.is_none()),
+            });
+        }
+        eprintln!("  ... {clients} clients done");
+    }
+
+    // The headline claim: versioning vs. the Lustre-style baseline.
+    for &clients in &client_counts {
+        if let Some(s) = report.speedup_at(clients as u64, "versioning", "lustre-lock") {
+            report.note(format!(
+                "speedup vs lustre-lock at {clients:>3} clients: {s:.2}x"
+            ));
+        }
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(atomio_bench::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

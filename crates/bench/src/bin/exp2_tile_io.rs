@@ -1,0 +1,115 @@
+//! E2 — §VI series 2: the MPI-tile-IO benchmark.
+//!
+//! "In the second experiment, we performed an evaluation of the
+//! performance of our approach using a standard benchmark, MPI-tile-IO,
+//! that closely simulates the access patterns of real scientific
+//! applications that split the input data into overlapped subdomains
+//! that need to be concurrently written in the same file under MPI
+//! atomicity guarantees." (paper, §VI)
+//!
+//! Unlike E1 this goes through the *full MPI-I/O path*: per-rank
+//! subarray file views, collective `write_at_all`, atomic mode.
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp2_tile_io`
+
+use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
+use atomio_mpiio::{Communicator, File, OpenMode};
+use atomio_simgrid::clock::run_actors_on;
+use atomio_simgrid::SimClock;
+use atomio_types::stamp::WriteStamp;
+use atomio_types::{ByteRange, ClientId, ExtentList};
+use atomio_workloads::verify::{check_serializable, WriteRecord};
+use atomio_workloads::TileWorkload;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = BenchConfig::default();
+    let mut report = ExperimentReport::new(
+        "E2",
+        "MPI-tile-IO: collective overlapped tile writes, atomic mode",
+        "processes",
+    );
+    report.note(format!(
+        "g x g tiles of 256x256 elements x 32 B, ghost overlap 2 elements, {} servers",
+        cfg.servers
+    ));
+    report.note("full MPI-I/O path: subarray views + MPI_File_write_at_all + atomic mode");
+
+    for g in [1u64, 2, 3, 4, 5, 6, 8] {
+        let workload = TileWorkload::new(g, g, 256, 256, 32, 2, 2);
+        let ranks = workload.processes();
+        let verify = ranks <= 4;
+        for backend in Backend::ATOMIC {
+            let (driver, _) = cfg.build(backend);
+            let clock = SimClock::new();
+            let comm = Communicator::new(ranks, cfg.cost);
+            let files: Vec<File> = (0..ranks)
+                .map(|r| File::open(comm.clone(), r, Arc::clone(&driver), OpenMode::ReadWrite))
+                .collect();
+            let stamps: Vec<WriteStamp> = (0..ranks)
+                .map(|r| WriteStamp::new(ClientId::new(r as u64), 1))
+                .collect();
+            let extents: Vec<ExtentList> =
+                (0..ranks).map(|r| workload.extents_for(r)).collect();
+
+            let start = clock.now();
+            run_actors_on(&clock, ranks, |rank, p| {
+                let f = &files[rank];
+                f.set_view(workload.view(rank).expect("valid view"));
+                f.set_atomic(backend.atomic_flag());
+                let payload = stamps[rank].payload_for(&extents[rank]);
+                f.write_at_all(p, 0, &payload).expect("collective write");
+            });
+            let elapsed = clock.now() - start;
+            let total_bytes = workload.bytes_per_process() * ranks as u64;
+
+            let atomic_ok = if verify {
+                let writes: Vec<WriteRecord> = (0..ranks)
+                    .map(|r| WriteRecord::new(stamps[r], extents[r].clone()))
+                    .collect();
+                let state = run_actors_on(&clock, 1, |_, p| {
+                    driver
+                        .read_extents(
+                            p,
+                            ClientId::new(u64::MAX),
+                            &ExtentList::single(ByteRange::new(0, workload.dataset_bytes())),
+                            false,
+                        )
+                        .expect("read-back")
+                })
+                .pop()
+                .expect("one reader");
+                match check_serializable(&state, &writes) {
+                    Ok(_) => Some(true),
+                    Err(v) => panic!("{} tile-io violated atomicity: {v:?}", backend.label()),
+                }
+            } else {
+                None
+            };
+
+            report.push(Row {
+                x: ranks as u64,
+                backend: backend.label().to_owned(),
+                throughput_mib_s: total_bytes as f64
+                    / (1024.0 * 1024.0)
+                    / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+                elapsed_s: elapsed.as_secs_f64(),
+                bytes: total_bytes,
+                atomic_ok,
+            });
+        }
+        eprintln!("  ... {ranks} processes done");
+    }
+
+    for x in report.xs() {
+        if let Some(s) = report.speedup_at(x, "versioning", "lustre-lock") {
+            report.note(format!("speedup vs lustre-lock at {x:>3} procs: {s:.2}x"));
+        }
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(atomio_bench::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

@@ -1,0 +1,70 @@
+//! E3 — the paper's headline quantitative claim, checked:
+//!
+//! "It achieved an aggregated throughput ranging from 3.5 times to 10
+//! times higher in several experimental setups" (paper, §VI).
+//!
+//! Reads the JSON produced by E1 and E2 and reports the versioning /
+//! lustre-lock speedup for every multi-client configuration, flagging
+//! where the measured band sits relative to the paper's 3.5x–10x.
+//!
+//! Run E1 and E2 first, then:
+//! `cargo run -p atomio-bench --release --bin exp3_speedup_summary`
+
+use atomio_bench::report::{results_dir, ExperimentReport};
+
+fn main() {
+    let dir = results_dir();
+    let mut speedups: Vec<(String, u64, f64)> = Vec::new();
+    for id in ["e1", "e2"] {
+        let path = dir.join(format!("{id}.json"));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!(
+                "missing {} — run exp1_scalability / exp2_tile_io first",
+                path.display()
+            );
+            continue;
+        };
+        let report: ExperimentReport =
+            serde_json::from_str(&text).expect("well-formed experiment JSON");
+        for x in report.xs() {
+            // Single-client points are not a concurrency comparison.
+            if x <= 1 {
+                continue;
+            }
+            if let Some(s) = report.speedup_at(x, "versioning", "lustre-lock") {
+                speedups.push((report.id.clone(), x, s));
+            }
+        }
+    }
+
+    if speedups.is_empty() {
+        eprintln!("no data — nothing to summarize");
+        std::process::exit(1);
+    }
+
+    println!("== E3 — versioning vs. lustre-lock speedup summary ==");
+    println!("   paper claim: 3.5x to 10x across experimental setups\n");
+    println!("{:>6} {:>10} {:>10}  band", "exp", "clients", "speedup");
+    let mut in_band = 0usize;
+    for (id, x, s) in &speedups {
+        let marker = if (3.5..=10.0).contains(s) {
+            in_band += 1;
+            "within paper band"
+        } else if *s > 10.0 {
+            "above paper band (stronger win)"
+        } else {
+            "below paper band"
+        };
+        println!("{id:>6} {x:>10} {s:>9.2}x  {marker}");
+    }
+    let min = speedups.iter().map(|(_, _, s)| *s).fold(f64::MAX, f64::min);
+    let max = speedups.iter().map(|(_, _, s)| *s).fold(0.0f64, f64::max);
+    println!(
+        "\nmeasured band: {min:.2}x – {max:.2}x over {} configurations ({in_band} inside 3.5x–10x)",
+        speedups.len()
+    );
+    println!(
+        "the paper's claim reproduces when the measured band overlaps 3.5x–10x: {}",
+        if min <= 10.0 && max >= 3.5 { "YES" } else { "NO" }
+    );
+}

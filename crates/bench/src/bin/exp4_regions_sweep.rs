@@ -1,0 +1,56 @@
+//! E4 — throughput vs. number of non-contiguous regions per request
+//! (fixed total bytes per client), supporting the RR-7487-style
+//! analysis: how request fragmentation affects each strategy.
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp4_regions_sweep`
+
+use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
+use atomio_simgrid::SimClock;
+use atomio_types::ExtentList;
+use atomio_workloads::{run_write_round, OverlapWorkload};
+
+fn main() {
+    let cfg = BenchConfig::default();
+    const CLIENTS: usize = 16;
+    const BYTES_PER_CLIENT: u64 = 8 * 1024 * 1024;
+
+    let mut report = ExperimentReport::new(
+        "E4",
+        "throughput vs. regions per request (8 MiB per client, 16 clients, 50% overlap)",
+        "regions",
+    );
+    report.note(format!("{} servers, {} KiB stripes", cfg.servers, cfg.chunk_size / 1024));
+
+    for &regions in &[1usize, 4, 16, 64, 256] {
+        let region_size = BYTES_PER_CLIENT / regions as u64;
+        let workload = OverlapWorkload::new(CLIENTS, regions, region_size, 1, 2);
+        let extents: Vec<ExtentList> =
+            (0..CLIENTS).map(|c| workload.extents_for(c)).collect();
+        for backend in Backend::ATOMIC {
+            let (driver, _) = cfg.build(backend);
+            let clock = SimClock::new();
+            let out = run_write_round(&clock, &driver, &extents, backend.atomic_flag(), 1, false);
+            report.push(Row {
+                x: regions as u64,
+                backend: backend.label().to_owned(),
+                throughput_mib_s: out.throughput_mib_s(),
+                elapsed_s: out.elapsed.as_secs_f64(),
+                bytes: out.total_bytes,
+                atomic_ok: None,
+            });
+        }
+        eprintln!("  ... {regions} regions done");
+    }
+
+    for x in report.xs() {
+        if let Some(s) = report.speedup_at(x, "versioning", "lustre-lock") {
+            report.note(format!("speedup vs lustre-lock at {x:>4} regions: {s:.2}x"));
+        }
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(atomio_bench::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

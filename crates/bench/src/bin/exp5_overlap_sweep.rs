@@ -1,0 +1,62 @@
+//! E5 — throughput vs. overlap fraction: how much of the locking
+//! baseline's collapse is due to actual conflicts vs. covering-range
+//! pessimism, and that versioning is insensitive to overlap.
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp5_overlap_sweep`
+
+use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
+use atomio_simgrid::SimClock;
+use atomio_types::ExtentList;
+use atomio_workloads::{run_write_round, OverlapWorkload};
+
+fn main() {
+    let cfg = BenchConfig::default();
+    const CLIENTS: usize = 16;
+
+    let mut report = ExperimentReport::new(
+        "E5",
+        "throughput vs. overlap fraction (16 clients, 32 regions x 256 KiB each)",
+        "overlap_pct",
+    );
+    report.note(format!("{} servers, {} KiB stripes", cfg.servers, cfg.chunk_size / 1024));
+    report.note("overlap 0% means disjoint regions (conflict-free)");
+
+    // (numerator, denominator) overlap fractions.
+    for &(num, den) in &[(0u64, 8u64), (1, 8), (2, 8), (4, 8), (7, 8)] {
+        let pct = num * 100 / den;
+        let workload = OverlapWorkload::new(CLIENTS, 32, 256 * 1024, num, den);
+        let extents: Vec<ExtentList> =
+            (0..CLIENTS).map(|c| workload.extents_for(c)).collect();
+        for backend in Backend::ATOMIC {
+            let (driver, _) = cfg.build(backend);
+            let clock = SimClock::new();
+            let out = run_write_round(&clock, &driver, &extents, backend.atomic_flag(), 1, false);
+            report.push(Row {
+                x: pct,
+                backend: backend.label().to_owned(),
+                throughput_mib_s: out.throughput_mib_s(),
+                elapsed_s: out.elapsed.as_secs_f64(),
+                bytes: out.total_bytes,
+                atomic_ok: None,
+            });
+        }
+        eprintln!("  ... overlap {pct}% done");
+    }
+
+    for x in report.xs() {
+        if let Some(s) = report.speedup_at(x, "versioning", "lustre-lock") {
+            report.note(format!("speedup vs lustre-lock at {x:>3}% overlap: {s:.2}x"));
+        }
+        if let Some(s) = report.speedup_at(x, "conflict-detect", "lustre-lock") {
+            report.note(format!(
+                "conflict-detect vs lustre-lock at {x:>3}% overlap: {s:.2}x"
+            ));
+        }
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(atomio_bench::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

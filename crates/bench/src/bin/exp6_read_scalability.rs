@@ -1,0 +1,112 @@
+//! E6 — read scalability on a published snapshot, with and without a
+//! concurrent writer.
+//!
+//! Versioned reads are lock-free and target an immutable snapshot, so a
+//! concurrent writer cannot disturb them. The locking baseline's readers
+//! take shared covering locks: they coexist with each other, but an
+//! atomic-mode writer excludes them wholesale.
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp6_read_scalability`
+
+use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
+use atomio_simgrid::clock::run_actors_on;
+use atomio_simgrid::SimClock;
+use atomio_types::{ClientId, ExtentList};
+use atomio_workloads::OverlapWorkload;
+use bytes::Bytes;
+use std::sync::atomic::Ordering;
+
+fn main() {
+    let cfg = BenchConfig::default();
+    const DATA: u64 = 64 * 1024 * 1024;
+
+    for with_writer in [false, true] {
+        let id = if with_writer { "E6b" } else { "E6a" };
+        let title = if with_writer {
+            "read throughput vs. readers, with one concurrent atomic writer"
+        } else {
+            "read throughput vs. readers, quiescent file"
+        };
+        let mut report = ExperimentReport::new(id, title, "readers");
+        report.note(format!(
+            "64 MiB file, each reader reads 16 x 512 KiB regions; {} servers",
+            cfg.servers
+        ));
+
+        for &readers in &[1usize, 2, 4, 8, 16, 32] {
+            for backend in [Backend::Versioning, Backend::LustreLock] {
+                let (driver, _) = cfg.build(backend);
+                let clock = SimClock::new();
+                // Pre-populate the file.
+                run_actors_on(&clock, 1, |_, p| {
+                    driver
+                        .write_extents(
+                            p,
+                            ClientId::new(999),
+                            &ExtentList::from_pairs([(0u64, DATA)]),
+                            Bytes::from(vec![0x5Au8; DATA as usize]),
+                            false,
+                        )
+                        .expect("populate");
+                });
+
+                // Readers: each reads a strided non-contiguous set.
+                let workload = OverlapWorkload::new(readers.max(1), 16, 512 * 1024, 0, 2);
+                let finished = std::sync::atomic::AtomicUsize::new(0);
+                let start = clock.now();
+                let total_bytes = std::sync::atomic::AtomicU64::new(0);
+                run_actors_on(&clock, readers + usize::from(with_writer), |i, p| {
+                    if with_writer && i == readers {
+                        // Background writer: repeated atomic writes until
+                        // every reader has finished.
+                        let wext = ExtentList::from_pairs([(0u64, 4 * 1024 * 1024)]);
+                        while finished.load(Ordering::SeqCst) < readers {
+                            driver
+                                .write_extents(
+                                    p,
+                                    ClientId::new(1000),
+                                    &wext,
+                                    Bytes::from(vec![1u8; 4 * 1024 * 1024]),
+                                    true,
+                                )
+                                .expect("bg write");
+                        }
+                        return;
+                    }
+                    let ext = workload.extents_for(i).clip(atomio_types::ByteRange::new(0, DATA));
+                    for _ in 0..2 {
+                        let got = driver
+                            .read_extents(p, ClientId::new(i as u64), &ext, true)
+                            .expect("read");
+                        total_bytes.fetch_add(got.len() as u64, Ordering::Relaxed);
+                    }
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+                let elapsed = clock.now() - start;
+                let bytes = total_bytes.load(Ordering::Relaxed);
+                report.push(Row {
+                    x: readers as u64,
+                    backend: backend.label().to_owned(),
+                    throughput_mib_s: bytes as f64
+                        / (1024.0 * 1024.0)
+                        / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+                    elapsed_s: elapsed.as_secs_f64(),
+                    bytes,
+                    atomic_ok: None,
+                });
+            }
+            eprintln!("  ... {readers} readers (writer={with_writer}) done");
+        }
+
+        for x in report.xs() {
+            if let Some(s) = report.speedup_at(x, "versioning", "lustre-lock") {
+                report.note(format!("speedup vs lustre-lock at {x:>3} readers: {s:.2}x"));
+            }
+        }
+        println!("{}", report.render_table());
+        match report.save_json(atomio_bench::report::results_dir()) {
+            Ok(path) => println!("saved {}", path.display()),
+            Err(e) => eprintln!("could not save JSON: {e}"),
+        }
+    }
+}

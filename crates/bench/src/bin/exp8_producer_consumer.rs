@@ -1,0 +1,91 @@
+//! E8 — producer–consumer over snapshots (the paper's §VII future-work
+//! direction): a simulation streams iterations into the store while
+//! visualization consumers read them.
+//!
+//! Compares the versioned pipeline (producer publishes snapshots;
+//! consumers read specific versions, nobody blocks) against the lock
+//! -based alternation on a mutable file.
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp8_producer_consumer`
+
+use atomio_bench::{BenchConfig, ExperimentReport, Row};
+use atomio_core::{Store, StoreConfig};
+use atomio_pfs::ParallelFs;
+use atomio_simgrid::{Metrics, SimClock};
+use atomio_workloads::pc::{run_locked, run_versioned, PcConfig};
+use std::sync::Arc;
+
+fn main() {
+    let cfg = BenchConfig::default();
+    const ITERATIONS: u64 = 16;
+    const PAYLOAD: u64 = 4 * 1024 * 1024;
+
+    let mut report = ExperimentReport::new(
+        "E8",
+        "producer-consumer pipeline: 16 iterations x 4 MiB, versioned vs. locked",
+        "consumers",
+    );
+    report.note("throughput = produced bytes / producer completion time");
+    report.note("'atomic ok' = every consumer saw every iteration bit-exact (no lost updates)");
+
+    for &consumers in &[0usize, 1, 2, 4, 8] {
+        let pc = PcConfig {
+            iterations: ITERATIONS,
+            payload_bytes: PAYLOAD,
+            consumers,
+        };
+
+        // Versioned pipeline.
+        let store = Store::new(
+            StoreConfig::default()
+                .with_cost(cfg.cost)
+                .with_chunk_size(cfg.chunk_size)
+                .with_data_providers(cfg.servers)
+                .with_meta_shards(cfg.meta_shards),
+        );
+        let blob = store.create_blob();
+        let clock = SimClock::new();
+        let out = run_versioned(&clock, &blob, pc);
+        report.push(Row {
+            x: consumers as u64,
+            backend: "versioning".into(),
+            throughput_mib_s: (ITERATIONS * PAYLOAD) as f64
+                / (1024.0 * 1024.0)
+                / out.producer_time.as_secs_f64(),
+            elapsed_s: out.total_time.as_secs_f64(),
+            bytes: ITERATIONS * PAYLOAD,
+            atomic_ok: (consumers > 0).then_some(out.verified_iterations == ITERATIONS),
+        });
+
+        // Locked pipeline.
+        let fs = ParallelFs::new(cfg.servers, cfg.cost, Metrics::new());
+        let file = Arc::new(fs.create_file(cfg.chunk_size));
+        let clock = SimClock::new();
+        let out = run_locked(&clock, &file, pc);
+        report.push(Row {
+            x: consumers as u64,
+            backend: "lock-alternation".into(),
+            throughput_mib_s: (ITERATIONS * PAYLOAD) as f64
+                / (1024.0 * 1024.0)
+                / out.producer_time.as_secs_f64(),
+            elapsed_s: out.total_time.as_secs_f64(),
+            bytes: ITERATIONS * PAYLOAD,
+            atomic_ok: (consumers > 0).then_some(out.verified_iterations == ITERATIONS),
+        });
+        eprintln!("  ... {consumers} consumers done");
+    }
+
+    for x in report.xs() {
+        if let Some(s) = report.speedup_at(x, "versioning", "lock-alternation") {
+            report.note(format!(
+                "producer speedup vs lock-alternation at {x} consumers: {s:.2}x"
+            ));
+        }
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(atomio_bench::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

@@ -1,0 +1,102 @@
+//! E9 — extension: two-phase collective I/O vs. independent collective
+//! writes on the tile workload, for both the versioning backend and the
+//! locking baseline.
+//!
+//! Two-phase aggregation turns each rank's many small strided accesses
+//! into a few large contiguous writes by dedicated aggregators — the
+//! classic ROMIO optimization. It helps the *locking* baseline most
+//! (fewer, disjoint lock acquisitions) and still benefits versioning
+//! (fewer chunks and smaller trees per snapshot).
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp9_two_phase`
+
+use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
+use atomio_mpiio::{CollectiveStrategy, Communicator, File, OpenMode};
+use atomio_simgrid::clock::run_actors_on;
+use atomio_simgrid::SimClock;
+use atomio_types::stamp::WriteStamp;
+use atomio_types::ClientId;
+use atomio_workloads::TileWorkload;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = BenchConfig::default();
+    let mut report = ExperimentReport::new(
+        "E9",
+        "collective strategy: independent vs. two-phase aggregation (tile workload)",
+        "processes",
+    );
+    report.note(format!(
+        "g x g tiles of 256x256 x 32 B, overlap 2; {} servers; aggregators = servers",
+        cfg.servers
+    ));
+
+    for g in [2u64, 4, 6, 8] {
+        let workload = TileWorkload::new(g, g, 256, 256, 32, 2, 2);
+        let ranks = workload.processes();
+        for backend in [Backend::Versioning, Backend::LustreLock] {
+            for (suffix, strategy) in [
+                ("independent", CollectiveStrategy::Independent),
+                (
+                    "two-phase",
+                    CollectiveStrategy::TwoPhase {
+                        aggregators: cfg.servers,
+                    },
+                ),
+            ] {
+                let (driver, _) = cfg.build(backend);
+                let clock = SimClock::new();
+                let comm = Communicator::new(ranks, cfg.cost);
+                let files: Vec<File> = (0..ranks)
+                    .map(|r| {
+                        File::open(comm.clone(), r, Arc::clone(&driver), OpenMode::ReadWrite)
+                    })
+                    .collect();
+                let start = clock.now();
+                run_actors_on(&clock, ranks, |rank, p| {
+                    let f = &files[rank];
+                    f.set_view(workload.view(rank).expect("valid view"));
+                    f.set_atomic(true);
+                    f.set_collective(strategy);
+                    let stamp = WriteStamp::new(ClientId::new(rank as u64), 1);
+                    let payload = stamp.payload_for(&workload.extents_for(rank));
+                    f.write_at_all(p, 0, &payload).expect("collective write");
+                });
+                let elapsed = clock.now() - start;
+                let total = workload.bytes_per_process() * ranks as u64;
+                report.push(Row {
+                    x: ranks as u64,
+                    backend: format!("{}+{}", backend.label(), suffix),
+                    throughput_mib_s: total as f64
+                        / (1024.0 * 1024.0)
+                        / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+                    elapsed_s: elapsed.as_secs_f64(),
+                    bytes: total,
+                    atomic_ok: None,
+                });
+            }
+        }
+        eprintln!("  ... {ranks} processes done");
+    }
+
+    for x in report.xs() {
+        for backend in ["versioning", "lustre-lock"] {
+            if let Some(s) = report.speedup_at(
+                x,
+                &format!("{backend}+two-phase"),
+                &format!("{backend}+independent"),
+            ) {
+                report.note(format!(
+                    "two-phase gain on {backend} at {x:>3} procs: {s:.2}x"
+                ));
+            }
+        }
+        let _ = x;
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(atomio_bench::report::results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

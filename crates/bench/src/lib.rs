@@ -1,0 +1,15 @@
+//! # atomio-bench
+//!
+//! The experiment harness: shared backend setup, measurement plumbing,
+//! and report formatting for the paper-reproduction experiments E1–E8
+//! (see `DESIGN.md` §5 and `EXPERIMENTS.md`). One binary per experiment
+//! lives in `src/bin/`; criterion microbenches live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod report;
+pub mod setup;
+
+pub use report::{ExperimentReport, Row};
+pub use setup::{Backend, BenchConfig};

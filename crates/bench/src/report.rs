@@ -1,0 +1,229 @@
+//! Experiment records and report rendering.
+//!
+//! Every experiment binary produces an [`ExperimentReport`]: a table of
+//! rows (one per configuration × backend) printed as an aligned text
+//! table and dumped as JSON under `results/` so `EXPERIMENTS.md` can
+//! reference machine-readable outputs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// The sweep variable, e.g. client count or overlap percent.
+    pub x: u64,
+    /// Backend label.
+    pub backend: String,
+    /// Aggregated throughput, MiB per simulated second.
+    pub throughput_mib_s: f64,
+    /// Virtual time of the round, seconds.
+    pub elapsed_s: f64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// Whether the round's final state passed the atomicity verifier
+    /// (`None` when verification was skipped).
+    pub atomic_ok: Option<bool>,
+}
+
+/// A complete experiment result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id ("E1", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Name of the sweep variable (for the table header).
+    pub x_label: String,
+    /// The measured rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (parameters, cost model, observations).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, x_label: &str) -> Self {
+        ExperimentReport {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Speedup of `numerator` over `denominator` at sweep point `x`
+    /// (ratio of throughputs), if both rows exist.
+    pub fn speedup_at(&self, x: u64, numerator: &str, denominator: &str) -> Option<f64> {
+        let get = |name: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.x == x && r.backend == name)
+                .map(|r| r.throughput_mib_s)
+        };
+        match (get(numerator), get(denominator)) {
+            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+            _ => None,
+        }
+    }
+
+    /// All distinct sweep points, in order of first appearance.
+    pub fn xs(&self) -> Vec<u64> {
+        let mut xs = Vec::new();
+        for r in &self.rows {
+            if !xs.contains(&r.x) {
+                xs.push(r.x);
+            }
+        }
+        xs
+    }
+
+    /// All distinct backends, in order of first appearance.
+    pub fn backends(&self) -> Vec<String> {
+        let mut bs = Vec::new();
+        for r in &self.rows {
+            if !bs.contains(&r.backend) {
+                bs.push(r.backend.clone());
+            }
+        }
+        bs
+    }
+
+    /// Renders the aligned text table: one line per sweep point, one
+    /// throughput column per backend.
+    pub fn render_table(&self) -> String {
+        let backends = self.backends();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for note in &self.notes {
+            let _ = writeln!(out, "   {note}");
+        }
+        let _ = write!(out, "{:>12} |", self.x_label);
+        for b in &backends {
+            let _ = write!(out, " {b:>22} |");
+        }
+        let _ = writeln!(out, "  (MiB/s, simulated)");
+        let width = 14 + backends.len() * 25;
+        let _ = writeln!(out, "{}", "-".repeat(width));
+        for x in self.xs() {
+            let _ = write!(out, "{x:>12} |");
+            for b in &backends {
+                match self.rows.iter().find(|r| r.x == x && r.backend == *b) {
+                    Some(r) => {
+                        let atomicity = match r.atomic_ok {
+                            Some(true) => " ok",
+                            Some(false) => " VIOLATED",
+                            None => "",
+                        };
+                        let _ = write!(out, " {:>13.1}{atomicity:<9} |", r.throughput_mib_s);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>22} |", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the report as pretty JSON under `dir` (created if needed)
+    /// and returns the path.
+    pub fn save_json(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id.to_lowercase()));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+/// The conventional output directory for experiment JSON.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("ATOMIO_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("E9", "sample", "clients");
+        r.push(Row {
+            x: 1,
+            backend: "versioning".into(),
+            throughput_mib_s: 100.0,
+            elapsed_s: 1.0,
+            bytes: 1 << 20,
+            atomic_ok: Some(true),
+        });
+        r.push(Row {
+            x: 1,
+            backend: "lustre-lock".into(),
+            throughput_mib_s: 25.0,
+            elapsed_s: 4.0,
+            bytes: 1 << 20,
+            atomic_ok: Some(true),
+        });
+        r.push(Row {
+            x: 8,
+            backend: "versioning".into(),
+            throughput_mib_s: 400.0,
+            elapsed_s: 1.0,
+            bytes: 8 << 20,
+            atomic_ok: None,
+        });
+        r
+    }
+
+    #[test]
+    fn speedup_computation() {
+        let r = sample();
+        assert_eq!(r.speedup_at(1, "versioning", "lustre-lock"), Some(4.0));
+        assert_eq!(r.speedup_at(8, "versioning", "lustre-lock"), None);
+        assert_eq!(r.speedup_at(1, "versioning", "nope"), None);
+    }
+
+    #[test]
+    fn table_lists_all_points() {
+        let r = sample();
+        let table = r.render_table();
+        assert!(table.contains("E9"));
+        assert!(table.contains("versioning"));
+        assert!(table.contains("lustre-lock"));
+        assert!(table.contains("100.0"));
+        assert!(table.contains("400.0"));
+        assert!(table.contains('-'), "missing cell placeholder");
+    }
+
+    #[test]
+    fn xs_and_backends_preserve_order() {
+        let r = sample();
+        assert_eq!(r.xs(), vec![1, 8]);
+        assert_eq!(r.backends(), vec!["versioning", "lustre-lock"]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("atomio-test-{}", std::process::id()));
+        let r = sample();
+        let path = r.save_json(&dir).unwrap();
+        let loaded: ExperimentReport =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded.rows.len(), r.rows.len());
+        assert_eq!(loaded.id, "E9");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

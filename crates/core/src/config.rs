@@ -1,0 +1,153 @@
+//! Store configuration.
+
+use atomio_provider::AllocationStrategy;
+use atomio_simgrid::CostModel;
+use atomio_version::TicketMode;
+
+/// Configuration of a versioning store deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Striping chunk size == metadata leaf size (power of two).
+    pub chunk_size: u64,
+    /// Number of data providers.
+    pub data_providers: usize,
+    /// Number of metadata shards.
+    pub meta_shards: usize,
+    /// Replicas per chunk (1 = no replication).
+    pub replication: usize,
+    /// Minimum replicas that must survive fault injection for a write to
+    /// succeed.
+    pub min_replicas: usize,
+    /// Chunk placement policy.
+    pub allocation: AllocationStrategy,
+    /// Simulated hardware prices.
+    pub cost: CostModel,
+    /// Publication pipeline mode (E7 ablation knob).
+    pub ticket_mode: TicketMode,
+    /// Client-side metadata cache size in nodes (0 disables caching).
+    pub meta_cache_nodes: usize,
+    /// Seed for every random choice in the store.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    /// The configuration used by the paper-scale experiments: 64 KiB
+    /// chunks striped round-robin over 16 providers, 4 metadata shards,
+    /// no replication, Grid'5000-like costs.
+    fn default() -> Self {
+        StoreConfig {
+            chunk_size: 64 * 1024,
+            data_providers: 16,
+            meta_shards: 4,
+            replication: 1,
+            min_replicas: 1,
+            allocation: AllocationStrategy::RoundRobin,
+            cost: CostModel::grid5000(),
+            ticket_mode: TicketMode::Pipelined,
+            meta_cache_nodes: 4096,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Zero-cost variant for semantics-only tests.
+    pub fn with_zero_cost(mut self) -> Self {
+        self.cost = CostModel::zero();
+        self
+    }
+
+    /// Sets the chunk/leaf size.
+    pub fn with_chunk_size(mut self, bytes: u64) -> Self {
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Sets the provider fleet size.
+    pub fn with_data_providers(mut self, n: usize) -> Self {
+        self.data_providers = n;
+        self
+    }
+
+    /// Sets the metadata shard count.
+    pub fn with_meta_shards(mut self, n: usize) -> Self {
+        self.meta_shards = n;
+        self
+    }
+
+    /// Sets replication (replicas per chunk and the write quorum).
+    pub fn with_replication(mut self, replicas: usize, min_ok: usize) -> Self {
+        self.replication = replicas;
+        self.min_replicas = min_ok;
+        self
+    }
+
+    /// Sets the allocation strategy.
+    pub fn with_allocation(mut self, strategy: AllocationStrategy) -> Self {
+        self.allocation = strategy;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the ticket mode.
+    pub fn with_ticket_mode(mut self, mode: TicketMode) -> Self {
+        self.ticket_mode = mode;
+        self
+    }
+
+    /// Sets the client-side metadata cache size (0 disables caching).
+    pub fn with_meta_cache(mut self, nodes: usize) -> Self {
+        self.meta_cache_nodes = nodes;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_scale() {
+        let c = StoreConfig::default();
+        assert_eq!(c.chunk_size, 64 * 1024);
+        assert!(c.chunk_size.is_power_of_two());
+        assert_eq!(c.data_providers, 16);
+        assert_eq!(c.replication, 1);
+        assert_eq!(c.ticket_mode, TicketMode::Pipelined);
+        assert_eq!(c.meta_cache_nodes, 4096);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = StoreConfig::default()
+            .with_zero_cost()
+            .with_chunk_size(1024)
+            .with_data_providers(4)
+            .with_meta_shards(2)
+            .with_replication(3, 2)
+            .with_allocation(AllocationStrategy::LeastLoaded)
+            .with_ticket_mode(TicketMode::SerializedBuild)
+            .with_meta_cache(0)
+            .with_seed(7);
+        assert_eq!(c.cost, CostModel::zero());
+        assert_eq!(c.chunk_size, 1024);
+        assert_eq!(c.data_providers, 4);
+        assert_eq!(c.meta_shards, 2);
+        assert_eq!((c.replication, c.min_replicas), (3, 2));
+        assert_eq!(c.allocation, AllocationStrategy::LeastLoaded);
+        assert_eq!(c.ticket_mode, TicketMode::SerializedBuild);
+        assert_eq!(c.meta_cache_nodes, 0);
+        assert_eq!(c.seed, 7);
+    }
+}

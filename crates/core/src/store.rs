@@ -1,0 +1,205 @@
+//! The assembled versioning store.
+
+use crate::blob::Blob;
+use crate::config::StoreConfig;
+use crate::namespace::Namespace;
+use atomio_meta::{MetaStore, TreeConfig, VersionHistory};
+use atomio_provider::ProviderManager;
+use atomio_simgrid::{CostModel, FaultInjector, Metrics};
+use atomio_types::ids::IdAllocator;
+use atomio_types::{BlobId, ChunkGeometry};
+use atomio_version::VersionManager;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One deployment of the versioning storage service.
+///
+/// Shared infrastructure (providers, metadata shards, fault plane) is
+/// store-wide; each blob gets its own version manager and write history.
+#[derive(Debug)]
+pub struct Store {
+    config: StoreConfig,
+    providers: Arc<ProviderManager>,
+    meta: Arc<MetaStore>,
+    faults: Arc<FaultInjector>,
+    metrics: Metrics,
+    chunk_ids: Arc<IdAllocator>,
+    blob_ids: IdAllocator,
+    blobs: RwLock<HashMap<BlobId, Blob>>,
+    namespace: Namespace,
+}
+
+impl Store {
+    /// Deploys a store.
+    pub fn new(config: StoreConfig) -> Self {
+        Self::new_heterogeneous(config, vec![config.cost; config.data_providers])
+    }
+
+    /// Deploys a store with per-provider hardware (`costs[i]` for data
+    /// provider `i`; overrides `config.data_providers`). Metadata shards
+    /// and the version manager keep `config.cost`.
+    pub fn new_heterogeneous(config: StoreConfig, costs: Vec<CostModel>) -> Self {
+        let faults = Arc::new(FaultInjector::new(config.seed ^ 0xFA17));
+        Store {
+            providers: Arc::new(ProviderManager::heterogeneous(
+                costs,
+                config.allocation,
+                Arc::clone(&faults),
+                config.seed,
+            )),
+            meta: Arc::new(MetaStore::new(config.meta_shards, config.cost)),
+            faults,
+            metrics: Metrics::new(),
+            chunk_ids: Arc::new(IdAllocator::new()),
+            blob_ids: IdAllocator::new(),
+            blobs: RwLock::new(HashMap::new()),
+            namespace: Namespace::new(),
+            config,
+        }
+    }
+
+    /// Creates a new blob (one shared file) and returns its handle.
+    pub fn create_blob(&self) -> Blob {
+        let id = self.blob_ids.next_blob();
+        let history = Arc::new(VersionHistory::new());
+        let vm = Arc::new(VersionManager::new(
+            Arc::clone(&history),
+            TreeConfig::new(self.config.chunk_size),
+            self.config.cost,
+            self.config.ticket_mode,
+        ));
+        let blob = Blob::assemble(
+            id,
+            ChunkGeometry::new(self.config.chunk_size),
+            Arc::clone(&self.providers),
+            Arc::clone(&self.meta),
+            history,
+            vm,
+            Arc::clone(&self.chunk_ids),
+            self.config,
+            self.metrics.clone(),
+        );
+        self.blobs.write().insert(id, blob.clone());
+        blob
+    }
+
+    /// Looks up an existing blob handle.
+    pub fn blob(&self, id: BlobId) -> Option<Blob> {
+        self.blobs.read().get(&id).cloned()
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The provider fleet (for accounting and ablations).
+    pub fn providers(&self) -> &Arc<ProviderManager> {
+        &self.providers
+    }
+
+    /// The metadata store.
+    pub fn meta(&self) -> &Arc<MetaStore> {
+        &self.meta
+    }
+
+    /// The fault-injection plane.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+
+    /// The store-wide metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The path namespace (see [`crate::namespace`]).
+    pub(crate) fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// Scrubs every data provider and repairs corrupted chunks from
+    /// healthy replicas, using the metadata trees of every published
+    /// snapshot to map chunks to their replica homes. Returns
+    /// `(corruptions_found, repaired)`.
+    pub fn scrub_and_repair(
+        &self,
+        p: &atomio_simgrid::Participant,
+    ) -> atomio_types::Result<(u64, u64)> {
+        use atomio_meta::TreeReader;
+        use atomio_types::{ChunkId, ProviderId, VersionId};
+        use std::collections::HashMap;
+
+        // Gather chunk→homes from every published version of every blob.
+        let mut homes: HashMap<ChunkId, Vec<ProviderId>> = HashMap::new();
+        let reader = TreeReader::new(&self.meta);
+        let blobs: Vec<Blob> = self.blobs.read().values().cloned().collect();
+        for blob in &blobs {
+            let latest = blob.version_manager().latest(p).version;
+            let mut v = VersionId::new(1);
+            while v <= latest {
+                if let Ok(snap) = blob.version_manager().snapshot(p, v) {
+                    for (chunk, h) in reader.referenced_chunks(p, snap.root)? {
+                        homes.entry(chunk).or_insert(h);
+                    }
+                }
+                v = v.successor();
+            }
+        }
+        Ok(self
+            .providers
+            .scrub_and_repair(p, |c| homes.get(&c).cloned().unwrap_or_default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup_blobs() {
+        let store = Store::new(StoreConfig::default().with_zero_cost());
+        let a = store.create_blob();
+        let b = store.create_blob();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(store.blob(a.id()).unwrap().id(), a.id());
+        assert!(store.blob(BlobId::new(999)).is_none());
+    }
+
+    #[test]
+    fn blobs_share_infrastructure_without_key_collisions() {
+        // Regression: tree node keys include the blob id, so two blobs
+        // writing the same version number over the same ranges must not
+        // collide in the shared metadata store.
+        let store = Store::new(
+            StoreConfig::default()
+                .with_zero_cost()
+                .with_chunk_size(64)
+                .with_data_providers(2),
+        );
+        let a = store.create_blob();
+        let b = store.create_blob();
+        atomio_simgrid::clock::run_actors(1, |_, p| {
+            let va = a.write(p, 0, bytes::Bytes::from_static(b"AAAA")).unwrap();
+            let vb = b.write(p, 0, bytes::Bytes::from_static(b"BBBB")).unwrap();
+            assert_eq!(va, vb, "both blobs are at their own version 1");
+            assert_eq!(a.read(p, 0, 4).unwrap(), b"AAAA");
+            assert_eq!(b.read(p, 0, 4).unwrap(), b"BBBB");
+        });
+    }
+
+    #[test]
+    fn store_exposes_substrates() {
+        let store = Store::new(
+            StoreConfig::default()
+                .with_zero_cost()
+                .with_data_providers(3)
+                .with_meta_shards(2),
+        );
+        assert_eq!(store.providers().provider_count(), 3);
+        assert_eq!(store.meta().node_count(), 0);
+        assert_eq!(store.config().data_providers, 3);
+        assert_eq!(store.faults().failed_count(), 0);
+    }
+}

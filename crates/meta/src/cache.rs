@@ -1,0 +1,179 @@
+//! Client-side metadata node cache.
+//!
+//! Tree nodes are **immutable** — a key, once published, forever names
+//! the same node — so clients may cache them without any invalidation
+//! protocol. This is one of the quiet payoffs of the versioning design:
+//! a lock-based system must invalidate cached file state when locks move
+//! around, while a shadowing system's metadata is cacheable forever.
+//!
+//! The cache is a bounded FIFO map: simple, O(1), and good enough for
+//! the access patterns here (hot tree tops stay resident because readers
+//! re-insert on miss; precise LRU buys little for dyadic tree walks).
+
+use crate::node::{Node, NodeKey};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A bounded cache of immutable tree nodes.
+#[derive(Debug)]
+pub struct NodeCache {
+    capacity: usize,
+    inner: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<NodeKey, Arc<Node>>,
+    fifo: VecDeque<NodeKey>,
+}
+
+impl NodeCache {
+    /// Creates a cache holding at most `capacity` nodes.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        NodeCache {
+            capacity,
+            inner: Mutex::new(CacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a node.
+    pub fn get(&self, key: NodeKey) -> Option<Arc<Node>> {
+        let hit = self.inner.lock().map.get(&key).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Inserts a node, evicting the oldest entry when full. Re-inserting
+    /// an existing key is a no-op (nodes are immutable).
+    pub fn insert(&self, node: Arc<Node>) {
+        let mut st = self.inner.lock();
+        if st.map.contains_key(&node.key) {
+            return;
+        }
+        if st.map.len() >= self.capacity {
+            if let Some(old) = st.fifo.pop_front() {
+                st.map.remove(&old);
+            }
+        }
+        st.fifo.push_back(node.key);
+        st.map.insert(node.key, node);
+    }
+
+    /// Drops everything (used after GC retires versions, so evicted
+    /// nodes cannot be resurrected from a stale cache).
+    pub fn clear(&self) {
+        let mut st = self.inner.lock();
+        st.map.clear();
+        st.fifo.clear();
+    }
+
+    /// Number of cached nodes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hit rate in `[0, 1]` (zero when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeBody;
+    use atomio_types::{BlobId, ByteRange, VersionId};
+
+    fn node(v: u64, off: u64) -> Arc<Node> {
+        Arc::new(Node {
+            key: NodeKey::new(BlobId::new(0), VersionId::new(v), ByteRange::new(off, 64)),
+            body: NodeBody::Inner {
+                left: None,
+                right: None,
+            },
+        })
+    }
+
+    #[test]
+    fn insert_and_hit() {
+        let cache = NodeCache::new(4);
+        let n = node(1, 0);
+        assert!(cache.get(n.key).is_none());
+        cache.insert(Arc::clone(&n));
+        assert_eq!(cache.get(n.key).unwrap().key, n.key);
+        assert_eq!(cache.stats(), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = NodeCache::new(2);
+        cache.insert(node(1, 0));
+        cache.insert(node(1, 64));
+        cache.insert(node(1, 128)); // evicts (1, 0)
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(node(1, 0).key).is_none());
+        assert!(cache.get(node(1, 64).key).is_some());
+        assert!(cache.get(node(1, 128).key).is_some());
+    }
+
+    #[test]
+    fn reinsert_is_noop() {
+        let cache = NodeCache::new(2);
+        cache.insert(node(1, 0));
+        cache.insert(node(1, 0));
+        cache.insert(node(1, 0));
+        assert_eq!(cache.len(), 1);
+        // The FIFO must not have been polluted by duplicates.
+        cache.insert(node(1, 64));
+        cache.insert(node(1, 128));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache = NodeCache::new(4);
+        cache.insert(node(1, 0));
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(node(1, 0).key).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = NodeCache::new(0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The distributed metadata store: hash-partitioned node shards.
+//!
+//! BlobSeer keeps segment-tree nodes in a DHT spread over metadata
+//! providers; here each shard is a virtual-time CPU resource in front of a
+//! node table. Hash partitioning spreads one writer's node puts over all
+//! shards, so concurrent writers' metadata work overlaps instead of
+//! queueing on a single server.
+
+use crate::node::{Node, NodeKey};
+use atomio_simgrid::{CostModel, Participant, Resource};
+use atomio_types::{stamp::mix64, Error, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A hash-partitioned store of immutable tree nodes.
+#[derive(Debug)]
+pub struct MetaStore {
+    shards: Vec<Shard>,
+    cost: CostModel,
+}
+
+#[derive(Debug)]
+struct Shard {
+    cpu: Resource,
+    nodes: RwLock<HashMap<NodeKey, Arc<Node>>>,
+}
+
+impl MetaStore {
+    /// Creates a store with `shards` metadata providers.
+    pub fn new(shards: usize, cost: CostModel) -> Self {
+        assert!(shards > 0, "need at least one metadata shard");
+        MetaStore {
+            shards: (0..shards)
+                .map(|i| Shard {
+                    cpu: Resource::new(format!("meta-shard-{i}/cpu")),
+                    nodes: RwLock::new(HashMap::new()),
+                })
+                .collect(),
+            cost,
+        }
+    }
+
+    fn shard_for(&self, key: NodeKey) -> &Shard {
+        let h = mix64(
+            key.version
+                .raw()
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ key.blob.raw().wrapping_mul(0x94D0_49BB_1331_11EB)
+                ^ key.range.offset.rotate_left(17)
+                ^ key.range.len,
+        );
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Stores a node under its deterministic key.
+    ///
+    /// Publishing the same node twice is idempotent; publishing a
+    /// *different* node under an existing key indicates a broken
+    /// determinism invariant and fails.
+    pub fn put(&self, p: &Participant, node: Node) -> Result<()> {
+        let shard = self.shard_for(node.key);
+        p.sleep(self.cost.rpc_round_trip());
+        shard.cpu.serve(p, self.cost.meta_op);
+        let mut nodes = shard.nodes.write();
+        if let Some(existing) = nodes.get(&node.key) {
+            if **existing != node {
+                return Err(Error::Internal(format!(
+                    "conflicting node published under {}",
+                    node.key
+                )));
+            }
+            return Ok(());
+        }
+        nodes.insert(node.key, Arc::new(node));
+        Ok(())
+    }
+
+    /// Fetches a node by key.
+    pub fn get(&self, p: &Participant, key: NodeKey) -> Result<Arc<Node>> {
+        let shard = self.shard_for(key);
+        p.sleep(self.cost.rpc_round_trip());
+        shard.cpu.serve(p, self.cost.meta_op);
+        shard
+            .nodes
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(Error::MetadataNodeMissing(key.range.offset ^ key.version.raw()))
+    }
+
+    /// True if the node exists (free of simulated cost; for tests/GC).
+    pub fn contains(&self, key: NodeKey) -> bool {
+        self.shard_for(key).nodes.read().contains_key(&key)
+    }
+
+    /// Total nodes stored across all shards.
+    pub fn node_count(&self) -> usize {
+        self.shards.iter().map(|s| s.nodes.read().len()).sum()
+    }
+
+    /// Removes a node (version GC). Missing keys are ignored.
+    pub fn evict(&self, key: NodeKey) {
+        self.shard_for(key).nodes.write().remove(&key);
+    }
+
+    /// Per-shard node counts (for distribution tests).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.nodes.read().len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeBody;
+    use atomio_simgrid::clock::run_actors;
+    use atomio_types::{ByteRange, VersionId};
+
+    fn node(v: u64, off: u64, len: u64) -> Node {
+        Node {
+            key: NodeKey::new(atomio_types::BlobId::new(0), VersionId::new(v), ByteRange::new(off, len)),
+            body: NodeBody::Inner {
+                left: None,
+                right: None,
+            },
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = MetaStore::new(4, CostModel::zero());
+        let (res, _) = run_actors(1, |_, p| {
+            store.put(p, node(1, 0, 64))?;
+            store.get(p, NodeKey::new(atomio_types::BlobId::new(0), VersionId::new(1), ByteRange::new(0, 64)))
+        });
+        assert_eq!(*res[0].as_ref().unwrap().as_ref(), node(1, 0, 64));
+        assert_eq!(store.node_count(), 1);
+    }
+
+    #[test]
+    fn idempotent_put_allowed_conflict_rejected() {
+        let store = MetaStore::new(2, CostModel::zero());
+        let (res, _) = run_actors(1, |_, p| {
+            store.put(p, node(1, 0, 64))?;
+            store.put(p, node(1, 0, 64))?; // same node again: fine
+            let mut different = node(1, 0, 64);
+            different.body = NodeBody::Leaf {
+                entries: vec![],
+                backlink: None,
+            };
+            store.put(p, different)
+        });
+        assert!(matches!(res[0], Err(Error::Internal(_))));
+        assert_eq!(store.node_count(), 1);
+    }
+
+    #[test]
+    fn missing_node_errors() {
+        let store = MetaStore::new(2, CostModel::zero());
+        let (res, _) = run_actors(1, |_, p| {
+            store.get(p, NodeKey::new(atomio_types::BlobId::new(0), VersionId::new(9), ByteRange::new(0, 64)))
+        });
+        assert!(matches!(res[0], Err(Error::MetadataNodeMissing(_))));
+    }
+
+    #[test]
+    fn eviction_removes() {
+        let store = MetaStore::new(2, CostModel::zero());
+        let (_, _) = run_actors(1, |_, p| {
+            store.put(p, node(1, 0, 64)).unwrap();
+        });
+        let key = NodeKey::new(atomio_types::BlobId::new(0), VersionId::new(1), ByteRange::new(0, 64));
+        assert!(store.contains(key));
+        store.evict(key);
+        assert!(!store.contains(key));
+        store.evict(key); // idempotent
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let store = MetaStore::new(8, CostModel::zero());
+        let (_, _) = run_actors(1, |_, p| {
+            for v in 1..=16u64 {
+                for i in 0..16u64 {
+                    store.put(p, node(v, i * 64, 64)).unwrap();
+                }
+            }
+        });
+        let loads = store.shard_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 256);
+        // No shard should be empty or hold more than half the nodes.
+        for &l in &loads {
+            assert!(l > 0, "empty shard: {loads:?}");
+            assert!(l < 128, "hot shard: {loads:?}");
+        }
+    }
+
+    #[test]
+    fn meta_ops_cost_time() {
+        let cost = CostModel::grid5000();
+        let store = MetaStore::new(1, cost);
+        let (_, total) = run_actors(1, |_, p| {
+            for i in 0..10 {
+                store.put(p, node(1, i * 64, 64)).unwrap();
+            }
+        });
+        // 10 puts × (RPC + meta_op).
+        let expect = (cost.rpc_round_trip() + cost.meta_op) * 10;
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_shards_rejected() {
+        let _ = MetaStore::new(0, CostModel::zero());
+    }
+}

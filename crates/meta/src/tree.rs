@@ -1,0 +1,870 @@
+//! Building and querying copy-on-write segment trees.
+//!
+//! [`TreeBuilder::build_update`] turns one atomic (possibly
+//! non-contiguous) write into a complete new tree for its version — with
+//! **no reads of other versions' nodes and no waiting**: every link to
+//! older content is computed from the shared [`VersionHistory`] thanks to
+//! deterministic [`NodeKey`]s. [`TreeReader::resolve`] maps a snapshot +
+//! extent list onto the stored chunks (or zero-fill holes).
+
+use crate::history::VersionHistory;
+use crate::node::{LeafEntry, Node, NodeBody, NodeKey};
+use crate::store::MetaStore;
+use atomio_simgrid::Participant;
+use atomio_types::{BlobId, ByteRange, ChunkId, Error, ExtentList, ProviderId, Result, VersionId};
+use std::collections::{HashMap, HashSet};
+
+/// Static geometry of a blob's tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Bytes covered by one leaf (equals the striping chunk size).
+    pub leaf_size: u64,
+}
+
+impl TreeConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    /// Panics unless `leaf_size` is a positive power of two (dyadic
+    /// ranges require it).
+    pub fn new(leaf_size: u64) -> Self {
+        assert!(
+            leaf_size.is_power_of_two(),
+            "leaf size must be a power of two, got {leaf_size}"
+        );
+        TreeConfig { leaf_size }
+    }
+
+    /// Smallest valid tree capacity covering byte `end`: a power-of-two
+    /// multiple of the leaf size, at least one leaf.
+    pub fn capacity_for(&self, end: u64) -> u64 {
+        let leaves = end.div_ceil(self.leaf_size).max(1);
+        leaves.next_power_of_two() * self.leaf_size
+    }
+}
+
+/// Writer-side tree construction.
+#[derive(Debug)]
+pub struct TreeBuilder<'a> {
+    blob: BlobId,
+    store: &'a MetaStore,
+    history: &'a VersionHistory,
+    config: TreeConfig,
+}
+
+impl<'a> TreeBuilder<'a> {
+    /// Creates a builder for one blob over a store and that blob's
+    /// write history.
+    pub fn new(
+        blob: BlobId,
+        store: &'a MetaStore,
+        history: &'a VersionHistory,
+        config: TreeConfig,
+    ) -> Self {
+        TreeBuilder {
+            blob,
+            store,
+            history,
+            config,
+        }
+    }
+
+    /// Builds and stores the complete tree of version `v`.
+    ///
+    /// * `capacity` — the tree capacity recorded for `v` in the history
+    ///   (monotonic across versions, covers all of `v`'s extents).
+    /// * `entries` — the write's leaf descriptors: sorted, disjoint, and
+    ///   each contained in a single leaf range.
+    ///
+    /// Returns the new root key `(v, [0, capacity))`.
+    pub fn build_update(
+        &self,
+        p: &Participant,
+        v: VersionId,
+        capacity: u64,
+        entries: &[LeafEntry],
+    ) -> Result<NodeKey> {
+        if entries.is_empty() {
+            return Err(Error::EmptyAccess);
+        }
+        let root_range = ByteRange::new(0, capacity);
+        for (i, e) in entries.iter().enumerate() {
+            let leaf = self.leaf_range_of(e.file_range.offset);
+            if !leaf.contains_range(e.file_range) {
+                return Err(Error::Internal(format!(
+                    "entry {} {} crosses leaf boundary {leaf}",
+                    i, e.file_range
+                )));
+            }
+            if i > 0 && entries[i - 1].file_range.end() > e.file_range.offset {
+                return Err(Error::Internal(
+                    "leaf entries must be sorted and disjoint".into(),
+                ));
+            }
+            if !root_range.contains_range(e.file_range) {
+                return Err(Error::OutOfBounds {
+                    requested_end: e.file_range.end(),
+                    snapshot_size: capacity,
+                });
+            }
+        }
+        self.build_node(p, v, root_range, entries)
+    }
+
+    /// Builds a **tombstone** tree for a write that was ticketed but then
+    /// failed (e.g. quorum loss during the data transfer).
+    ///
+    /// The write's summary is already visible in the history, so
+    /// concurrent writers may have linked to `(v, range)` node keys for
+    /// every range the summary advertises — those nodes must exist. A
+    /// tombstone creates exactly that node set, but with **empty leaf
+    /// entries backlinked to the previous toucher**, making the failed
+    /// write a semantic no-op: readers resolve straight through it.
+    pub fn build_tombstone(
+        &self,
+        p: &Participant,
+        v: VersionId,
+        capacity: u64,
+        extents: &ExtentList,
+    ) -> Result<NodeKey> {
+        if extents.is_empty() {
+            return Err(Error::EmptyAccess);
+        }
+        let root_range = ByteRange::new(0, capacity);
+        self.build_tombstone_node(p, v, root_range, extents)
+    }
+
+    fn build_tombstone_node(
+        &self,
+        p: &Participant,
+        v: VersionId,
+        range: ByteRange,
+        extents: &ExtentList,
+    ) -> Result<NodeKey> {
+        let key = NodeKey::new(self.blob, v, range);
+        let body = if range.len == self.config.leaf_size {
+            NodeBody::Leaf {
+                entries: Vec::new(),
+                backlink: self
+                    .history
+                    .latest_toucher(v, range)
+                    .map(|(u, _)| NodeKey::new(self.blob, u, range)),
+            }
+        } else {
+            let (lo, hi) = range.split_at(range.offset + range.len / 2);
+            let link = |half: ByteRange| -> Result<Option<NodeKey>> {
+                if extents.clip(half).is_empty() {
+                    self.link_for(p, v, half)
+                } else {
+                    Ok(Some(self.build_tombstone_node(p, v, half, extents)?))
+                }
+            };
+            NodeBody::Inner {
+                left: link(lo)?,
+                right: link(hi)?,
+            }
+        };
+        self.store.put(p, Node { key, body })?;
+        Ok(key)
+    }
+
+    fn leaf_range_of(&self, pos: u64) -> ByteRange {
+        let start = pos / self.config.leaf_size * self.config.leaf_size;
+        ByteRange::new(start, self.config.leaf_size)
+    }
+
+    fn build_node(
+        &self,
+        p: &Participant,
+        v: VersionId,
+        range: ByteRange,
+        entries: &[LeafEntry],
+    ) -> Result<NodeKey> {
+        debug_assert!(!entries.is_empty());
+        let key = NodeKey::new(self.blob, v, range);
+        let body = if range.len == self.config.leaf_size {
+            let covered = ExtentList::from_ranges(entries.iter().map(|e| e.file_range));
+            // A fully-overwritten leaf cuts the backlink chain: readers
+            // never need older content for this range.
+            let backlink = if covered == ExtentList::single(range) {
+                None
+            } else {
+                self.history
+                    .latest_toucher(v, range)
+                    .map(|(u, _)| NodeKey::new(self.blob, u, range))
+            };
+            NodeBody::Leaf {
+                entries: entries.to_vec(),
+                backlink,
+            }
+        } else {
+            let (lo, hi) = range.split_at(range.offset + range.len / 2);
+            NodeBody::Inner {
+                left: self.child_link(p, v, lo, entries)?,
+                right: self.child_link(p, v, hi, entries)?,
+            }
+        };
+        self.store.put(p, Node { key, body })?;
+        Ok(key)
+    }
+
+    fn child_link(
+        &self,
+        p: &Participant,
+        v: VersionId,
+        range: ByteRange,
+        entries: &[LeafEntry],
+    ) -> Result<Option<NodeKey>> {
+        let lo = entries.partition_point(|e| e.file_range.end() <= range.offset);
+        let hi = entries.partition_point(|e| e.file_range.offset < range.end());
+        if lo < hi {
+            Ok(Some(self.build_node(p, v, range, &entries[lo..hi])?))
+        } else {
+            self.link_for(p, v, range)
+        }
+    }
+
+    /// Computes the link target for a range this write does not touch:
+    /// the latest earlier toucher's node — materializing *filler* inner
+    /// nodes when the target version's tree was smaller than `range`
+    /// (capacity expansion).
+    fn link_for(
+        &self,
+        p: &Participant,
+        v: VersionId,
+        range: ByteRange,
+    ) -> Result<Option<NodeKey>> {
+        match self.history.latest_toucher(v, range) {
+            None => Ok(None),
+            Some((u, cap_u)) if cap_u >= range.end() => Ok(Some(NodeKey::new(self.blob, u, range))),
+            Some((_, _)) => {
+                // The latest toucher's tree is smaller than this range.
+                // Capacity monotonicity guarantees the range starts at 0
+                // (see history tests) and that nothing was ever written in
+                // the upper half.
+                debug_assert_eq!(range.offset, 0, "undersized link off origin");
+                let (lo, hi) = range.split_at(range.offset + range.len / 2);
+                let left = self.link_for(p, v, lo)?;
+                let right = self.link_for(p, v, hi)?;
+                debug_assert!(right.is_none(), "toucher beyond its capacity");
+                let key = NodeKey::new(self.blob, v, range);
+                self.store.put(
+                    p,
+                    Node {
+                        key,
+                        body: NodeBody::Inner { left, right },
+                    },
+                )?;
+                Ok(Some(key))
+            }
+        }
+    }
+}
+
+/// Where one resolved byte range's data lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PieceSource {
+    /// Chunk holding the bytes.
+    pub chunk: ChunkId,
+    /// Offset of the piece's first byte within the chunk.
+    pub chunk_offset: u64,
+    /// Replica homes, primary first.
+    pub homes: Vec<ProviderId>,
+}
+
+/// One contiguous resolved piece of a read: either stored bytes or a hole
+/// (never-written bytes that read as zeros).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedPiece {
+    /// Absolute file range.
+    pub file_range: ByteRange,
+    /// Backing chunk, or `None` for a hole.
+    pub source: Option<PieceSource>,
+}
+
+/// Reader-side tree traversal.
+#[derive(Debug)]
+pub struct TreeReader<'a> {
+    store: &'a MetaStore,
+    cache: Option<&'a crate::cache::NodeCache>,
+}
+
+impl<'a> TreeReader<'a> {
+    /// Creates a reader over a store.
+    pub fn new(store: &'a MetaStore) -> Self {
+        TreeReader { store, cache: None }
+    }
+
+    /// Creates a reader that consults a client-side node cache first.
+    /// Cache hits are free of simulated cost (they never leave the
+    /// client); misses are fetched from the store and cached.
+    pub fn with_cache(store: &'a MetaStore, cache: &'a crate::cache::NodeCache) -> Self {
+        TreeReader {
+            store,
+            cache: Some(cache),
+        }
+    }
+
+    fn fetch(&self, p: &Participant, key: NodeKey) -> Result<std::sync::Arc<Node>> {
+        if let Some(cache) = self.cache {
+            if let Some(node) = cache.get(key) {
+                return Ok(node);
+            }
+            let node = self.store.get(p, key)?;
+            cache.insert(std::sync::Arc::clone(&node));
+            return Ok(node);
+        }
+        self.store.get(p, key)
+    }
+
+    /// Maps `extents` of the snapshot rooted at `root` onto stored
+    /// chunks. Bytes outside the tree's capacity and never-written gaps
+    /// come back as holes. Pieces are returned sorted by file offset.
+    pub fn resolve(
+        &self,
+        p: &Participant,
+        root: Option<NodeKey>,
+        extents: &ExtentList,
+    ) -> Result<Vec<ResolvedPiece>> {
+        let mut out = Vec::new();
+        match root {
+            None => push_holes(&mut out, extents),
+            Some(root) => {
+                let inside = extents.clip(root.range);
+                let outside = extents.subtract(&inside);
+                push_holes(&mut out, &outside);
+                if !inside.is_empty() {
+                    self.walk(p, root, &inside, &mut out)?;
+                }
+            }
+        }
+        out.sort_by_key(|piece| piece.file_range.offset);
+        Ok(out)
+    }
+
+    fn walk(
+        &self,
+        p: &Participant,
+        key: NodeKey,
+        want: &ExtentList,
+        out: &mut Vec<ResolvedPiece>,
+    ) -> Result<()> {
+        debug_assert!(!want.is_empty());
+        let node = self.fetch(p, key)?;
+        match &node.body {
+            NodeBody::Inner { left, right } => {
+                let mid = key.range.offset + key.range.len / 2;
+                let (lo, hi) = key.range.split_at(mid);
+                for (half, link) in [(lo, left), (hi, right)] {
+                    let sub = want.clip(half);
+                    if sub.is_empty() {
+                        continue;
+                    }
+                    match link {
+                        Some(child) => self.walk(p, *child, &sub, out)?,
+                        None => push_holes(out, &sub),
+                    }
+                }
+            }
+            NodeBody::Leaf { entries, backlink } => {
+                let mut remaining = want.clone();
+                for e in entries {
+                    let hit = remaining.clip(e.file_range);
+                    for &r in &hit {
+                        let clipped = e.clip(r).expect("hit ranges intersect the entry");
+                        out.push(ResolvedPiece {
+                            file_range: clipped.file_range,
+                            source: Some(PieceSource {
+                                chunk: clipped.chunk,
+                                chunk_offset: clipped.chunk_offset,
+                                homes: clipped.homes,
+                            }),
+                        });
+                    }
+                    remaining = remaining.subtract(&hit);
+                    if remaining.is_empty() {
+                        break;
+                    }
+                }
+                if !remaining.is_empty() {
+                    match backlink {
+                        Some(older) => self.walk(p, *older, &remaining, out)?,
+                        None => push_holes(out, &remaining),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every chunk reachable from `root` (through subtree sharing and
+    /// backlink chains), with its replica homes. Used by version GC and
+    /// by repair tooling.
+    pub fn referenced_chunks(
+        &self,
+        p: &Participant,
+        root: Option<NodeKey>,
+    ) -> Result<HashMap<ChunkId, Vec<ProviderId>>> {
+        let mut chunks = HashMap::new();
+        let mut visited = HashSet::new();
+        if let Some(root) = root {
+            self.collect(p, root, &mut visited, &mut chunks)?;
+        }
+        Ok(chunks)
+    }
+
+    fn collect(
+        &self,
+        p: &Participant,
+        key: NodeKey,
+        visited: &mut HashSet<NodeKey>,
+        chunks: &mut HashMap<ChunkId, Vec<ProviderId>>,
+    ) -> Result<()> {
+        if !visited.insert(key) {
+            return Ok(());
+        }
+        let node = self.fetch(p, key)?;
+        match &node.body {
+            NodeBody::Inner { left, right } => {
+                for link in [left, right].into_iter().flatten() {
+                    self.collect(p, *link, visited, chunks)?;
+                }
+            }
+            NodeBody::Leaf { entries, backlink } => {
+                for e in entries {
+                    chunks.entry(e.chunk).or_insert_with(|| e.homes.clone());
+                }
+                if let Some(older) = backlink {
+                    self.collect(p, *older, visited, chunks)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every node key reachable from `root` (for GC of whole versions).
+    pub fn reachable_nodes(&self, p: &Participant, root: Option<NodeKey>) -> Result<HashSet<NodeKey>> {
+        let mut visited = HashSet::new();
+        let mut chunks = HashMap::new();
+        if let Some(root) = root {
+            self.collect(p, root, &mut visited, &mut chunks)?;
+        }
+        Ok(visited)
+    }
+}
+
+fn push_holes(out: &mut Vec<ResolvedPiece>, holes: &ExtentList) {
+    for &r in holes {
+        out.push(ResolvedPiece {
+            file_range: r,
+            source: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::WriteSummary;
+    use atomio_simgrid::clock::run_actors;
+    use atomio_simgrid::CostModel;
+    use std::sync::Arc;
+
+    const LEAF: u64 = 64;
+
+    struct Fixture {
+        store: MetaStore,
+        history: VersionHistory,
+        config: TreeConfig,
+        next_chunk: std::sync::atomic::AtomicU64,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                store: MetaStore::new(4, CostModel::zero()),
+                history: VersionHistory::new(),
+                config: TreeConfig::new(LEAF),
+                next_chunk: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+
+        /// Registers a write at the next version and builds its tree;
+        /// returns (version, root, entry chunk ids in order).
+        fn write(&self, p: &Participant, pairs: &[(u64, u64)]) -> (VersionId, NodeKey) {
+            let v = VersionId::new(self.history.len() as u64 + 1);
+            let extents = ExtentList::from_pairs(pairs.iter().copied());
+            let end = extents.covering_range().end();
+            let capacity = self
+                .config
+                .capacity_for(end)
+                .max(self.history.capacity_of(VersionId::new(v.raw() - 1)));
+            self.history.append(WriteSummary {
+                version: v,
+                extents: Arc::new(extents.clone()),
+                capacity,
+            });
+            let entries = self.entries_for(v, &extents);
+            let builder = TreeBuilder::new(BlobId::new(0), &self.store, &self.history, self.config);
+            let root = builder.build_update(p, v, capacity, &entries).unwrap();
+            (v, root)
+        }
+
+        /// Splits extents into leaf-aligned entries with fresh chunk ids.
+        fn entries_for(&self, _v: VersionId, extents: &ExtentList) -> Vec<LeafEntry> {
+            let geo = atomio_types::ChunkGeometry::new(LEAF);
+            geo.split_extents(extents)
+                .into_iter()
+                .map(|span| LeafEntry {
+                    file_range: span.absolute,
+                    chunk: ChunkId::new(
+                        self.next_chunk
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                    ),
+                    chunk_offset: 0,
+                    homes: vec![ProviderId::new(0)],
+                })
+                .collect()
+        }
+
+        fn resolve(
+            &self,
+            p: &Participant,
+            root: NodeKey,
+            pairs: &[(u64, u64)],
+        ) -> Vec<ResolvedPiece> {
+            TreeReader::new(&self.store)
+                .resolve(p, Some(root), &ExtentList::from_pairs(pairs.iter().copied()))
+                .unwrap()
+        }
+    }
+
+    #[test]
+    fn capacity_for_rounds_to_pow2_leaves() {
+        let c = TreeConfig::new(64);
+        assert_eq!(c.capacity_for(0), 64);
+        assert_eq!(c.capacity_for(1), 64);
+        assert_eq!(c.capacity_for(64), 64);
+        assert_eq!(c.capacity_for(65), 128);
+        assert_eq!(c.capacity_for(129), 256);
+        assert_eq!(c.capacity_for(64 * 5), 64 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_leaf_rejected() {
+        let _ = TreeConfig::new(48);
+    }
+
+    #[test]
+    fn single_write_resolves_back() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, root) = fx.write(p, &[(0, 64), (128, 64)]);
+            let pieces = fx.resolve(p, root, &[(0, 256)]);
+            // [0,64) chunk0, [64,128) hole, [128,192) chunk1, [192,256) hole.
+            assert_eq!(pieces.len(), 4);
+            assert_eq!(pieces[0].file_range, ByteRange::new(0, 64));
+            assert_eq!(pieces[0].source.as_ref().unwrap().chunk, ChunkId::new(0));
+            assert_eq!(pieces[1].file_range, ByteRange::new(64, 64));
+            assert!(pieces[1].source.is_none());
+            assert_eq!(pieces[2].source.as_ref().unwrap().chunk, ChunkId::new(1));
+            assert!(pieces[3].source.is_none());
+        });
+    }
+
+    #[test]
+    fn unaligned_write_keeps_offsets() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            // Write [10, 20): one partial-leaf entry.
+            let (_, root) = fx.write(p, &[(10, 10)]);
+            let pieces = fx.resolve(p, root, &[(12, 5)]);
+            assert_eq!(pieces.len(), 1);
+            let src = pieces[0].source.as_ref().unwrap();
+            assert_eq!(pieces[0].file_range, ByteRange::new(12, 5));
+            // Chunk holds bytes for [10,20); piece starts 2 bytes in.
+            assert_eq!(src.chunk_offset, 2);
+        });
+    }
+
+    #[test]
+    fn overwrite_shadows_older_version() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, root1) = fx.write(p, &[(0, 64)]); // chunk 0
+            let (_, root2) = fx.write(p, &[(0, 64)]); // chunk 1
+            let p1 = fx.resolve(p, root1, &[(0, 64)]);
+            let p2 = fx.resolve(p, root2, &[(0, 64)]);
+            assert_eq!(p1[0].source.as_ref().unwrap().chunk, ChunkId::new(0));
+            assert_eq!(p2[0].source.as_ref().unwrap().chunk, ChunkId::new(1));
+        });
+    }
+
+    #[test]
+    fn partial_overwrite_follows_backlink() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, _r1) = fx.write(p, &[(0, 64)]); // v1: whole leaf, chunk 0
+            let (_, root2) = fx.write(p, &[(16, 16)]); // v2: middle, chunk 1
+            let pieces = fx.resolve(p, root2, &[(0, 64)]);
+            assert_eq!(pieces.len(), 3);
+            assert_eq!(pieces[0].file_range, ByteRange::new(0, 16));
+            assert_eq!(pieces[0].source.as_ref().unwrap().chunk, ChunkId::new(0));
+            assert_eq!(pieces[0].source.as_ref().unwrap().chunk_offset, 0);
+            assert_eq!(pieces[1].file_range, ByteRange::new(16, 16));
+            assert_eq!(pieces[1].source.as_ref().unwrap().chunk, ChunkId::new(1));
+            assert_eq!(pieces[2].file_range, ByteRange::new(32, 32));
+            assert_eq!(pieces[2].source.as_ref().unwrap().chunk, ChunkId::new(0));
+            assert_eq!(pieces[2].source.as_ref().unwrap().chunk_offset, 32);
+        });
+    }
+
+    #[test]
+    fn untouched_subtrees_are_shared() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, _) = fx.write(p, &[(0, 256)]); // v1: 4 leaves
+            let before = fx.store.node_count();
+            let (_, _) = fx.write(p, &[(0, 64)]); // v2: 1 leaf
+            let added = fx.store.node_count() - before;
+            // v2 adds: 1 leaf + path to root (depth 2 inners) = 3 nodes.
+            assert_eq!(added, 3, "sharing broken: {added} nodes added");
+        });
+    }
+
+    #[test]
+    fn capacity_expansion_wraps_old_root() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, root1) = fx.write(p, &[(0, 64)]); // cap 64
+            assert_eq!(root1.range, ByteRange::new(0, 64));
+            let (_, root2) = fx.write(p, &[(64 * 7, 64)]); // cap 512
+            assert_eq!(root2.range, ByteRange::new(0, 512));
+            // Old data still visible through the expanded tree.
+            let pieces = fx.resolve(p, root2, &[(0, 64), (64 * 7, 64)]);
+            assert_eq!(pieces.len(), 2);
+            assert_eq!(pieces[0].source.as_ref().unwrap().chunk, ChunkId::new(0));
+            assert_eq!(pieces[1].source.as_ref().unwrap().chunk, ChunkId::new(1));
+        });
+    }
+
+    #[test]
+    fn expansion_filler_spans_multiple_levels() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, _) = fx.write(p, &[(0, 32)]); // cap 64
+            // Jump far: cap 64 -> 1024 (4 doublings).
+            let (_, root2) = fx.write(p, &[(64 * 15, 32)]);
+            assert_eq!(root2.range.len, 1024);
+            let pieces = fx.resolve(p, root2, &[(0, 32), (64 * 15, 32)]);
+            assert_eq!(pieces[0].source.as_ref().unwrap().chunk, ChunkId::new(0));
+            assert_eq!(pieces[1].source.as_ref().unwrap().chunk, ChunkId::new(1));
+            // Gap in between is holes.
+            let holes = fx.resolve(p, root2, &[(100, 800)]);
+            assert!(holes.iter().all(|piece| piece.source.is_none()));
+        });
+    }
+
+    #[test]
+    fn read_beyond_capacity_is_holes() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, root) = fx.write(p, &[(0, 64)]);
+            let pieces = fx.resolve(p, root, &[(0, 64), (1000, 24)]);
+            assert_eq!(pieces.len(), 2);
+            assert!(pieces[0].source.is_some());
+            assert_eq!(pieces[1].file_range, ByteRange::new(1000, 24));
+            assert!(pieces[1].source.is_none());
+        });
+    }
+
+    #[test]
+    fn resolve_with_no_root_is_all_holes() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let pieces = TreeReader::new(&fx.store)
+                .resolve(p, None, &ExtentList::from_pairs([(0u64, 128u64)]))
+                .unwrap();
+            assert_eq!(pieces.len(), 1);
+            assert!(pieces[0].source.is_none());
+        });
+    }
+
+    #[test]
+    fn empty_update_rejected() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let builder = TreeBuilder::new(BlobId::new(0), &fx.store, &fx.history, fx.config);
+            let err = builder
+                .build_update(p, VersionId::new(1), 64, &[])
+                .unwrap_err();
+            assert_eq!(err, Error::EmptyAccess);
+        });
+    }
+
+    #[test]
+    fn entry_crossing_leaf_rejected() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            fx.history.append(WriteSummary {
+                version: VersionId::new(1),
+                extents: Arc::new(ExtentList::from_pairs([(32u64, 64u64)])),
+                capacity: 128,
+            });
+            let builder = TreeBuilder::new(BlobId::new(0), &fx.store, &fx.history, fx.config);
+            let bad = LeafEntry {
+                file_range: ByteRange::new(32, 64), // crosses 64-boundary
+                chunk: ChunkId::new(0),
+                chunk_offset: 0,
+                homes: vec![],
+            };
+            let err = builder
+                .build_update(p, VersionId::new(1), 128, &[bad])
+                .unwrap_err();
+            assert!(matches!(err, Error::Internal(_)));
+        });
+    }
+
+    #[test]
+    fn out_of_order_build_still_resolves() {
+        // The forward-reference property: v2's tree can be built BEFORE
+        // v1's tree exists, as long as both summaries are in the history.
+        // Reads of v2 performed after both builds complete see v1's data
+        // where v2 did not write.
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            // Register both writes in ticket order.
+            let v1 = VersionId::new(1);
+            let v2 = VersionId::new(2);
+            let e1 = ExtentList::from_pairs([(0u64, 64u64), (64, 64)]);
+            let e2 = ExtentList::from_pairs([(64u64, 64u64)]);
+            fx.history.append(WriteSummary {
+                version: v1,
+                extents: Arc::new(e1.clone()),
+                capacity: 128,
+            });
+            fx.history.append(WriteSummary {
+                version: v2,
+                extents: Arc::new(e2.clone()),
+                capacity: 128,
+            });
+            let entries1 = fx.entries_for(v1, &e1); // chunks 0,1
+            let entries2 = fx.entries_for(v2, &e2); // chunk 2
+            let builder = TreeBuilder::new(BlobId::new(0), &fx.store, &fx.history, fx.config);
+            // Build v2 FIRST.
+            let root2 = builder.build_update(p, v2, 128, &entries2).unwrap();
+            let root1 = builder.build_update(p, v1, 128, &entries1).unwrap();
+            // v2 sees chunk0 at [0,64) (v1's) and chunk2 at [64,128).
+            let pieces = fx.resolve(p, root2, &[(0, 128)]);
+            assert_eq!(pieces[0].source.as_ref().unwrap().chunk, ChunkId::new(0));
+            assert_eq!(pieces[1].source.as_ref().unwrap().chunk, ChunkId::new(2));
+            // v1 sees its own chunks only.
+            let pieces1 = fx.resolve(p, root1, &[(0, 128)]);
+            assert_eq!(pieces1[0].source.as_ref().unwrap().chunk, ChunkId::new(0));
+            assert_eq!(pieces1[1].source.as_ref().unwrap().chunk, ChunkId::new(1));
+        });
+    }
+
+    #[test]
+    fn full_leaf_overwrite_cuts_backlink() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, _) = fx.write(p, &[(0, 64)]);
+            let (v2, root2) = fx.write(p, &[(0, 64)]);
+            // Fetch v2's leaf node directly and check there is no
+            // backlink (readers never walk to v1).
+            let leaf = fx
+                .store
+                .get(p, NodeKey::new(BlobId::new(0), v2, ByteRange::new(0, 64)))
+                .unwrap();
+            match &leaf.body {
+                NodeBody::Leaf { backlink, .. } => assert!(backlink.is_none()),
+                _ => panic!("expected leaf"),
+            }
+            let pieces = fx.resolve(p, root2, &[(0, 64)]);
+            assert_eq!(pieces.len(), 1);
+        });
+    }
+
+    #[test]
+    fn tombstone_resolves_through_to_older_data() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, _) = fx.write(p, &[(0, 64), (64, 64)]); // v1: chunks 0,1
+            // v2 is ticketed over [32, 96) but fails: tombstone.
+            let v2 = VersionId::new(2);
+            let ext = ExtentList::from_pairs([(32u64, 64u64)]);
+            fx.history.append(WriteSummary {
+                version: v2,
+                extents: Arc::new(ext.clone()),
+                capacity: 128,
+            });
+            let builder = TreeBuilder::new(BlobId::new(0), &fx.store, &fx.history, fx.config);
+            let root2 = builder.build_tombstone(p, v2, 128, &ext).unwrap();
+            // Reading v2 shows v1's data everywhere, including inside the
+            // failed write's extents.
+            let pieces = fx.resolve(p, root2, &[(0, 128)]);
+            let chunks: Vec<u64> = pieces
+                .iter()
+                .map(|pc| pc.source.as_ref().unwrap().chunk.raw())
+                .collect();
+            assert_eq!(chunks, vec![0, 1], "one piece per backlinked leaf");
+            let covered: u64 = pieces.iter().map(|pc| pc.file_range.len).sum();
+            assert_eq!(covered, 128);
+            // A later writer linking to (v2, ...) keys finds real nodes.
+            let (_, root3) = fx.write(p, &[(0, 16)]); // chunk 2
+            let pieces = fx.resolve(p, root3, &[(0, 128)]);
+            assert_eq!(
+                pieces[0].source.as_ref().unwrap().chunk,
+                ChunkId::new(2)
+            );
+        });
+    }
+
+    #[test]
+    fn tombstone_of_never_written_region_is_holes() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let v1 = VersionId::new(1);
+            let ext = ExtentList::from_pairs([(0u64, 64u64)]);
+            fx.history.append(WriteSummary {
+                version: v1,
+                extents: Arc::new(ext.clone()),
+                capacity: 64,
+            });
+            let builder = TreeBuilder::new(BlobId::new(0), &fx.store, &fx.history, fx.config);
+            let root = builder.build_tombstone(p, v1, 64, &ext).unwrap();
+            let pieces = fx.resolve(p, root, &[(0, 64)]);
+            assert!(pieces.iter().all(|pc| pc.source.is_none()));
+        });
+    }
+
+    #[test]
+    fn referenced_chunks_walks_shared_and_backlinks() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, _) = fx.write(p, &[(0, 64), (128, 64)]); // chunks 0,1
+            let (_, root2) = fx.write(p, &[(16, 16)]); // chunk 2, partial leaf 0
+            let reader = TreeReader::new(&fx.store);
+            let chunks = reader.referenced_chunks(p, Some(root2)).unwrap();
+            // v2 references its own chunk 2, backlinked chunk 0, and the
+            // shared-subtree chunk 1.
+            let mut ids: Vec<u64> = chunks.keys().map(|c| c.raw()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn reachable_nodes_includes_all_levels() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            let (_, root) = fx.write(p, &[(0, 256)]); // cap 256: 4 leaves + 3 inners
+            let reader = TreeReader::new(&fx.store);
+            let nodes = reader.reachable_nodes(p, Some(root)).unwrap();
+            assert_eq!(nodes.len(), 7);
+            assert!(nodes.contains(&root));
+        });
+    }
+}

@@ -1,0 +1,45 @@
+//! The ADIO abstraction: how ROMIO talks to a storage backend.
+//!
+//! An [`AdioDriver`] moves a flattened extent list of bytes to/from the
+//! backing store, honouring (or not) MPI atomic mode. All datatype and
+//! view processing happens above this trait; all concurrency control
+//! happens below it — which is exactly the boundary where the paper
+//! intervenes: its backend receives the whole non-contiguous request
+//! natively instead of a stream of POSIX calls.
+
+use atomio_simgrid::Participant;
+use atomio_types::{ClientId, ExtentList, Result};
+use bytes::Bytes;
+
+/// A storage backend as seen by the MPI-I/O layer.
+pub trait AdioDriver: Send + Sync + std::fmt::Debug {
+    /// Writes `payload` (packed in file order) to `extents`.
+    ///
+    /// With `atomic` set, the write must obey MPI atomic mode: concurrent
+    /// overlapping writes may not interleave within the overlap.
+    fn write_extents(
+        &self,
+        p: &Participant,
+        client: ClientId,
+        extents: &ExtentList,
+        payload: Bytes,
+        atomic: bool,
+    ) -> Result<()>;
+
+    /// Reads `extents`, returning bytes packed in file order. With
+    /// `atomic` set, the read must not observe a torn concurrent write.
+    fn read_extents(
+        &self,
+        p: &Participant,
+        client: ClientId,
+        extents: &ExtentList,
+        atomic: bool,
+    ) -> Result<Vec<u8>>;
+
+    /// Current file size (highest byte written, as far as this backend
+    /// knows).
+    fn file_size(&self, p: &Participant) -> u64;
+
+    /// A short name for reports ("versioning", "lustre-lock", ...).
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,11 @@
+//! ADIO drivers: one per concurrency-control strategy under comparison.
+
+pub mod conflict;
+pub mod locking;
+pub mod versioning;
+pub mod whole_file;
+
+pub use conflict::ConflictDetectDriver;
+pub use locking::LockingDriver;
+pub use versioning::VersioningDriver;
+pub use whole_file::WholeFileDriver;

@@ -1,0 +1,227 @@
+//! File views: mapping a rank's linear I/O stream onto file extents.
+//!
+//! An MPI file view `(disp, etype, filetype)` makes each process see only
+//! the bytes selected by tiling `filetype` from byte `disp` onward. An
+//! access of `n` etypes at view-offset `o` (in etypes) therefore
+//! materializes as a non-contiguous [`ExtentList`] in the file — which is
+//! precisely what this module computes.
+
+use crate::datatype::Datatype;
+use atomio_types::{ByteRange, Error, ExtentList, Result};
+
+/// A rank's file view.
+///
+/// ```
+/// use atomio_mpiio::{Datatype, FileView};
+///
+/// // Block-cyclic view: this rank owns 4 bytes of every 16-byte tile.
+/// let mine = Datatype::bytes(4).unwrap().resized(16).unwrap();
+/// let view = FileView::new(0, 4, mine).unwrap();
+/// // Writing 12 bytes (3 etypes) lands in three separate file regions.
+/// let extents = view.extents_for(0, 12).unwrap();
+/// assert_eq!(extents.range_count(), 3);
+/// assert_eq!(extents.total_len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileView {
+    /// Absolute byte displacement where the view begins.
+    pub disp: u64,
+    /// Elementary type size (offsets are measured in etypes).
+    pub etype_size: u64,
+    /// The tiled access template.
+    pub filetype: Datatype,
+    /// Flattened one-tile template (cached).
+    template: ExtentList,
+}
+
+impl FileView {
+    /// Creates a view.
+    ///
+    /// # Errors
+    /// The filetype's data size must be a whole number of etypes, per the
+    /// MPI standard.
+    pub fn new(disp: u64, etype_size: u64, filetype: Datatype) -> Result<Self> {
+        if etype_size == 0 {
+            return Err(Error::InvalidDatatype("zero-size etype".into()));
+        }
+        if !filetype.size().is_multiple_of(etype_size) {
+            return Err(Error::InvalidDatatype(format!(
+                "filetype size {} is not a multiple of the etype size {}",
+                filetype.size(),
+                etype_size
+            )));
+        }
+        let template = filetype.flatten();
+        Ok(FileView {
+            disp,
+            etype_size,
+            filetype,
+            template,
+        })
+    }
+
+    /// The trivial byte-stream view: the whole file, contiguous.
+    pub fn contiguous_bytes() -> Self {
+        let byte = Datatype::bytes(1).expect("1 > 0");
+        Self::new(0, 1, byte).expect("trivial view is valid")
+    }
+
+    /// Data bytes per filetype tile.
+    pub fn tile_data(&self) -> u64 {
+        self.filetype.size()
+    }
+
+    /// File-space bytes per filetype tile.
+    pub fn tile_extent(&self) -> u64 {
+        self.filetype.extent()
+    }
+
+    /// Maps an access of `len_bytes` at `offset_etypes` (view offset in
+    /// etype units, as MPI specifies) to absolute file extents.
+    ///
+    /// # Errors
+    /// `len_bytes` must be a whole number of etypes.
+    pub fn extents_for(&self, offset_etypes: u64, len_bytes: u64) -> Result<ExtentList> {
+        if len_bytes == 0 {
+            return Ok(ExtentList::new());
+        }
+        if !len_bytes.is_multiple_of(self.etype_size) {
+            return Err(Error::InvalidDatatype(format!(
+                "access of {len_bytes} bytes is not a multiple of the etype size {}",
+                self.etype_size
+            )));
+        }
+        let start_byte = offset_etypes * self.etype_size; // position in view data space
+        let end_byte = start_byte + len_bytes;
+        let tile_data = self.tile_data();
+        let tile_extent = self.tile_extent();
+
+        let first_tile = start_byte / tile_data;
+        let last_tile = (end_byte - 1) / tile_data;
+        let mut ranges = Vec::new();
+        for tile in first_tile..=last_tile {
+            let tile_base = self.disp + tile * tile_extent;
+            // Data-space window inside this tile.
+            let lo = start_byte.saturating_sub(tile * tile_data);
+            let hi = (end_byte - tile * tile_data).min(tile_data);
+            // Walk the template, selecting the [lo, hi) data bytes.
+            let mut seen = 0u64;
+            for &r in &self.template {
+                let r_lo = seen;
+                let r_hi = seen + r.len;
+                seen = r_hi;
+                if r_hi <= lo {
+                    continue;
+                }
+                if r_lo >= hi {
+                    break;
+                }
+                let cut_lo = lo.max(r_lo);
+                let cut_hi = hi.min(r_hi);
+                ranges.push(ByteRange::new(
+                    tile_base + r.offset + (cut_lo - r_lo),
+                    cut_hi - cut_lo,
+                ));
+            }
+        }
+        Ok(ExtentList::from_ranges(ranges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(e: &ExtentList) -> Vec<(u64, u64)> {
+        e.ranges().iter().map(|r| (r.offset, r.len)).collect()
+    }
+
+    #[test]
+    fn contiguous_view_is_identity() {
+        let v = FileView::contiguous_bytes();
+        let e = v.extents_for(10, 20).unwrap();
+        assert_eq!(pairs(&e), vec![(10, 20)]);
+        assert!(v.extents_for(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn displacement_shifts_everything() {
+        let v = FileView::new(1000, 1, Datatype::bytes(1).unwrap()).unwrap();
+        let e = v.extents_for(5, 3).unwrap();
+        assert_eq!(pairs(&e), vec![(1005, 3)]);
+    }
+
+    #[test]
+    fn strided_view_tiles() {
+        // Filetype: 4 data bytes then 12 bytes of other ranks' data
+        // (extent 16) — the canonical block-cyclic view.
+        let ft = Datatype::bytes(4).unwrap().resized(16).unwrap();
+        let v = FileView::new(0, 4, ft).unwrap();
+        // Writing 12 bytes (3 etypes) from view offset 0: three tiles.
+        let e = v.extents_for(0, 12).unwrap();
+        assert_eq!(pairs(&e), vec![(0, 4), (16, 4), (32, 4)]);
+        // From etype offset 1 (= 4 data bytes in): tiles 1 and 2.
+        let e = v.extents_for(1, 8).unwrap();
+        assert_eq!(pairs(&e), vec![(16, 4), (32, 4)]);
+    }
+
+    #[test]
+    fn partial_tile_access_slices_template() {
+        // Filetype with two blocks per tile: [0,4) and [8,12), extent 16.
+        let ft = Datatype::bytes(4)
+            .unwrap()
+            .indexed(&[(0, 1), (2, 1)])
+            .unwrap()
+            .resized(16)
+            .unwrap();
+        let v = FileView::new(0, 1, ft).unwrap();
+        // 6 bytes from data offset 1: bytes 1..4 of block A, 0..3 of B.
+        let e = v.extents_for(1, 6).unwrap();
+        assert_eq!(pairs(&e), vec![(1, 3), (8, 3)]);
+        // Crossing a tile boundary: data bytes 6..10 = last 2 of tile 0's
+        // block B + first 2 of tile 1's block A.
+        let e = v.extents_for(6, 4).unwrap();
+        assert_eq!(pairs(&e), vec![(10, 2), (16, 2)]);
+    }
+
+    #[test]
+    fn subarray_view_matches_tile_io_pattern() {
+        // A 2-D 8×8 array of 1-byte elements; this rank owns the 4×4 tile
+        // at (0, 4) — the right half of the top half.
+        let ft = Datatype::bytes(1)
+            .unwrap()
+            .subarray(&[8, 8], &[4, 4], &[0, 4])
+            .unwrap();
+        let v = FileView::new(0, 1, ft).unwrap();
+        let e = v.extents_for(0, 16).unwrap();
+        assert_eq!(
+            pairs(&e),
+            vec![(4, 4), (12, 4), (20, 4), (28, 4)],
+            "one run per row of the tile"
+        );
+    }
+
+    #[test]
+    fn etype_misalignment_rejected() {
+        let v = FileView::new(0, 4, Datatype::bytes(4).unwrap()).unwrap();
+        assert!(v.extents_for(0, 6).is_err());
+        assert!(FileView::new(0, 0, Datatype::bytes(4).unwrap()).is_err());
+        // Filetype not a multiple of etype.
+        assert!(FileView::new(0, 8, Datatype::bytes(4).unwrap()).is_err());
+    }
+
+    #[test]
+    fn total_extent_length_equals_access_size() {
+        let ft = Datatype::bytes(8)
+            .unwrap()
+            .vector(4, 2, 5)
+            .unwrap()
+            .resized(8 * 5 * 4)
+            .unwrap();
+        let v = FileView::new(64, 8, ft).unwrap();
+        for (off, len) in [(0u64, 64u64), (3, 40), (8, 128), (1, 8)] {
+            let e = v.extents_for(off, len).unwrap();
+            assert_eq!(e.total_len(), len, "offset {off} len {len}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! An augmented interval tree over byte ranges.
+//!
+//! The lock manager's conflict checks ask "does any granted lock overlap
+//! this range?" thousands of times per second under load; a linear scan
+//! of the grant table is O(n) per check. This tree keeps intervals in a
+//! balanced (randomized, treap-style) BST ordered by start offset and
+//! augmented with subtree max-end, giving O(log n) expected insertion,
+//! deletion, and stabbing/overlap queries.
+//!
+//! Values are opaque `u64` ids (the lock ids), so the tree is reusable
+//! wherever ranges need indexing.
+
+use atomio_types::stamp::mix64;
+use atomio_types::ByteRange;
+
+#[derive(Debug, Clone)]
+struct TreeNode {
+    range: ByteRange,
+    id: u64,
+    /// Heap priority (randomized balance).
+    priority: u64,
+    /// Max `range.end()` in this subtree.
+    max_end: u64,
+    left: Option<Box<TreeNode>>,
+    right: Option<Box<TreeNode>>,
+}
+
+impl TreeNode {
+    fn new(range: ByteRange, id: u64) -> Box<Self> {
+        Box::new(TreeNode {
+            range,
+            id,
+            priority: mix64(id ^ range.offset.rotate_left(21) ^ 0xA24B_1CA9_5F8D_33E7),
+            max_end: range.end(),
+            left: None,
+            right: None,
+        })
+    }
+
+    fn update(&mut self) {
+        self.max_end = self.range.end();
+        if let Some(l) = &self.left {
+            self.max_end = self.max_end.max(l.max_end);
+        }
+        if let Some(r) = &self.right {
+            self.max_end = self.max_end.max(r.max_end);
+        }
+    }
+}
+
+/// An interval tree mapping byte ranges to `u64` ids.
+///
+/// Duplicate ranges are allowed (ids disambiguate); empty ranges are
+/// rejected.
+///
+/// ```
+/// use atomio_pfs::IntervalTree;
+/// use atomio_types::ByteRange;
+///
+/// let mut t = IntervalTree::new();
+/// t.insert(ByteRange::new(0, 10), 1);
+/// t.insert(ByteRange::new(20, 10), 2);
+/// assert!(t.overlaps(ByteRange::new(5, 10)));
+/// assert_eq!(t.overlapping_ids(ByteRange::new(5, 20)), vec![1, 2]);
+/// assert!(t.remove(ByteRange::new(0, 10), 1));
+/// assert!(!t.overlaps(ByteRange::new(5, 10)));
+/// ```
+#[derive(Debug, Default)]
+pub struct IntervalTree {
+    root: Option<Box<TreeNode>>,
+    len: usize,
+}
+
+impl IntervalTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an interval with its id.
+    ///
+    /// # Panics
+    /// Panics on empty ranges (they can never conflict and would be
+    /// unfindable).
+    pub fn insert(&mut self, range: ByteRange, id: u64) {
+        assert!(!range.is_empty(), "cannot index an empty range");
+        let node = TreeNode::new(range, id);
+        self.root = Some(Self::insert_node(self.root.take(), node));
+        self.len += 1;
+    }
+
+    fn insert_node(root: Option<Box<TreeNode>>, node: Box<TreeNode>) -> Box<TreeNode> {
+        let Some(mut root) = root else { return node };
+        if node.priority > root.priority {
+            // Node becomes the new subtree root: split `root` around it.
+            let (l, r) = Self::split(Some(root), node.range.offset, node.id);
+            let mut node = node;
+            node.left = l;
+            node.right = r;
+            node.update();
+            return node;
+        }
+        if (node.range.offset, node.id) < (root.range.offset, root.id) {
+            root.left = Some(Self::insert_node(root.left.take(), node));
+        } else {
+            root.right = Some(Self::insert_node(root.right.take(), node));
+        }
+        root.update();
+        root
+    }
+
+    /// Splits by `(offset, id)` key: left < key <= right.
+    fn split(
+        root: Option<Box<TreeNode>>,
+        offset: u64,
+        id: u64,
+    ) -> (Option<Box<TreeNode>>, Option<Box<TreeNode>>) {
+        let Some(mut root) = root else { return (None, None) };
+        if (root.range.offset, root.id) < (offset, id) {
+            let (l, r) = Self::split(root.right.take(), offset, id);
+            root.right = l;
+            root.update();
+            (Some(root), r)
+        } else {
+            let (l, r) = Self::split(root.left.take(), offset, id);
+            root.left = r;
+            root.update();
+            (l, Some(root))
+        }
+    }
+
+    /// Removes the interval with the given range and id. Returns whether
+    /// anything was removed.
+    pub fn remove(&mut self, range: ByteRange, id: u64) -> bool {
+        let (root, removed) = Self::remove_node(self.root.take(), range, id);
+        self.root = root;
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_node(
+        root: Option<Box<TreeNode>>,
+        range: ByteRange,
+        id: u64,
+    ) -> (Option<Box<TreeNode>>, bool) {
+        let Some(mut root) = root else { return (None, false) };
+        if root.id == id && root.range == range {
+            let merged = Self::merge(root.left.take(), root.right.take());
+            return (merged, true);
+        }
+        let removed = if (range.offset, id) < (root.range.offset, root.id) {
+            let (l, rm) = Self::remove_node(root.left.take(), range, id);
+            root.left = l;
+            rm
+        } else {
+            let (r, rm) = Self::remove_node(root.right.take(), range, id);
+            root.right = r;
+            rm
+        };
+        root.update();
+        (Some(root), removed)
+    }
+
+    fn merge(
+        left: Option<Box<TreeNode>>,
+        right: Option<Box<TreeNode>>,
+    ) -> Option<Box<TreeNode>> {
+        match (left, right) {
+            (None, r) => r,
+            (l, None) => l,
+            (Some(mut l), Some(mut r)) => {
+                if l.priority > r.priority {
+                    l.right = Self::merge(l.right.take(), Some(r));
+                    l.update();
+                    Some(l)
+                } else {
+                    r.left = Self::merge(Some(l), r.left.take());
+                    r.update();
+                    Some(r)
+                }
+            }
+        }
+    }
+
+    /// True if any stored interval overlaps `range`.
+    pub fn overlaps(&self, range: ByteRange) -> bool {
+        if range.is_empty() {
+            return false;
+        }
+        let mut found = false;
+        Self::visit_overlaps(&self.root, range, &mut |_| {
+            found = true;
+            false // stop
+        });
+        found
+    }
+
+    /// Ids of all stored intervals overlapping `range`, in start order.
+    pub fn overlapping_ids(&self, range: ByteRange) -> Vec<u64> {
+        let mut out = Vec::new();
+        if !range.is_empty() {
+            Self::visit_overlaps(&self.root, range, &mut |id| {
+                out.push(id);
+                true // keep going
+            });
+        }
+        out
+    }
+
+    /// In-order traversal of overlapping nodes; `f` returns false to stop
+    /// early. Returns false when stopped.
+    fn visit_overlaps(
+        node: &Option<Box<TreeNode>>,
+        range: ByteRange,
+        f: &mut impl FnMut(u64) -> bool,
+    ) -> bool {
+        let Some(node) = node else { return true };
+        // Prune: nothing in this subtree ends after range.offset.
+        if node.max_end <= range.offset {
+            return true;
+        }
+        if !Self::visit_overlaps(&node.left, range, f) {
+            return false;
+        }
+        // Prune right subtree (and self) when starts are past the range.
+        if node.range.offset >= range.end() {
+            return true;
+        }
+        if node.range.overlaps(range) && !f(node.id) {
+            return false;
+        }
+        Self::visit_overlaps(&node.right, range, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: u64, e: u64) -> ByteRange {
+        ByteRange::from_bounds(s, e)
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let mut t = IntervalTree::new();
+        assert!(t.is_empty());
+        t.insert(r(0, 10), 1);
+        t.insert(r(20, 30), 2);
+        t.insert(r(5, 25), 3);
+        assert_eq!(t.len(), 3);
+        assert!(t.overlaps(r(8, 9)));
+        assert_eq!(t.overlapping_ids(r(8, 22)), vec![1, 3, 2]);
+        assert_eq!(t.overlapping_ids(r(10, 20)), vec![3]);
+        assert!(!t.overlaps(r(30, 40)));
+        assert!(t.remove(r(5, 25), 3));
+        assert!(!t.remove(r(5, 25), 3), "double remove");
+        assert_eq!(t.overlapping_ids(r(10, 20)), Vec::<u64>::new());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_ranges_distinct_ids() {
+        let mut t = IntervalTree::new();
+        t.insert(r(0, 10), 1);
+        t.insert(r(0, 10), 2);
+        assert_eq!(t.overlapping_ids(r(0, 1)).len(), 2);
+        assert!(t.remove(r(0, 10), 1));
+        assert_eq!(t.overlapping_ids(r(0, 1)), vec![2]);
+    }
+
+    #[test]
+    fn adjacency_is_not_overlap() {
+        let mut t = IntervalTree::new();
+        t.insert(r(10, 20), 1);
+        assert!(!t.overlaps(r(0, 10)));
+        assert!(!t.overlaps(r(20, 30)));
+        assert!(t.overlaps(r(19, 21)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_range_rejected() {
+        IntervalTree::new().insert(ByteRange::empty(), 1);
+    }
+
+    #[test]
+    fn randomized_against_linear_model() {
+        use atomio_simgrid::DetRng;
+        let rng = DetRng::new(2024);
+        let mut tree = IntervalTree::new();
+        let mut model: Vec<(ByteRange, u64)> = Vec::new();
+        for id in 0..2000u64 {
+            let op = rng.next_below(3);
+            if op < 2 || model.is_empty() {
+                let off = rng.next_below(10_000);
+                let len = 1 + rng.next_below(500);
+                let range = ByteRange::new(off, len);
+                tree.insert(range, id);
+                model.push((range, id));
+            } else {
+                let victim = rng.next_below(model.len() as u64) as usize;
+                let (range, vid) = model.swap_remove(victim);
+                assert!(tree.remove(range, vid));
+            }
+            // Spot-check a random query every step.
+            let q = ByteRange::new(rng.next_below(10_000), 1 + rng.next_below(800));
+            let mut want: Vec<u64> = model
+                .iter()
+                .filter(|(r, _)| r.overlaps(q))
+                .map(|&(_, id)| id)
+                .collect();
+            let mut got = tree.overlapping_ids(q);
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "query {q} diverged at step {id}");
+            assert_eq!(tree.len(), model.len());
+        }
+    }
+}

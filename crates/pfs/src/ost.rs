@@ -1,0 +1,232 @@
+//! Object storage targets: mutable striped byte stores.
+//!
+//! Unlike the versioning backend's immutable chunk providers, an OST
+//! updates stripe objects **in place** — which is exactly why the
+//! baseline needs locks for atomicity. Costs (NIC, disk) use the same
+//! model as the versioning providers so the comparison isolates the
+//! concurrency-control difference.
+
+use atomio_simgrid::{CostModel, FaultInjector, Participant, Resource};
+use atomio_types::{ByteRange, Error, ProviderId, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies a file within the parallel file system.
+pub type FileId = u64;
+
+/// A mutable stripe object: independently lockable bytes.
+type StripeObject = Arc<Mutex<Vec<u8>>>;
+
+/// One object storage target.
+#[derive(Debug)]
+pub struct Ost {
+    id: ProviderId,
+    cost: CostModel,
+    nic: Resource,
+    disk: Resource,
+    /// Stripe objects: (file, stripe index) → mutable bytes.
+    objects: RwLock<HashMap<(FileId, u64), StripeObject>>,
+    faults: Arc<FaultInjector>,
+}
+
+impl Ost {
+    /// Creates an OST.
+    pub fn new(id: ProviderId, cost: CostModel, faults: Arc<FaultInjector>) -> Self {
+        Ost {
+            id,
+            cost,
+            nic: Resource::new(format!("ost-{}/nic", id.raw())),
+            disk: Resource::new(format!("ost-{}/disk", id.raw())),
+            objects: RwLock::new(HashMap::new()),
+            faults,
+        }
+    }
+
+    /// This OST's id.
+    pub fn id(&self) -> ProviderId {
+        self.id
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.faults.is_failed(self.id) {
+            Err(Error::ProviderFailed(self.id))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn object(&self, file: FileId, stripe: u64) -> StripeObject {
+        if let Some(obj) = self.objects.read().get(&(file, stripe)) {
+            return Arc::clone(obj);
+        }
+        let mut objects = self.objects.write();
+        Arc::clone(objects.entry((file, stripe)).or_default())
+    }
+
+    /// Writes `data` into a stripe object at `range.offset`
+    /// (stripe-relative), growing the object with zeros as needed.
+    pub fn write_stripe(
+        &self,
+        p: &Participant,
+        file: FileId,
+        stripe: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        self.check_alive()?;
+        p.sleep(self.cost.rpc_round_trip());
+        let len = data.len() as u64;
+        self.nic.serve(p, self.cost.net_transfer(len));
+        self.disk.serve(p, self.cost.disk_transfer(len));
+        self.check_alive()?;
+        let obj = self.object(file, stripe);
+        let mut bytes = obj.lock();
+        let end = (offset + len) as usize;
+        if bytes.len() < end {
+            bytes.resize(end, 0);
+        }
+        bytes[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `range` (stripe-relative) from a stripe object. Bytes past
+    /// the object's current extent read as zeros (sparse files).
+    pub fn read_stripe(
+        &self,
+        p: &Participant,
+        file: FileId,
+        stripe: u64,
+        range: ByteRange,
+    ) -> Result<Vec<u8>> {
+        self.check_alive()?;
+        p.sleep(self.cost.rpc_round_trip());
+        self.disk.serve(p, self.cost.disk_transfer(range.len));
+        self.nic.serve(p, self.cost.net_transfer(range.len));
+        let mut out = vec![0u8; range.len as usize];
+        if let Some(obj) = self.objects.read().get(&(file, stripe)) {
+            let bytes = obj.lock();
+            let have = bytes.len() as u64;
+            if range.offset < have {
+                let end = range.end().min(have);
+                let n = (end - range.offset) as usize;
+                out[..n].copy_from_slice(&bytes[range.offset as usize..end as usize]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total bytes currently held by this OST.
+    pub fn bytes_stored(&self) -> u64 {
+        self.objects
+            .read()
+            .values()
+            .map(|obj| obj.lock().len() as u64)
+            .sum()
+    }
+
+    /// The OST's disk resource (utilization accounting).
+    pub fn disk(&self) -> &Resource {
+        &self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_simgrid::clock::run_actors;
+    use std::time::Duration;
+
+    fn ost() -> Ost {
+        Ost::new(
+            ProviderId::new(0),
+            CostModel::zero(),
+            Arc::new(FaultInjector::default()),
+        )
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let o = ost();
+        run_actors(1, |_, p| {
+            o.write_stripe(p, 1, 0, 10, b"hello").unwrap();
+            let got = o.read_stripe(p, 1, 0, ByteRange::new(10, 5)).unwrap();
+            assert_eq!(got, b"hello");
+            // Sparse prefix reads as zeros.
+            let pre = o.read_stripe(p, 1, 0, ByteRange::new(0, 10)).unwrap();
+            assert_eq!(pre, vec![0u8; 10]);
+        });
+    }
+
+    #[test]
+    fn in_place_overwrite() {
+        let o = ost();
+        run_actors(1, |_, p| {
+            o.write_stripe(p, 1, 0, 0, b"aaaa").unwrap();
+            o.write_stripe(p, 1, 0, 2, b"bb").unwrap();
+            let got = o.read_stripe(p, 1, 0, ByteRange::new(0, 4)).unwrap();
+            assert_eq!(got, b"aabb");
+        });
+        assert_eq!(o.bytes_stored(), 4, "in-place mutation must not grow");
+    }
+
+    #[test]
+    fn stripes_and_files_are_independent() {
+        let o = ost();
+        run_actors(1, |_, p| {
+            o.write_stripe(p, 1, 0, 0, b"xx").unwrap();
+            o.write_stripe(p, 1, 1, 0, b"yy").unwrap();
+            o.write_stripe(p, 2, 0, 0, b"zz").unwrap();
+            assert_eq!(o.read_stripe(p, 1, 0, ByteRange::new(0, 2)).unwrap(), b"xx");
+            assert_eq!(o.read_stripe(p, 1, 1, ByteRange::new(0, 2)).unwrap(), b"yy");
+            assert_eq!(o.read_stripe(p, 2, 0, ByteRange::new(0, 2)).unwrap(), b"zz");
+        });
+    }
+
+    #[test]
+    fn read_past_end_is_zeros() {
+        let o = ost();
+        run_actors(1, |_, p| {
+            o.write_stripe(p, 1, 0, 0, b"ab").unwrap();
+            let got = o.read_stripe(p, 1, 0, ByteRange::new(0, 6)).unwrap();
+            assert_eq!(got, b"ab\0\0\0\0");
+            // Entirely unknown object: all zeros.
+            let got = o.read_stripe(p, 9, 9, ByteRange::new(0, 3)).unwrap();
+            assert_eq!(got, vec![0u8; 3]);
+        });
+    }
+
+    #[test]
+    fn failed_ost_refuses() {
+        let faults = Arc::new(FaultInjector::default());
+        let o = Ost::new(ProviderId::new(7), CostModel::zero(), Arc::clone(&faults));
+        faults.fail_provider(ProviderId::new(7));
+        run_actors(1, |_, p| {
+            assert!(matches!(
+                o.write_stripe(p, 1, 0, 0, b"x"),
+                Err(Error::ProviderFailed(_))
+            ));
+            assert!(matches!(
+                o.read_stripe(p, 1, 0, ByteRange::new(0, 1)),
+                Err(Error::ProviderFailed(_))
+            ));
+        });
+    }
+
+    #[test]
+    fn concurrent_writes_to_one_ost_serialize_on_disk() {
+        let cost = CostModel::grid5000();
+        let o = Arc::new(Ost::new(
+            ProviderId::new(0),
+            cost,
+            Arc::new(FaultInjector::default()),
+        ));
+        let oc = Arc::clone(&o);
+        let (_, total) = run_actors(4, move |i, p| {
+            oc.write_stripe(p, 1, i as u64, 0, &vec![0u8; 1 << 20]).unwrap();
+        });
+        let per = cost.disk_transfer(1 << 20);
+        assert!(total >= per * 4, "disk did not serialize: {total:?}");
+        let _ = Duration::ZERO;
+    }
+}

@@ -1,0 +1,28 @@
+//! # atomio-provider
+//!
+//! Data providers: the storage servers that hold immutable chunks of blob
+//! data, plus the provider manager that implements the paper's **data
+//! striping** principle (chunks spread over many providers so aggregate
+//! bandwidth scales with provider count).
+//!
+//! Key property: chunks are **immutable**. A write never modifies a stored
+//! chunk; it allocates fresh chunk ids and adds new chunk objects. That is
+//! the data half of the versioning design — readers of old snapshots can
+//! never observe a torn write, because the bytes they reference are never
+//! touched again.
+//!
+//! [`DataProvider`] models one storage server: a NIC and a disk (both
+//! serialized virtual-time resources from `atomio-simgrid`) in front of an
+//! in-memory chunk table. [`ProviderManager`] routes chunk placements
+//! using a pluggable [`AllocationStrategy`] and handles replication.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod integrity;
+pub mod manager;
+pub mod store;
+
+pub use integrity::{chunk_checksum, ScrubReport};
+pub use manager::{AllocationStrategy, ProviderManager};
+pub use store::DataProvider;

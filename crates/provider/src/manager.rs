@@ -1,0 +1,403 @@
+//! The provider manager: chunk placement and replication.
+//!
+//! BlobSeer's provider manager tracks participating data providers and
+//! assigns each new chunk a home according to an allocation strategy. The
+//! paper's striping principle ("a load-balancing allocation strategy that
+//! redirects write operations to different storage elements in a round
+//! robin fashion") corresponds to [`AllocationStrategy::RoundRobin`];
+//! [`AllocationStrategy::LeastLoaded`] and [`AllocationStrategy::Random`]
+//! are the obvious alternatives and are compared in the E7 ablation.
+
+use crate::store::DataProvider;
+use atomio_simgrid::{CostModel, DetRng, FaultInjector, Participant};
+use atomio_types::{ChunkId, Error, ProviderId, Result};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How new chunks are spread over providers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationStrategy {
+    /// Strict rotation over providers (the paper's default).
+    RoundRobin,
+    /// Place on the provider currently storing the fewest bytes.
+    LeastLoaded,
+    /// Uniform random placement (seeded, deterministic).
+    Random,
+}
+
+/// Routes chunk operations to a fleet of data providers.
+#[derive(Debug)]
+pub struct ProviderManager {
+    providers: Vec<Arc<DataProvider>>,
+    strategy: AllocationStrategy,
+    rr_cursor: AtomicU64,
+    rng: DetRng,
+    faults: Arc<FaultInjector>,
+}
+
+impl ProviderManager {
+    /// Builds a fleet of `n` providers sharing one cost model and fault
+    /// plane.
+    pub fn new(
+        n: usize,
+        cost: CostModel,
+        strategy: AllocationStrategy,
+        faults: Arc<FaultInjector>,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "need at least one data provider");
+        Self::heterogeneous(vec![cost; n], strategy, faults, seed)
+    }
+
+    /// Builds a fleet with **per-provider hardware** (straggler studies,
+    /// mixed HDD/SSD deployments): provider `i` gets `costs[i]`.
+    pub fn heterogeneous(
+        costs: Vec<CostModel>,
+        strategy: AllocationStrategy,
+        faults: Arc<FaultInjector>,
+        seed: u64,
+    ) -> Self {
+        assert!(!costs.is_empty(), "need at least one data provider");
+        ProviderManager {
+            providers: costs
+                .into_iter()
+                .enumerate()
+                .map(|(i, cost)| {
+                    Arc::new(DataProvider::new(
+                        ProviderId::new(i as u64),
+                        cost,
+                        Arc::clone(&faults),
+                    ))
+                })
+                .collect(),
+            strategy,
+            rr_cursor: AtomicU64::new(0),
+            rng: DetRng::new(seed),
+            faults,
+        }
+    }
+
+    /// Number of providers in the fleet.
+    pub fn provider_count(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Looks up a provider by id.
+    pub fn provider(&self, id: ProviderId) -> Result<&Arc<DataProvider>> {
+        self.providers
+            .get(id.raw() as usize)
+            .ok_or(Error::ProviderNotFound(id))
+    }
+
+    /// All providers (for accounting).
+    pub fn providers(&self) -> &[Arc<DataProvider>] {
+        &self.providers
+    }
+
+    /// Chooses a home provider for one new chunk.
+    pub fn allocate_one(&self) -> ProviderId {
+        match self.strategy {
+            AllocationStrategy::RoundRobin => {
+                let i = self.rr_cursor.fetch_add(1, Ordering::Relaxed);
+                ProviderId::new(i % self.providers.len() as u64)
+            }
+            AllocationStrategy::LeastLoaded => self
+                .providers
+                .iter()
+                .min_by_key(|p| p.bytes_stored())
+                .map(|p| p.id())
+                .expect("fleet is non-empty"),
+            AllocationStrategy::Random => {
+                ProviderId::new(self.rng.next_below(self.providers.len() as u64))
+            }
+        }
+    }
+
+    /// Chooses `replicas` distinct providers for one new chunk, primary
+    /// first. Falls back to fewer when the fleet is smaller than the
+    /// requested replication factor.
+    pub fn allocate_replicas(&self, replicas: usize) -> Vec<ProviderId> {
+        let n = self.providers.len();
+        let want = replicas.max(1).min(n);
+        let primary = self.allocate_one();
+        let mut out = Vec::with_capacity(want);
+        out.push(primary);
+        let mut next = primary.raw();
+        while out.len() < want {
+            next = (next + 1) % n as u64;
+            out.push(ProviderId::new(next));
+        }
+        out
+    }
+
+    /// Stores a chunk on `replicas` providers; succeeds when the primary
+    /// and at least `replicas - 1` secondaries took the data, and reports
+    /// [`Error::InsufficientReplicas`] when fewer than `min_ok` placements
+    /// survived fault injection.
+    pub fn put_replicated(
+        &self,
+        p: &Participant,
+        chunk: ChunkId,
+        data: &Bytes,
+        replicas: usize,
+        min_ok: usize,
+    ) -> Result<Vec<ProviderId>> {
+        let homes = self.allocate_replicas(replicas);
+        let mut placed = Vec::new();
+        for &home in &homes {
+            let prov = self.provider(home)?;
+            match prov.put_chunk(p, chunk, data.clone()) {
+                Ok(()) => placed.push(home),
+                Err(Error::ProviderFailed(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if placed.len() < min_ok.max(1) {
+            return Err(Error::InsufficientReplicas {
+                wanted: min_ok.max(1),
+                placed: placed.len(),
+            });
+        }
+        Ok(placed)
+    }
+
+    /// Reads a chunk range, failing over across the replica homes in
+    /// order.
+    pub fn get_with_failover(
+        &self,
+        p: &Participant,
+        chunk: ChunkId,
+        homes: &[ProviderId],
+        range: atomio_types::ByteRange,
+    ) -> Result<Bytes> {
+        let mut last_err = Error::Internal(format!("no homes recorded for {chunk}"));
+        for &home in homes {
+            match self
+                .provider(home)
+                .and_then(|prov| prov.get_chunk_range(p, chunk, range))
+            {
+                Ok(data) => return Ok(data),
+                Err(e @ (Error::ProviderFailed(_) | Error::ChunkNotFound { .. })) => {
+                    last_err = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The shared fault plane.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_simgrid::clock::run_actors;
+    use atomio_types::ByteRange;
+
+    fn mgr(n: usize, strategy: AllocationStrategy) -> ProviderManager {
+        ProviderManager::new(
+            n,
+            CostModel::zero(),
+            strategy,
+            Arc::new(FaultInjector::default()),
+            42,
+        )
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let m = mgr(4, AllocationStrategy::RoundRobin);
+        let homes: Vec<u64> = (0..8).map(|_| m.allocate_one().raw()).collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_empty() {
+        let m = mgr(3, AllocationStrategy::LeastLoaded);
+        let (_, _) = run_actors(1, |_, p| {
+            // Load provider 0 with data.
+            m.provider(ProviderId::new(0))
+                .unwrap()
+                .put_chunk(p, ChunkId::new(100), Bytes::from(vec![0; 100]))
+                .unwrap();
+        });
+        let home = m.allocate_one();
+        assert_ne!(home, ProviderId::new(0));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let a = mgr(5, AllocationStrategy::Random);
+        let b = mgr(5, AllocationStrategy::Random);
+        let ha: Vec<u64> = (0..16).map(|_| a.allocate_one().raw()).collect();
+        let hb: Vec<u64> = (0..16).map(|_| b.allocate_one().raw()).collect();
+        assert_eq!(ha, hb, "same seed, same placement");
+        assert!(ha.iter().all(|&h| h < 5));
+    }
+
+    #[test]
+    fn replicas_are_distinct() {
+        let m = mgr(4, AllocationStrategy::RoundRobin);
+        let homes = m.allocate_replicas(3);
+        assert_eq!(homes.len(), 3);
+        let mut dedup = homes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+    }
+
+    #[test]
+    fn replication_clamps_to_fleet_size() {
+        let m = mgr(2, AllocationStrategy::RoundRobin);
+        assert_eq!(m.allocate_replicas(5).len(), 2);
+        assert_eq!(m.allocate_replicas(0).len(), 1);
+    }
+
+    #[test]
+    fn put_replicated_places_copies() {
+        let m = mgr(3, AllocationStrategy::RoundRobin);
+        let (res, _) = run_actors(1, |_, p| {
+            m.put_replicated(p, ChunkId::new(1), &Bytes::from(vec![7; 16]), 2, 2)
+        });
+        let homes = res[0].clone().unwrap();
+        assert_eq!(homes.len(), 2);
+        for h in &homes {
+            assert!(m.provider(*h).unwrap().has_chunk(ChunkId::new(1)));
+        }
+    }
+
+    #[test]
+    fn replicated_read_fails_over() {
+        let faults = Arc::new(FaultInjector::default());
+        let m = ProviderManager::new(
+            3,
+            CostModel::zero(),
+            AllocationStrategy::RoundRobin,
+            Arc::clone(&faults),
+            1,
+        );
+        let (res, _) = run_actors(1, |_, p| {
+            let homes = m
+                .put_replicated(p, ChunkId::new(1), &Bytes::from(vec![9; 8]), 2, 2)
+                .unwrap();
+            // Kill the primary; the read must come from the secondary.
+            faults.fail_provider(homes[0]);
+            m.get_with_failover(p, ChunkId::new(1), &homes, ByteRange::new(0, 8))
+        });
+        assert_eq!(res[0].as_ref().unwrap().as_ref(), &[9u8; 8]);
+    }
+
+    #[test]
+    fn unreplicated_read_fails_when_home_dies() {
+        let faults = Arc::new(FaultInjector::default());
+        let m = ProviderManager::new(
+            2,
+            CostModel::zero(),
+            AllocationStrategy::RoundRobin,
+            Arc::clone(&faults),
+            1,
+        );
+        let (res, _) = run_actors(1, |_, p| {
+            let homes = m
+                .put_replicated(p, ChunkId::new(1), &Bytes::from(vec![9; 8]), 1, 1)
+                .unwrap();
+            faults.fail_provider(homes[0]);
+            m.get_with_failover(p, ChunkId::new(1), &homes, ByteRange::new(0, 8))
+        });
+        assert!(matches!(res[0], Err(Error::ProviderFailed(_))));
+    }
+
+    #[test]
+    fn insufficient_replicas_detected() {
+        let faults = Arc::new(FaultInjector::default());
+        let m = ProviderManager::new(
+            2,
+            CostModel::zero(),
+            AllocationStrategy::RoundRobin,
+            Arc::clone(&faults),
+            1,
+        );
+        faults.fail_provider(ProviderId::new(0));
+        faults.fail_provider(ProviderId::new(1));
+        let (res, _) = run_actors(1, |_, p| {
+            m.put_replicated(p, ChunkId::new(1), &Bytes::from(vec![1]), 2, 1)
+        });
+        assert_eq!(
+            res[0],
+            Err(Error::InsufficientReplicas {
+                wanted: 1,
+                placed: 0
+            })
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fleet_uses_per_provider_costs() {
+        use std::time::Duration;
+        // Provider 0 is 10x slower than provider 1; one put to each.
+        let slow = CostModel {
+            disk_bandwidth: 7 * 1024 * 1024,
+            ..CostModel::grid5000()
+        };
+        let fast = CostModel::grid5000();
+        let m = ProviderManager::heterogeneous(
+            vec![slow, fast],
+            AllocationStrategy::RoundRobin,
+            Arc::new(FaultInjector::default()),
+            1,
+        );
+        let durations: Vec<Duration> = atomio_simgrid::clock::run_actors(1, |_, p| {
+            let mut out = Vec::new();
+            for i in 0..2u64 {
+                let t0 = p.now();
+                m.provider(ProviderId::new(i))
+                    .unwrap()
+                    .put_chunk(p, ChunkId::new(i), Bytes::from(vec![0u8; 1 << 20]))
+                    .unwrap();
+                out.push(p.now() - t0);
+            }
+            out
+        })
+        .0
+        .pop()
+        .unwrap();
+        assert!(
+            durations[0].as_secs_f64() > durations[1].as_secs_f64() * 5.0,
+            "slow {:?} vs fast {:?}",
+            durations[0],
+            durations[1]
+        );
+    }
+
+    #[test]
+    fn striping_scales_aggregate_bandwidth() {
+        // 8 clients each writing 1 MiB: with 8 providers round-robin the
+        // transfers overlap; with 1 provider they serialize. The ratio of
+        // total times must be close to 8.
+        let cost = CostModel::grid5000();
+        let time_for = |nprov: usize| {
+            let m = Arc::new(ProviderManager::new(
+                nprov,
+                cost,
+                AllocationStrategy::RoundRobin,
+                Arc::new(FaultInjector::default()),
+                7,
+            ));
+            let mc = Arc::clone(&m);
+            let (_, total) = run_actors(8, move |i, p| {
+                mc.put_replicated(p, ChunkId::new(i as u64), &Bytes::from(vec![0u8; 1 << 20]), 1, 1)
+                    .unwrap();
+            });
+            total
+        };
+        let t1 = time_for(1);
+        let t8 = time_for(8);
+        let ratio = t1.as_secs_f64() / t8.as_secs_f64();
+        assert!(ratio > 5.0, "striping speedup only {ratio:.2}x");
+    }
+}

@@ -1,0 +1,334 @@
+//! A single data provider: one storage server holding immutable chunks.
+
+use atomio_simgrid::{CostModel, FaultInjector, Participant, Resource};
+use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One simulated storage server.
+///
+/// Every request pays: one RPC round trip, the NIC transfer of the bytes
+/// moved, and the disk transfer of the bytes moved. NIC and disk are
+/// serialized virtual-time resources, so a provider saturates under load —
+/// which is exactly why striping across providers raises aggregate
+/// throughput.
+#[derive(Debug)]
+pub struct DataProvider {
+    id: ProviderId,
+    cost: CostModel,
+    nic: Resource,
+    disk: Resource,
+    /// Chunk payloads with their ingest-time checksums.
+    chunks: RwLock<HashMap<ChunkId, (Bytes, u64)>>,
+    bytes_stored: AtomicU64,
+    faults: Arc<FaultInjector>,
+}
+
+impl DataProvider {
+    /// Creates a provider with the given id, cost model, and fault plane.
+    pub fn new(id: ProviderId, cost: CostModel, faults: Arc<FaultInjector>) -> Self {
+        DataProvider {
+            id,
+            cost,
+            nic: Resource::new(format!("{id}/nic")),
+            disk: Resource::new(format!("{id}/disk")),
+            chunks: RwLock::new(HashMap::new()),
+            bytes_stored: AtomicU64::new(0),
+            faults: Arc::clone(&faults),
+        }
+    }
+
+    /// This provider's id.
+    pub fn id(&self) -> ProviderId {
+        self.id
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.faults.is_failed(self.id) {
+            Err(Error::ProviderFailed(self.id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Stores an immutable chunk.
+    ///
+    /// # Errors
+    /// * [`Error::ProviderFailed`] if the provider is failed.
+    /// * [`Error::Internal`] if the chunk id already exists — chunk ids
+    ///   are never reused, so a duplicate indicates a caller bug.
+    pub fn put_chunk(&self, p: &Participant, chunk: ChunkId, data: Bytes) -> Result<()> {
+        self.check_alive()?;
+        p.sleep(self.cost.rpc_round_trip());
+        let len = data.len() as u64;
+        self.nic.serve(p, self.cost.net_transfer(len));
+        self.disk.serve(p, self.cost.disk_transfer(len));
+        self.check_alive()?; // may have failed during the transfer
+        let checksum = crate::integrity::chunk_checksum(&data);
+        let mut chunks = self.chunks.write();
+        if chunks.contains_key(&chunk) {
+            return Err(Error::Internal(format!(
+                "chunk id {chunk} reused on {}",
+                self.id
+            )));
+        }
+        chunks.insert(chunk, (data, checksum));
+        self.bytes_stored.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fetches a whole chunk.
+    pub fn get_chunk(&self, p: &Participant, chunk: ChunkId) -> Result<Bytes> {
+        self.check_alive()?;
+        p.sleep(self.cost.rpc_round_trip());
+        let data = self
+            .chunks
+            .read()
+            .get(&chunk)
+            .map(|(d, _)| d.clone())
+            .ok_or(Error::ChunkNotFound {
+                provider: self.id,
+                chunk,
+            })?;
+        let len = data.len() as u64;
+        self.disk.serve(p, self.cost.disk_transfer(len));
+        self.nic.serve(p, self.cost.net_transfer(len));
+        Ok(data)
+    }
+
+    /// Fetches a sub-range of a chunk (fine-grain access: only the
+    /// requested bytes cross the disk and network).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] if the range exceeds the stored chunk.
+    pub fn get_chunk_range(
+        &self,
+        p: &Participant,
+        chunk: ChunkId,
+        range: ByteRange,
+    ) -> Result<Bytes> {
+        self.check_alive()?;
+        p.sleep(self.cost.rpc_round_trip());
+        let data = self
+            .chunks
+            .read()
+            .get(&chunk)
+            .map(|(d, _)| d.clone())
+            .ok_or(Error::ChunkNotFound {
+                provider: self.id,
+                chunk,
+            })?;
+        if range.end() > data.len() as u64 {
+            return Err(Error::OutOfBounds {
+                requested_end: range.end(),
+                snapshot_size: data.len() as u64,
+            });
+        }
+        self.disk.serve(p, self.cost.disk_transfer(range.len));
+        self.nic.serve(p, self.cost.net_transfer(range.len));
+        Ok(data.slice(range.offset as usize..range.end() as usize))
+    }
+
+    /// True if the chunk is present (no cost charged; used by tests and
+    /// repair logic).
+    pub fn has_chunk(&self, chunk: ChunkId) -> bool {
+        self.chunks.read().contains_key(&chunk)
+    }
+
+    /// Number of chunks held.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.read().len()
+    }
+
+    /// Total payload bytes held.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored.load(Ordering::Relaxed)
+    }
+
+    /// Deletes a chunk (used by version garbage collection), returning
+    /// the number of payload bytes reclaimed. Missing chunks are ignored.
+    pub fn evict_chunk(&self, chunk: ChunkId) -> u64 {
+        match self.chunks.write().remove(&chunk) {
+            Some((data, _)) => {
+                self.bytes_stored
+                    .fetch_sub(data.len() as u64, Ordering::Relaxed);
+                data.len() as u64
+            }
+            None => 0,
+        }
+    }
+
+    /// The ingest-time checksum of a chunk, if present.
+    pub fn checksum_of(&self, chunk: ChunkId) -> Option<u64> {
+        self.chunks.read().get(&chunk).map(|&(_, sum)| sum)
+    }
+
+    /// Flips one byte of a stored chunk in place — the bit-rot injection
+    /// hook for integrity tests. No-op when the chunk or offset is
+    /// missing. (Stored checksum is deliberately left stale.)
+    pub fn corrupt_chunk(&self, chunk: ChunkId, byte: usize) {
+        let mut chunks = self.chunks.write();
+        if let Some((data, _)) = chunks.get_mut(&chunk) {
+            if byte < data.len() {
+                let mut owned = data.to_vec();
+                owned[byte] ^= 0xFF;
+                *data = Bytes::from(owned);
+            }
+        }
+    }
+
+    /// Snapshot of `(chunk, payload, stored checksum)` for scrubbing.
+    pub(crate) fn chunk_snapshot(&self) -> Vec<(ChunkId, Bytes, u64)> {
+        self.chunks
+            .read()
+            .iter()
+            .map(|(&id, (data, sum))| (id, data.clone(), *sum))
+            .collect()
+    }
+
+    /// Charges disk time for scanning `len` bytes (scrub accounting).
+    pub(crate) fn charge_disk_scan(&self, p: &Participant, len: u64) {
+        self.disk.serve(p, self.cost.disk_transfer(len));
+    }
+
+    /// The provider's disk resource (for utilization accounting).
+    pub fn disk(&self) -> &Resource {
+        &self.disk
+    }
+
+    /// The provider's NIC resource (for utilization accounting).
+    pub fn nic(&self) -> &Resource {
+        &self.nic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_simgrid::clock::run_actors;
+
+    fn provider(cost: CostModel) -> Arc<DataProvider> {
+        Arc::new(DataProvider::new(
+            ProviderId::new(0),
+            cost,
+            Arc::new(FaultInjector::default()),
+        ))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let prov = provider(CostModel::zero());
+        let (res, _) = run_actors(1, |_, p| {
+            prov.put_chunk(p, ChunkId::new(1), Bytes::from(vec![1, 2, 3]))?;
+            prov.get_chunk(p, ChunkId::new(1))
+        });
+        assert_eq!(res[0].as_ref().unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(prov.chunk_count(), 1);
+        assert_eq!(prov.bytes_stored(), 3);
+    }
+
+    #[test]
+    fn get_range_slices() {
+        let prov = provider(CostModel::zero());
+        let (res, _) = run_actors(1, |_, p| {
+            prov.put_chunk(p, ChunkId::new(1), Bytes::from((0u8..100).collect::<Vec<_>>()))?;
+            prov.get_chunk_range(p, ChunkId::new(1), ByteRange::new(10, 5))
+        });
+        assert_eq!(res[0].as_ref().unwrap().as_ref(), &[10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn get_range_out_of_bounds() {
+        let prov = provider(CostModel::zero());
+        let (res, _) = run_actors(1, |_, p| {
+            prov.put_chunk(p, ChunkId::new(1), Bytes::from(vec![0; 8]))?;
+            prov.get_chunk_range(p, ChunkId::new(1), ByteRange::new(4, 8))
+        });
+        assert!(matches!(res[0], Err(Error::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn missing_chunk_reports_provider() {
+        let prov = provider(CostModel::zero());
+        let (res, _) = run_actors(1, |_, p| prov.get_chunk(p, ChunkId::new(9)));
+        assert_eq!(
+            res[0],
+            Err(Error::ChunkNotFound {
+                provider: ProviderId::new(0),
+                chunk: ChunkId::new(9)
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_chunk_id_rejected() {
+        let prov = provider(CostModel::zero());
+        let (res, _) = run_actors(1, |_, p| {
+            prov.put_chunk(p, ChunkId::new(1), Bytes::from(vec![1]))?;
+            prov.put_chunk(p, ChunkId::new(1), Bytes::from(vec![2]))
+        });
+        assert!(matches!(res[0], Err(Error::Internal(_))));
+    }
+
+    #[test]
+    fn failed_provider_refuses() {
+        let faults = Arc::new(FaultInjector::default());
+        let prov = Arc::new(DataProvider::new(
+            ProviderId::new(3),
+            CostModel::zero(),
+            Arc::clone(&faults),
+        ));
+        faults.fail_provider(ProviderId::new(3));
+        let (res, _) = run_actors(1, |_, p| {
+            prov.put_chunk(p, ChunkId::new(1), Bytes::from(vec![1]))
+        });
+        assert_eq!(res[0], Err(Error::ProviderFailed(ProviderId::new(3))));
+        faults.heal_provider(ProviderId::new(3));
+        let (res, _) = run_actors(1, |_, p| {
+            prov.put_chunk(p, ChunkId::new(1), Bytes::from(vec![1]))
+        });
+        assert!(res[0].is_ok());
+    }
+
+    #[test]
+    fn concurrent_puts_to_one_provider_serialize_on_disk() {
+        // With the grid5000 cost model, 4 concurrent 1 MiB puts to one
+        // provider must take ~4× the single-put disk time (disk is the
+        // bottleneck): the provider serializes.
+        let cost = CostModel::grid5000();
+        let prov = provider(cost);
+        let pr = Arc::clone(&prov);
+        let (_, total) = run_actors(4, move |i, p| {
+            pr.put_chunk(p, ChunkId::new(i as u64), Bytes::from(vec![0u8; 1 << 20]))
+                .unwrap();
+        });
+        let disk_time = cost.disk_transfer(1 << 20);
+        assert!(
+            total >= disk_time * 4,
+            "total {total:?} vs 4x disk {:?}",
+            disk_time * 4
+        );
+        // ... but not pathologically more (NIC overlaps with disk).
+        assert!(total < disk_time * 6, "total {total:?}");
+    }
+
+    #[test]
+    fn eviction_reclaims_bytes() {
+        let prov = provider(CostModel::zero());
+        let (_, _) = run_actors(1, |_, p| {
+            prov.put_chunk(p, ChunkId::new(1), Bytes::from(vec![0; 10]))
+                .unwrap();
+            prov.put_chunk(p, ChunkId::new(2), Bytes::from(vec![0; 20]))
+                .unwrap();
+        });
+        assert_eq!(prov.bytes_stored(), 30);
+        assert_eq!(prov.evict_chunk(ChunkId::new(1)), 10);
+        assert_eq!(prov.bytes_stored(), 20);
+        assert!(!prov.has_chunk(ChunkId::new(1)));
+        assert_eq!(prov.evict_chunk(ChunkId::new(99)), 0); // no-op
+        assert_eq!(prov.bytes_stored(), 20);
+    }
+}

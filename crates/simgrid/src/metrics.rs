@@ -1,0 +1,221 @@
+//! A tiny metrics registry: named atomic counters and duration
+//! accumulators shared by services and read out by the experiment harness.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A named counter (monotonic u64).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An accumulating duration statistic (sum, count, max).
+#[derive(Debug, Default)]
+pub struct TimeStat {
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl TimeStat {
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total accumulated time.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest single observation.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (zero if empty).
+    pub fn mean(&self) -> Duration {
+        match self.sum_ns.load(Ordering::Relaxed).checked_div(self.count()) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// A registry of named counters and time statistics.
+///
+/// Cloning shares the underlying storage, so services and the harness can
+/// hold the same registry.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    times: RwLock<BTreeMap<String, Arc<TimeStat>>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.inner.counters.write();
+        Arc::clone(w.entry(name.to_owned()).or_default())
+    }
+
+    /// Returns (creating on first use) the time statistic named `name`.
+    pub fn time_stat(&self, name: &str) -> Arc<TimeStat> {
+        if let Some(t) = self.inner.times.read().get(name) {
+            return Arc::clone(t);
+        }
+        let mut w = self.inner.times.write();
+        Arc::clone(w.entry(name.to_owned()).or_default())
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of every time stat as `(name, sum, count, max)`.
+    pub fn time_snapshot(&self) -> Vec<(String, Duration, u64, Duration)> {
+        self.inner
+            .times
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.sum(), v.count(), v.max()))
+            .collect()
+    }
+
+    /// Renders a human-readable report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in self.counter_snapshot() {
+            let _ = writeln!(out, "{name:<40} {value}");
+        }
+        for (name, sum, count, max) in self.time_snapshot() {
+            let _ = writeln!(
+                out,
+                "{name:<40} sum={sum:?} n={count} max={max:?}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.counter("reads").inc();
+        m.counter("reads").add(4);
+        assert_eq!(m.counter("reads").get(), 5);
+        assert_eq!(m.counter("writes").get(), 0);
+    }
+
+    #[test]
+    fn counters_are_shared_across_clones() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m.counter("x").add(3);
+        m2.counter("x").add(4);
+        assert_eq!(m.counter("x").get(), 7);
+    }
+
+    #[test]
+    fn time_stats_track_sum_count_max_mean() {
+        let m = Metrics::new();
+        let t = m.time_stat("lock_wait");
+        t.record(Duration::from_millis(2));
+        t.record(Duration::from_millis(10));
+        t.record(Duration::from_millis(3));
+        assert_eq!(t.sum(), Duration::from_millis(15));
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.max(), Duration::from_millis(10));
+        assert_eq!(t.mean(), Duration::from_millis(5));
+        let empty = m.time_stat("nothing");
+        assert_eq!(empty.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_complete() {
+        let m = Metrics::new();
+        m.counter("b").inc();
+        m.counter("a").add(2);
+        m.time_stat("t").record(Duration::from_nanos(5));
+        let counters = m.counter_snapshot();
+        assert_eq!(
+            counters,
+            vec![("a".to_owned(), 2), ("b".to_owned(), 1)]
+        );
+        let times = m.time_snapshot();
+        assert_eq!(times.len(), 1);
+        assert_eq!(times[0].2, 1);
+        let report = m.report();
+        assert!(report.contains('a') && report.contains('t'));
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.counter("hits").inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("hits").get(), 8000);
+    }
+}

@@ -1,0 +1,215 @@
+//! Virtual-time queueing resources: serialized devices and k-way servers.
+//!
+//! A [`Resource`] is the queueing-theoretic model of a device that serves
+//! one request at a time (a disk spindle, a NIC port, a metadata CPU). A
+//! request of service duration `d` arriving at virtual time `t` begins at
+//! `max(t, next_free)`; the resource's `next_free` advances by `d` and the
+//! caller sleeps until its completion instant. Because only bookkeeping —
+//! never waiting — happens under the internal lock, the model composes
+//! freely with the virtual clock.
+
+use crate::clock::{Participant, SimTime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A serialized virtual-time device with utilization accounting.
+#[derive(Debug)]
+pub struct Resource {
+    name: String,
+    state: Mutex<ResState>,
+    /// Total service time ever charged, for utilization reporting.
+    busy_ns: AtomicU64,
+    /// Total requests served.
+    requests: AtomicU64,
+    /// Total queueing delay experienced by requests.
+    queue_ns: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct ResState {
+    next_free: SimTime,
+}
+
+impl Resource {
+    /// Creates an idle resource with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Resource {
+            name: name.into(),
+            state: Mutex::new(ResState::default()),
+            busy_ns: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            queue_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Serves a request of duration `d`: queues behind in-flight requests
+    /// and blocks the caller (in virtual time) until the request completes.
+    pub fn serve(&self, p: &Participant, d: Duration) {
+        self.serve_ns(p, d.as_nanos() as u64);
+    }
+
+    /// Nanosecond variant of [`Self::serve`].
+    pub fn serve_ns(&self, p: &Participant, service_ns: u64) {
+        if service_ns == 0 {
+            return;
+        }
+        let arrival = p.now_ns();
+        let completion = {
+            let mut st = self.state.lock();
+            let start = st.next_free.max(arrival);
+            st.next_free = start + service_ns;
+            self.queue_ns
+                .fetch_add(start - arrival, Ordering::Relaxed);
+            st.next_free
+        };
+        self.busy_ns.fetch_add(service_ns, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        p.sleep_until_ns(completion);
+    }
+
+    /// Total service time charged so far.
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total queueing delay experienced by all requests so far.
+    pub fn total_queue_delay(&self) -> Duration {
+        Duration::from_nanos(self.queue_ns.load(Ordering::Relaxed))
+    }
+
+    /// Number of requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Utilization over an observation window (busy time / window).
+    pub fn utilization(&self, window: Duration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.busy_time().as_secs_f64() / window.as_secs_f64()
+    }
+}
+
+/// A pool of `k` identical serialized devices with shortest-queue
+/// dispatch — models a server with several independent disks or channels.
+#[derive(Debug)]
+pub struct ResourcePool {
+    devices: Vec<Resource>,
+}
+
+impl ResourcePool {
+    /// Creates a pool of `k` devices.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(name: &str, k: usize) -> Self {
+        assert!(k > 0, "resource pool needs at least one device");
+        ResourcePool {
+            devices: (0..k)
+                .map(|i| Resource::new(format!("{name}[{i}]")))
+                .collect(),
+        }
+    }
+
+    /// Serves a request on the device that will start it earliest.
+    pub fn serve(&self, p: &Participant, d: Duration) {
+        let arrival = p.now_ns();
+        let dev = self
+            .devices
+            .iter()
+            .min_by_key(|dev| dev.state.lock().next_free.max(arrival))
+            .expect("pool is non-empty");
+        dev.serve(p, d);
+    }
+
+    /// The individual devices (for accounting).
+    pub fn devices(&self) -> &[Resource] {
+        &self.devices
+    }
+
+    /// Total busy time across all devices.
+    pub fn busy_time(&self) -> Duration {
+        self.devices.iter().map(|d| d.busy_time()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::run_actors;
+    use std::sync::Arc;
+
+    #[test]
+    fn serialized_requests_queue() {
+        let disk = Arc::new(Resource::new("disk"));
+        // 4 actors each need 10ms of the same disk: total virtual time
+        // must be 40ms (perfect serialization).
+        let d = Arc::clone(&disk);
+        let (_, total) = run_actors(4, move |_, p| {
+            d.serve(p, Duration::from_millis(10));
+        });
+        assert_eq!(total, Duration::from_millis(40));
+        assert_eq!(disk.busy_time(), Duration::from_millis(40));
+        assert_eq!(disk.request_count(), 4);
+        // Three of the four requests waited: 10 + 20 + 30 ms of queueing.
+        assert_eq!(disk.total_queue_delay(), Duration::from_millis(60));
+        assert!((disk.utilization(total) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_resources_run_in_parallel() {
+        let disks: Arc<Vec<Resource>> =
+            Arc::new((0..4).map(|i| Resource::new(format!("d{i}"))).collect());
+        let d = Arc::clone(&disks);
+        let (_, total) = run_actors(4, move |i, p| {
+            d[i].serve(p, Duration::from_millis(10));
+        });
+        // One disk per actor: all requests overlap.
+        assert_eq!(total, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn sequential_use_by_one_actor_accumulates() {
+        let disk = Resource::new("disk");
+        let (_, total) = run_actors(1, |_, p| {
+            disk.serve(p, Duration::from_millis(3));
+            disk.serve(p, Duration::from_millis(4));
+        });
+        assert_eq!(total, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn zero_service_is_free() {
+        let disk = Resource::new("disk");
+        let (_, total) = run_actors(1, |_, p| {
+            disk.serve(p, Duration::ZERO);
+        });
+        assert_eq!(total, Duration::ZERO);
+        assert_eq!(disk.request_count(), 0);
+    }
+
+    #[test]
+    fn pool_spreads_load() {
+        let pool = Arc::new(ResourcePool::new("disks", 2));
+        let pl = Arc::clone(&pool);
+        let (_, total) = run_actors(4, move |_, p| {
+            pl.serve(p, Duration::from_millis(10));
+        });
+        // 4 requests over 2 devices: 20ms, not 40ms.
+        assert_eq!(total, Duration::from_millis(20));
+        assert_eq!(pool.busy_time(), Duration::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_pool_rejected() {
+        let _ = ResourcePool::new("x", 0);
+    }
+}

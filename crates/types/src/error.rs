@@ -1,0 +1,149 @@
+//! Workspace-wide error type.
+//!
+//! Hand-rolled (no `thiserror`) to keep the dependency set inside the
+//! approved list; the variants cover every failure surfaced by the storage
+//! services, the baseline file system, and the MPI-I/O layer.
+
+use crate::ids::{BlobId, ChunkId, ProviderId, VersionId};
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any failure produced by the atomio stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum Error {
+    /// A blob id was not found in the namespace.
+    BlobNotFound(BlobId),
+    /// The requested snapshot version has not been published (yet).
+    VersionNotFound { blob: BlobId, version: VersionId },
+    /// A data provider did not hold the requested chunk.
+    ChunkNotFound { provider: ProviderId, chunk: ChunkId },
+    /// A provider id was unknown to the provider manager.
+    ProviderNotFound(ProviderId),
+    /// A provider is marked failed (fault injection) and refused service.
+    ProviderFailed(ProviderId),
+    /// A read touched bytes beyond the snapshot's size.
+    OutOfBounds {
+        /// What the caller asked for.
+        requested_end: u64,
+        /// Size of the snapshot that was read.
+        snapshot_size: u64,
+    },
+    /// Caller-supplied buffer length does not match the extent list.
+    BufferSizeMismatch { expected: u64, actual: u64 },
+    /// An empty extent list was passed where data is required.
+    EmptyAccess,
+    /// The lock manager rejected or timed out a lock request.
+    LockTimeout { holder_hint: Option<ClientHint> },
+    /// Metadata store is missing a tree node — indicates corruption or a
+    /// read of an unpublished version.
+    MetadataNodeMissing(u64),
+    /// A file handle was used in a mode it was not opened for.
+    InvalidMode(&'static str),
+    /// An MPI datatype construction was invalid (e.g. zero-size element).
+    InvalidDatatype(String),
+    /// A collective operation observed mismatched participation.
+    CollectiveMismatch(String),
+    /// The operation is unsupported by this backend/driver.
+    Unsupported(&'static str),
+    /// Replication could not reach the requested number of replicas.
+    InsufficientReplicas { wanted: usize, placed: usize },
+    /// Generic internal invariant violation; carries a description.
+    Internal(String),
+}
+
+/// A small hint identifying which client held a contended resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientHint(pub u64);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BlobNotFound(b) => write!(f, "blob not found: {b}"),
+            Error::VersionNotFound { blob, version } => {
+                write!(f, "version {version} of {blob} is not published")
+            }
+            Error::ChunkNotFound { provider, chunk } => {
+                write!(f, "{chunk} not present on {provider}")
+            }
+            Error::ProviderNotFound(p) => write!(f, "unknown provider {p}"),
+            Error::ProviderFailed(p) => write!(f, "provider {p} is failed"),
+            Error::OutOfBounds {
+                requested_end,
+                snapshot_size,
+            } => write!(
+                f,
+                "access ends at byte {requested_end} but snapshot has {snapshot_size} bytes"
+            ),
+            Error::BufferSizeMismatch { expected, actual } => write!(
+                f,
+                "buffer holds {actual} bytes but extent list covers {expected}"
+            ),
+            Error::EmptyAccess => write!(f, "empty extent list"),
+            Error::LockTimeout { holder_hint } => match holder_hint {
+                Some(h) => write!(f, "lock wait timed out (held by client {})", h.0),
+                None => write!(f, "lock wait timed out"),
+            },
+            Error::MetadataNodeMissing(id) => write!(f, "metadata node {id} missing"),
+            Error::InvalidMode(m) => write!(f, "file handle not opened for {m}"),
+            Error::InvalidDatatype(msg) => write!(f, "invalid datatype: {msg}"),
+            Error::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
+            Error::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            Error::InsufficientReplicas { wanted, placed } => {
+                write!(f, "placed {placed} of {wanted} replicas")
+            }
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::VersionNotFound {
+            blob: BlobId::new(1),
+            version: VersionId::new(5),
+        };
+        assert_eq!(e.to_string(), "version v5 of blob-1 is not published");
+
+        let e = Error::OutOfBounds {
+            requested_end: 100,
+            snapshot_size: 64,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+
+        let e = Error::LockTimeout {
+            holder_hint: Some(ClientHint(3)),
+        };
+        assert!(e.to_string().contains("client 3"));
+        let e = Error::LockTimeout { holder_hint: None };
+        assert!(!e.to_string().contains("client"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::EmptyAccess);
+    }
+
+    #[test]
+    fn errors_compare() {
+        assert_eq!(
+            Error::BlobNotFound(BlobId::new(2)),
+            Error::BlobNotFound(BlobId::new(2))
+        );
+        assert_ne!(
+            Error::BlobNotFound(BlobId::new(2)),
+            Error::BlobNotFound(BlobId::new(3))
+        );
+    }
+}

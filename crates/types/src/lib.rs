@@ -1,0 +1,28 @@
+//! # atomio-types
+//!
+//! Foundation types shared by every crate in the `atomio` workspace: stable
+//! identifiers, the byte-range / extent-list algebra that models
+//! non-contiguous file accesses, chunk geometry helpers, error types, and
+//! the writer-stamp encoding used by the atomicity verifier.
+//!
+//! The central abstraction is [`ExtentList`]: a sorted, coalesced set of
+//! disjoint [`ByteRange`]s. An MPI-I/O request with a non-contiguous file
+//! view flattens to an `ExtentList`; the versioning storage backend accepts
+//! whole extent lists as single atomic operations, which is the paper's key
+//! API extension (List-I/O-style vectored access, Ching et al. CLUSTER'02).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chunk;
+pub mod error;
+pub mod extent;
+pub mod ids;
+pub mod range;
+pub mod stamp;
+
+pub use chunk::{ChunkGeometry, ChunkKey, ChunkSpan};
+pub use error::{Error, Result};
+pub use extent::ExtentList;
+pub use ids::{BlobId, ChunkId, ClientId, NodeId, ProviderId, VersionId};
+pub use range::ByteRange;

@@ -1,0 +1,28 @@
+//! # atomio-version
+//!
+//! The version manager: the single tiny serialized point of the
+//! versioning write path.
+//!
+//! Responsibilities (mirroring BlobSeer's version manager):
+//!
+//! 1. **Ticket issue** — assign each write a dense version number and
+//!    record its write summary (extents + tree capacity) in the shared
+//!    [`atomio_meta::VersionHistory`] *before* the writer moves any data,
+//!    so concurrent writers can link to its future tree deterministically.
+//! 2. **Ordered publication** — a snapshot becomes visible only when all
+//!    its predecessors are visible. Publication is an O(1) bookkeeping
+//!    flip; completed-but-early publications park in a pending set.
+//! 3. **Snapshot registry** — readers resolve "latest" (or any historic
+//!    version) to a root key + blob size without taking any lock that
+//!    writers contend on.
+//!
+//! MPI atomicity falls out of this design: one `write_list` = one ticket
+//! = one snapshot, and every reader sees a prefix of the publication
+//! order — never a torn interleaving.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod manager;
+
+pub use manager::{PublicationStats, SnapshotRecord, Ticket, TicketMode, VersionManager};

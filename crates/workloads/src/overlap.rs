@@ -1,0 +1,168 @@
+//! The §VI series-1 stress pattern: concurrent non-contiguous writes
+//! with deliberate overlap between neighbouring clients.
+//!
+//! Client `i` writes `regions_per_client` regions of `region_size`
+//! bytes. Region `k` of client `i` starts at
+//! `(k·N + i) · step` where `step = region_size · (1 − overlap)`:
+//! with `overlap = 0` the regions tile the file exactly; as `overlap`
+//! grows, each region overlaps its successor — the successor belonging
+//! to the *next client* — so every client conflicts with its neighbours
+//! in every region, "intentionally selected in such way as to generate a
+//! large number of overlappings" (paper, §VI).
+
+use atomio_types::{ByteRange, ExtentList};
+
+/// Generator for the overlapping-regions stress workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlapWorkload {
+    /// Number of concurrent clients (MPI ranks).
+    pub clients: usize,
+    /// Non-contiguous regions each client writes.
+    pub regions_per_client: usize,
+    /// Bytes per region.
+    pub region_size: u64,
+    /// Overlap fraction numerator (overlap = num/den of a region).
+    pub overlap_num: u64,
+    /// Overlap fraction denominator.
+    pub overlap_den: u64,
+}
+
+impl OverlapWorkload {
+    /// A workload with an overlap fraction given as a rational in
+    /// `[0, 1)`.
+    pub fn new(
+        clients: usize,
+        regions_per_client: usize,
+        region_size: u64,
+        overlap_num: u64,
+        overlap_den: u64,
+    ) -> Self {
+        assert!(clients > 0 && regions_per_client > 0 && region_size > 0);
+        assert!(overlap_den > 0 && overlap_num < overlap_den, "overlap must be in [0,1)");
+        OverlapWorkload {
+            clients,
+            regions_per_client,
+            region_size,
+            overlap_num,
+            overlap_den,
+        }
+    }
+
+    /// Distance between consecutive region starts.
+    pub fn step(&self) -> u64 {
+        // region_size · (1 − overlap), at least 1 byte.
+        (self.region_size * (self.overlap_den - self.overlap_num) / self.overlap_den).max(1)
+    }
+
+    /// The regions client `i` writes.
+    pub fn extents_for(&self, client: usize) -> ExtentList {
+        assert!(client < self.clients);
+        let step = self.step();
+        ExtentList::from_ranges((0..self.regions_per_client as u64).map(|k| {
+            ByteRange::new(
+                (k * self.clients as u64 + client as u64) * step,
+                self.region_size,
+            )
+        }))
+    }
+
+    /// Bytes each client transfers.
+    pub fn bytes_per_client(&self) -> u64 {
+        self.regions_per_client as u64 * self.region_size
+    }
+
+    /// Total bytes transferred by the whole round.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_client() * self.clients as u64
+    }
+
+    /// One past the highest byte the workload touches.
+    pub fn file_end(&self) -> u64 {
+        ((self.regions_per_client as u64 - 1) * self.clients as u64
+            + self.clients as u64
+            - 1)
+            * self.step()
+            + self.region_size
+    }
+
+    /// True if any two clients' extent sets overlap (sanity knob for
+    /// tests: zero overlap fraction ⇒ disjoint).
+    pub fn has_conflicts(&self) -> bool {
+        if self.clients < 2 {
+            return false;
+        }
+        let a = self.extents_for(0);
+        (1..self.clients).any(|i| a.overlaps(&self.extents_for(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_overlap_tiles_disjointly() {
+        let w = OverlapWorkload::new(4, 8, 1024, 0, 2);
+        let mut union = ExtentList::new();
+        let mut total = 0;
+        for c in 0..4 {
+            let e = w.extents_for(c);
+            assert_eq!(e.range_count(), 8);
+            assert_eq!(e.total_len(), 8 * 1024);
+            assert!(union.intersection(&e).is_empty(), "client {c} overlaps");
+            union = union.union(&e);
+            total += e.total_len();
+        }
+        assert!(!w.has_conflicts());
+        assert_eq!(total, w.total_bytes());
+        // Perfect tiling: the union is one contiguous run.
+        assert_eq!(union.range_count(), 1);
+        assert_eq!(union.covering_range().end(), w.file_end());
+    }
+
+    #[test]
+    fn half_overlap_conflicts_with_neighbours() {
+        let w = OverlapWorkload::new(4, 4, 1024, 1, 2);
+        assert!(w.has_conflicts());
+        // Client 0's first region overlaps client 1's first region.
+        let a = w.extents_for(0);
+        let b = w.extents_for(1);
+        let common = a.intersection(&b);
+        assert!(!common.is_empty());
+        // Overlap amount: half a region per adjacent pair per region.
+        assert_eq!(common.total_len(), 4 * 512);
+    }
+
+    #[test]
+    fn extreme_overlap_is_nearly_total() {
+        let w = OverlapWorkload::new(2, 2, 1024, 7, 8);
+        let a = w.extents_for(0);
+        let b = w.extents_for(1);
+        // With 7/8 overlap and step 128, each client's regions coalesce
+        // into one big run; the two runs share all but the 128-byte
+        // fringes: [128, 1280) of a [0, 1408) file.
+        assert_eq!(a.intersection(&b).total_len(), 1152);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let w = OverlapWorkload::new(3, 5, 256, 1, 4);
+        assert_eq!(w.bytes_per_client(), 1280);
+        assert_eq!(w.total_bytes(), 3840);
+        for c in 0..3 {
+            assert_eq!(w.extents_for(c).total_len(), 1280);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be in")]
+    fn full_overlap_rejected() {
+        let _ = OverlapWorkload::new(2, 2, 64, 2, 2);
+    }
+
+    #[test]
+    fn single_client_never_conflicts() {
+        let w = OverlapWorkload::new(1, 4, 64, 1, 2);
+        assert!(!w.has_conflicts());
+    }
+}

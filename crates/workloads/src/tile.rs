@@ -1,0 +1,225 @@
+//! A re-implementation of the **mpi-tile-io** benchmark's access
+//! pattern (the paper's §VI series-2 experiment).
+//!
+//! The dataset is a dense 2-D array of elements. Each process owns one
+//! tile of `sz_tile_x × sz_tile_y` elements in an `nr_tiles_x ×
+//! nr_tiles_y` grid; adjacent tiles **overlap** by `overlap_x`/`overlap_y`
+//! elements (ghost cells), so the writes of neighbouring processes
+//! conflict along their shared borders — precisely the pattern that
+//! needs MPI atomic mode.
+
+use atomio_mpiio::{Datatype, FileView};
+use atomio_types::{ExtentList, Result};
+
+/// Generator for the mpi-tile-io pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileWorkload {
+    /// Tiles along X (columns of the process grid).
+    pub nr_tiles_x: u64,
+    /// Tiles along Y (rows of the process grid).
+    pub nr_tiles_y: u64,
+    /// Tile width in elements.
+    pub sz_tile_x: u64,
+    /// Tile height in elements.
+    pub sz_tile_y: u64,
+    /// Element size in bytes.
+    pub sz_element: u64,
+    /// Ghost-cell overlap along X, in elements.
+    pub overlap_x: u64,
+    /// Ghost-cell overlap along Y, in elements.
+    pub overlap_y: u64,
+}
+
+impl TileWorkload {
+    /// Validates and builds a workload description.
+    pub fn new(
+        nr_tiles_x: u64,
+        nr_tiles_y: u64,
+        sz_tile_x: u64,
+        sz_tile_y: u64,
+        sz_element: u64,
+        overlap_x: u64,
+        overlap_y: u64,
+    ) -> Self {
+        assert!(nr_tiles_x > 0 && nr_tiles_y > 0);
+        assert!(sz_tile_x > 0 && sz_tile_y > 0 && sz_element > 0);
+        assert!(
+            overlap_x < sz_tile_x && overlap_y < sz_tile_y,
+            "overlap must be smaller than the tile"
+        );
+        TileWorkload {
+            nr_tiles_x,
+            nr_tiles_y,
+            sz_tile_x,
+            sz_tile_y,
+            sz_element,
+            overlap_x,
+            overlap_y,
+        }
+    }
+
+    /// Number of processes (one per tile).
+    pub fn processes(&self) -> usize {
+        (self.nr_tiles_x * self.nr_tiles_y) as usize
+    }
+
+    /// Global array width in elements (mpi-tile-io geometry: tiles
+    /// shifted by `sz_tile − overlap`).
+    pub fn array_x(&self) -> u64 {
+        self.nr_tiles_x * (self.sz_tile_x - self.overlap_x) + self.overlap_x
+    }
+
+    /// Global array height in elements.
+    pub fn array_y(&self) -> u64 {
+        self.nr_tiles_y * (self.sz_tile_y - self.overlap_y) + self.overlap_y
+    }
+
+    /// Total dataset size in bytes.
+    pub fn dataset_bytes(&self) -> u64 {
+        self.array_x() * self.array_y() * self.sz_element
+    }
+
+    /// Bytes each process transfers per write.
+    pub fn bytes_per_process(&self) -> u64 {
+        self.sz_tile_x * self.sz_tile_y * self.sz_element
+    }
+
+    /// The tile grid position of `rank` (row-major).
+    pub fn tile_of(&self, rank: usize) -> (u64, u64) {
+        let rank = rank as u64;
+        assert!(rank < self.nr_tiles_x * self.nr_tiles_y);
+        (rank % self.nr_tiles_x, rank / self.nr_tiles_x)
+    }
+
+    /// The MPI subarray datatype describing `rank`'s tile within the
+    /// global array — what mpi-tile-io passes to `MPI_File_set_view`.
+    pub fn filetype(&self, rank: usize) -> Result<Datatype> {
+        let (tx, ty) = self.tile_of(rank);
+        let start_x = tx * (self.sz_tile_x - self.overlap_x);
+        let start_y = ty * (self.sz_tile_y - self.overlap_y);
+        Datatype::bytes(self.sz_element)?.subarray(
+            &[self.array_y(), self.array_x()],
+            &[self.sz_tile_y, self.sz_tile_x],
+            &[start_y, start_x],
+        )
+    }
+
+    /// `rank`'s file view.
+    pub fn view(&self, rank: usize) -> Result<FileView> {
+        FileView::new(0, self.sz_element, self.filetype(rank)?)
+    }
+
+    /// `rank`'s flattened file footprint.
+    pub fn extents_for(&self, rank: usize) -> ExtentList {
+        self.filetype(rank)
+            .expect("validated geometry")
+            .flatten()
+    }
+
+    /// True when ghost cells make neighbouring tiles overlap.
+    pub fn has_overlap(&self) -> bool {
+        (self.overlap_x > 0 && self.nr_tiles_x > 1)
+            || (self.overlap_y > 0 && self.nr_tiles_y > 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_mpi_tile_io() {
+        // 2×2 grid of 4×4 tiles, 1-element overlap: array is 7×7.
+        let w = TileWorkload::new(2, 2, 4, 4, 8, 1, 1);
+        assert_eq!(w.array_x(), 7);
+        assert_eq!(w.array_y(), 7);
+        assert_eq!(w.processes(), 4);
+        assert_eq!(w.dataset_bytes(), 49 * 8);
+        assert_eq!(w.bytes_per_process(), 16 * 8);
+        assert!(w.has_overlap());
+    }
+
+    #[test]
+    fn tile_positions_row_major() {
+        let w = TileWorkload::new(3, 2, 4, 4, 1, 0, 0);
+        assert_eq!(w.tile_of(0), (0, 0));
+        assert_eq!(w.tile_of(2), (2, 0));
+        assert_eq!(w.tile_of(3), (0, 1));
+        assert_eq!(w.tile_of(5), (2, 1));
+    }
+
+    #[test]
+    fn extents_are_row_runs() {
+        let w = TileWorkload::new(2, 1, 2, 2, 4, 0, 0);
+        // Array 4×2 elements of 4 bytes; rank 1's tile starts at x=2.
+        let e = w.extents_for(1);
+        assert_eq!(
+            e.ranges()
+                .iter()
+                .map(|r| (r.offset, r.len))
+                .collect::<Vec<_>>(),
+            vec![(8, 8), (24, 8)]
+        );
+        assert_eq!(e.total_len(), w.bytes_per_process());
+    }
+
+    #[test]
+    fn no_overlap_means_disjoint_tiles() {
+        let w = TileWorkload::new(3, 3, 4, 4, 8, 0, 0);
+        for a in 0..w.processes() {
+            for b in (a + 1)..w.processes() {
+                assert!(
+                    !w.extents_for(a).overlaps(&w.extents_for(b)),
+                    "tiles {a} and {b} overlap"
+                );
+            }
+        }
+        assert!(!w.has_overlap());
+        // Tiles exactly tile the dataset.
+        let union = (0..w.processes())
+            .map(|r| w.extents_for(r))
+            .fold(ExtentList::new(), |acc, e| acc.union(&e));
+        assert_eq!(union.total_len(), w.dataset_bytes());
+    }
+
+    #[test]
+    fn ghost_cells_overlap_neighbours() {
+        let w = TileWorkload::new(2, 2, 4, 4, 8, 2, 2);
+        // Horizontally adjacent ranks share a 2-column border.
+        let left = w.extents_for(0);
+        let right = w.extents_for(1);
+        let shared = left.intersection(&right);
+        assert_eq!(shared.total_len(), 2 * 4 * 8, "2 cols × 4 rows × 8B");
+        // Diagonal neighbours share the 2×2 corner.
+        let diag = w.extents_for(3);
+        assert_eq!(left.intersection(&diag).total_len(), 2 * 2 * 8);
+        // Every rank still writes its full tile.
+        for r in 0..4 {
+            assert_eq!(w.extents_for(r).total_len(), w.bytes_per_process());
+        }
+    }
+
+    #[test]
+    fn union_covers_whole_array_with_overlap() {
+        let w = TileWorkload::new(3, 2, 5, 4, 2, 1, 1);
+        let union = (0..w.processes())
+            .map(|r| w.extents_for(r))
+            .fold(ExtentList::new(), |acc, e| acc.union(&e));
+        assert_eq!(union.total_len(), w.dataset_bytes());
+        assert_eq!(union.range_count(), 1, "tiles cover the array gaplessly");
+    }
+
+    #[test]
+    fn view_maps_linear_buffer_onto_tile() {
+        let w = TileWorkload::new(2, 1, 2, 2, 4, 0, 0);
+        let v = w.view(1).unwrap();
+        let e = v.extents_for(0, w.bytes_per_process()).unwrap();
+        assert_eq!(e, w.extents_for(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be smaller")]
+    fn overlap_larger_than_tile_rejected() {
+        let _ = TileWorkload::new(2, 2, 4, 4, 8, 4, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's motivating scenario, end to end: a 2-D spatial domain is
+//! partitioned into **overlapping tiles** (ghost cells shared between
+//! neighbouring MPI processes). Every process dumps its tile to a
+//! globally shared file through the full MPI-I/O path — subarray file
+//! views, collective writes, **atomic mode** — on the versioning
+//! backend. The run is then checked by the serializability verifier.
+//!
+//! Run: `cargo run --release --example ghost_cells`
+
+use atomio::mpiio::drivers::VersioningDriver;
+use atomio::mpiio::{adio::AdioDriver, Communicator, File, OpenMode};
+use atomio::simgrid::clock::run_actors_on;
+use atomio::simgrid::SimClock;
+use atomio::types::stamp::WriteStamp;
+use atomio::types::{ByteRange, ClientId, ExtentList};
+use atomio::workloads::verify::{check_serializable, WriteRecord};
+use atomio::workloads::TileWorkload;
+use atomio_bench::BenchConfig;
+use std::sync::Arc;
+
+fn main() {
+    // A 3x3 process grid; each process owns a 64x64-element tile of
+    // 8-byte cells, overlapping neighbours by 4 ghost cells.
+    let domain = TileWorkload::new(3, 3, 64, 64, 8, 4, 4);
+    let ranks = domain.processes();
+    println!(
+        "domain: {}x{} elements, {} processes, tile {}x{} (+{} ghost cells)",
+        domain.array_x(),
+        domain.array_y(),
+        ranks,
+        domain.sz_tile_x,
+        domain.sz_tile_y,
+        domain.overlap_x,
+    );
+
+    let cfg = BenchConfig::default();
+    let store = atomio::core::Store::new(
+        atomio::core::StoreConfig::default()
+            .with_cost(cfg.cost)
+            .with_chunk_size(cfg.chunk_size)
+            .with_data_providers(cfg.servers),
+    );
+    let driver: Arc<dyn AdioDriver> = Arc::new(VersioningDriver::new(store.create_blob()));
+
+    let clock = SimClock::new();
+    let comm = Communicator::new(ranks, cfg.cost);
+    let files: Vec<File> = (0..ranks)
+        .map(|r| File::open(comm.clone(), r, Arc::clone(&driver), OpenMode::ReadWrite))
+        .collect();
+    let stamps: Vec<WriteStamp> = (0..ranks)
+        .map(|r| WriteStamp::new(ClientId::new(r as u64), 0))
+        .collect();
+    let extents: Vec<ExtentList> = (0..ranks).map(|r| domain.extents_for(r)).collect();
+
+    // === The simulation dump: all ranks write their tiles at once. ===
+    let start = clock.now();
+    run_actors_on(&clock, ranks, |rank, p| {
+        let f = &files[rank];
+        f.set_view(domain.view(rank).expect("valid subarray view"));
+        f.set_atomic(true); // MPI_File_set_atomicity(fh, 1)
+        let tile_bytes = stamps[rank].payload_for(&extents[rank]);
+        f.write_at_all(p, 0, &tile_bytes).expect("collective write");
+    });
+    let elapsed = clock.now() - start;
+    let total = domain.bytes_per_process() * ranks as u64;
+    println!(
+        "dumped {:.1} MiB in {elapsed:?} of simulated time ({:.1} MiB/s aggregated)",
+        total as f64 / (1024.0 * 1024.0),
+        total as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64()
+    );
+
+    // === Check MPI atomicity: the file must be a serial replay. ===
+    let state = run_actors_on(&clock, 1, |_, p| {
+        driver
+            .read_extents(
+                p,
+                ClientId::new(u64::MAX),
+                &ExtentList::single(ByteRange::new(0, domain.dataset_bytes())),
+                false,
+            )
+            .expect("read the whole domain back")
+    })
+    .pop()
+    .unwrap();
+    let records: Vec<WriteRecord> = (0..ranks)
+        .map(|r| WriteRecord::new(stamps[r], extents[r].clone()))
+        .collect();
+    match check_serializable(&state, &records) {
+        Ok(order) => {
+            println!("MPI atomicity holds; a witness serial order of the 9 tile dumps:");
+            println!(
+                "  {:?}",
+                order.iter().map(|&i| format!("rank{i}")).collect::<Vec<_>>()
+            );
+        }
+        Err(v) => panic!("atomicity violated: {v:?}"),
+    }
+
+    // Every tile interior (beyond the ghost border) belongs to its owner.
+    let elem = domain.sz_element;
+    let row = domain.array_x();
+    for (rank, stamp) in stamps.iter().enumerate() {
+        let (tx, ty) = domain.tile_of(rank);
+        let x = tx * (domain.sz_tile_x - domain.overlap_x) + domain.overlap_x;
+        let y = ty * (domain.sz_tile_y - domain.overlap_y) + domain.overlap_y;
+        let off = (y * row + x) * elem;
+        assert!(
+            stamp.matches(off, &state[off as usize..(off + elem) as usize]),
+            "rank {rank} interior clobbered"
+        );
+    }
+    println!("all tile interiors intact; ghost borders consistently owned");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: deploy a versioning store, perform an atomic
+//! non-contiguous write, and read data back — both latest and historic.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use atomio::core::{ReadVersion, Store, StoreConfig};
+use atomio::simgrid::clock::run_actors;
+use atomio::types::ExtentList;
+use bytes::Bytes;
+
+fn main() {
+    // A small deployment: 4 data providers, 64 KiB chunks, simulated
+    // Grid'5000-like hardware. Every service (providers, metadata
+    // shards, version manager) runs in-process on a virtual clock.
+    let store = Store::new(
+        StoreConfig::default()
+            .with_data_providers(4)
+            .with_chunk_size(64 * 1024),
+    );
+    let blob = store.create_blob();
+
+    let (_, elapsed) = run_actors(1, |_, p| {
+        // The paper's API extension: a *vectored atomic write*. These
+        // three regions — non-contiguous in the file — commit as ONE
+        // snapshot. Payload bytes are packed in file order.
+        let extents = ExtentList::from_pairs([(0u64, 6u64), (100, 6), (200, 6)]);
+        let v1 = blob
+            .write_list(p, &extents, Bytes::from_static(b"hello brave world!"))
+            .expect("atomic vectored write");
+        println!("wrote 3 regions atomically as snapshot {v1}");
+
+        // Overwrite the middle region; that is a second snapshot.
+        let v2 = blob
+            .write(p, 100, Bytes::from_static(b"magic "))
+            .expect("contiguous write");
+        println!("overwrote [100, 106) as snapshot {v2}");
+
+        // Latest state stitches regions, holes (zeros), and overwrites.
+        let latest = blob
+            .read_list(p, ReadVersion::Latest, &extents)
+            .expect("read latest");
+        println!(
+            "latest   = {:?}",
+            String::from_utf8_lossy(&latest)
+        );
+        assert_eq!(&latest, b"hello magic world!");
+
+        // Versioning means v1 is still there, bit-exact.
+        let old = blob.read_at(p, v1, &extents).expect("read v1");
+        println!("at {v1}    = {:?}", String::from_utf8_lossy(&old));
+        assert_eq!(&old, b"hello brave world!");
+
+        // Unwritten bytes read as zeros.
+        let hole = blob.read(p, 50, 4).expect("read hole");
+        assert_eq!(hole, vec![0u8; 4]);
+        println!("holes read as zeros: {hole:?}");
+    });
+
+    println!("simulated time consumed: {elapsed:?}");
+}

@@ -1,0 +1,81 @@
+//! The paper's §VII future-work scenario: versioning exposed at
+//! application level for producer/consumer pipelines — "the output of
+//! simulations is concurrently used as the input of visualizations".
+//!
+//! A simulation (producer) publishes one snapshot per iteration; three
+//! visualization consumers follow behind, each reading *a specific
+//! version* while the producer keeps writing. Nobody synchronizes with
+//! anybody, and no consumer ever sees a torn iteration.
+//!
+//! Run: `cargo run --release --example snapshot_pipeline`
+
+use atomio::core::{Store, StoreConfig};
+use atomio::simgrid::clock::run_actors_on;
+use atomio::simgrid::SimClock;
+use atomio::types::stamp::WriteStamp;
+use atomio::types::{ByteRange, ClientId, ExtentList, VersionId};
+use bytes::Bytes;
+use std::time::Duration;
+
+const ITERATIONS: u64 = 10;
+const DOMAIN_BYTES: u64 = 2 * 1024 * 1024;
+const CONSUMERS: usize = 3;
+
+fn main() {
+    let store = Store::new(
+        StoreConfig::default()
+            .with_data_providers(8)
+            .with_chunk_size(256 * 1024),
+    );
+    let blob = store.create_blob();
+    let clock = SimClock::new();
+    let extents = ExtentList::single(ByteRange::new(0, DOMAIN_BYTES));
+
+    let lag_report = parking_lot::Mutex::new(Vec::<String>::new());
+
+    run_actors_on(&clock, CONSUMERS + 1, |actor, p| {
+        if actor == 0 {
+            // --- The simulation ---
+            for iter in 0..ITERATIONS {
+                // Each iteration "computes" for 30 ms then dumps.
+                p.sleep(Duration::from_millis(30));
+                let stamp = WriteStamp::new(ClientId::new(0), iter);
+                let v = blob
+                    .write_list(p, &extents, Bytes::from(stamp.payload_for(&extents)))
+                    .expect("dump iteration");
+                lag_report
+                    .lock()
+                    .push(format!("[{:>9?}] producer published iteration {iter} as {v}", p.now()));
+            }
+        } else {
+            // --- A visualization consumer ---
+            // Consumer k inspects every k-th iteration (they all share
+            // the store without any coordination).
+            for iter in (actor as u64 - 1..ITERATIONS).step_by(CONSUMERS) {
+                let version = VersionId::new(iter + 1);
+                blob.version_manager().wait_published(p, version);
+                let data = blob.read_at(p, version, &extents).expect("read snapshot");
+                let stamp = WriteStamp::new(ClientId::new(0), iter);
+                assert!(
+                    stamp.matches(0, &data),
+                    "consumer {actor} saw a torn iteration {iter}"
+                );
+                lag_report.lock().push(format!(
+                    "[{:>9?}] consumer {actor} verified iteration {iter} ({} bytes)",
+                    p.now(),
+                    data.len()
+                ));
+            }
+        }
+    });
+
+    for line in lag_report.lock().iter() {
+        println!("{line}");
+    }
+    println!(
+        "\n{} iterations produced and concurrently consumed by {} readers — \
+         every snapshot bit-exact, zero synchronization stalls",
+        ITERATIONS, CONSUMERS
+    );
+    println!("total simulated time: {:?}", clock.now());
+}

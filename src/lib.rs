@@ -1,0 +1,27 @@
+//! # atomio — a storage backend optimized for atomic MPI-I/O
+//!
+//! Facade crate re-exporting the `atomio` workspace: a reproduction of
+//! Tran, *"Towards a storage backend optimized for atomic MPI-I/O for
+//! parallel scientific applications"* (IPDPS Workshops / PhD Forum, 2011).
+//!
+//! See the individual crates for the subsystems:
+//!
+//! * [`types`] — ids, byte-range / extent algebra, writer stamps.
+//! * [`simgrid`] — simulated cluster substrate (cost models, disks, faults).
+//! * [`provider`] — data providers and the provider manager (striping).
+//! * [`meta`] — copy-on-write segment-tree metadata (shadowing).
+//! * [`version`] — version manager (tickets, ordered publication).
+//! * [`core`] — the versioning blob store client (the paper's contribution).
+//! * [`pfs`] — the locking-based baseline parallel file system.
+//! * [`mpiio`] — MPI-I/O layer (datatypes, views, atomic mode, ADIO drivers).
+//! * [`workloads`] — workload generators and the atomicity verifier.
+
+pub use atomio_core as core;
+pub use atomio_meta as meta;
+pub use atomio_mpiio as mpiio;
+pub use atomio_pfs as pfs;
+pub use atomio_provider as provider;
+pub use atomio_simgrid as simgrid;
+pub use atomio_types as types;
+pub use atomio_version as version;
+pub use atomio_workloads as workloads;

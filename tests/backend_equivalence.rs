@@ -1,0 +1,127 @@
+//! Cross-backend equivalence: for deterministic (conflict-free or
+//! single-writer) workloads, every backend must produce byte-identical
+//! file contents — the concurrency-control strategy may change *when*
+//! things happen, never *what* the file ends up holding.
+
+use atomio::simgrid::clock::run_actors_on;
+use atomio::simgrid::SimClock;
+use atomio::types::stamp::WriteStamp;
+use atomio::types::{ByteRange, ClientId, ExtentList};
+use atomio::workloads::{CheckpointWorkload, OverlapWorkload, TileWorkload};
+use atomio_bench::{Backend, BenchConfig};
+use atomio_simgrid::CostModel;
+
+fn final_state(
+    backend: Backend,
+    extents: &[ExtentList],
+    sequential: bool,
+) -> Vec<u8> {
+    let cfg = BenchConfig {
+        servers: 4,
+        chunk_size: 4096,
+        cost: CostModel::zero(),
+        ..BenchConfig::default()
+    };
+    let (driver, _) = cfg.build(backend);
+    let clock = SimClock::new();
+    let n = extents.len();
+    if sequential {
+        run_actors_on(&clock, 1, |_, p| {
+            for (i, e) in extents.iter().enumerate() {
+                let stamp = WriteStamp::new(ClientId::new(i as u64), 1);
+                driver
+                    .write_extents(
+                        p,
+                        ClientId::new(i as u64),
+                        e,
+                        bytes::Bytes::from(stamp.payload_for(e)),
+                        backend.atomic_flag(),
+                    )
+                    .unwrap();
+            }
+        });
+    } else {
+        run_actors_on(&clock, n, |i, p| {
+            let stamp = WriteStamp::new(ClientId::new(i as u64), 1);
+            driver
+                .write_extents(
+                    p,
+                    ClientId::new(i as u64),
+                    &extents[i],
+                    bytes::Bytes::from(stamp.payload_for(&extents[i])),
+                    backend.atomic_flag(),
+                )
+                .unwrap();
+        });
+    }
+    let end = extents
+        .iter()
+        .map(|e| e.covering_range().end())
+        .max()
+        .unwrap();
+    run_actors_on(&clock, 1, |_, p| {
+        driver
+            .read_extents(
+                p,
+                ClientId::new(99),
+                &ExtentList::single(ByteRange::new(0, end)),
+                false,
+            )
+            .unwrap()
+    })
+    .pop()
+    .unwrap()
+}
+
+#[test]
+fn concurrent_disjoint_workload_is_backend_independent() {
+    let w = OverlapWorkload::new(6, 8, 2048, 0, 2); // zero overlap
+    let extents: Vec<ExtentList> = (0..6).map(|c| w.extents_for(c)).collect();
+    let reference = final_state(Backend::Versioning, &extents, false);
+    for backend in [
+        Backend::LustreLock,
+        Backend::WholeFileLock,
+        Backend::ConflictDetect,
+        Backend::NoLock,
+    ] {
+        let got = final_state(backend, &extents, false);
+        assert_eq!(got, reference, "{} differs", backend.label());
+    }
+}
+
+#[test]
+fn sequential_overlapping_workload_is_backend_independent() {
+    // Sequential writes make the outcome deterministic even with
+    // overlap: last writer wins everywhere in program order.
+    let w = OverlapWorkload::new(4, 6, 1024, 1, 2);
+    let extents: Vec<ExtentList> = (0..4).map(|c| w.extents_for(c)).collect();
+    let reference = final_state(Backend::Versioning, &extents, true);
+    for backend in [
+        Backend::LustreLock,
+        Backend::WholeFileLock,
+        Backend::ConflictDetect,
+        Backend::NoLock,
+    ] {
+        let got = final_state(backend, &extents, true);
+        assert_eq!(got, reference, "{} differs", backend.label());
+    }
+}
+
+#[test]
+fn tile_without_ghosts_is_backend_independent() {
+    let w = TileWorkload::new(2, 2, 8, 8, 4, 0, 0);
+    let extents: Vec<ExtentList> = (0..w.processes()).map(|r| w.extents_for(r)).collect();
+    let reference = final_state(Backend::Versioning, &extents, false);
+    let got = final_state(Backend::LustreLock, &extents, false);
+    assert_eq!(got, reference);
+}
+
+#[test]
+fn checkpoint_without_halo_is_backend_independent() {
+    let w = CheckpointWorkload::new(4, 256, 8, 0);
+    let extents: Vec<ExtentList> = (0..w.ranks).map(|r| w.extents_for(r)).collect();
+    let reference = final_state(Backend::Versioning, &extents, false);
+    for backend in [Backend::LustreLock, Backend::NoLock] {
+        assert_eq!(final_state(backend, &extents, false), reference);
+    }
+}

@@ -1,0 +1,145 @@
+//! Versioning semantics across iterations: historical snapshots stay
+//! readable and bit-exact while new iterations land, and garbage
+//! collection retires exactly what it promises.
+
+use atomio::core::gc::collect_below;
+use atomio::core::{Store, StoreConfig};
+use atomio::simgrid::clock::run_actors_on;
+use atomio::simgrid::SimClock;
+use atomio::types::stamp::WriteStamp;
+use atomio::types::{ClientId, Error, ExtentList, VersionId};
+use atomio::workloads::CheckpointWorkload;
+use bytes::Bytes;
+
+fn store() -> Store {
+    Store::new(
+        StoreConfig::default()
+            .with_zero_cost()
+            .with_chunk_size(4096)
+            .with_data_providers(4),
+    )
+}
+
+#[test]
+fn historical_checkpoints_remain_bit_exact() {
+    let s = store();
+    let blob = s.create_blob();
+    let workload = CheckpointWorkload::new(4, 1024, 8, 64);
+    let clock = SimClock::new();
+    const ITERS: u64 = 5;
+
+    // Each iteration: all ranks dump concurrently; record version order.
+    let mut iteration_versions: Vec<Vec<VersionId>> = Vec::new();
+    for iter in 0..ITERS {
+        let versions = run_actors_on(&clock, workload.ranks, |rank, p| {
+            let ext = workload.extents_for(rank);
+            let stamp = WriteStamp::new(ClientId::new(rank as u64), iter);
+            blob.write_list(p, &ext, Bytes::from(stamp.payload_for(&ext)))
+                .unwrap()
+        });
+        iteration_versions.push(versions);
+    }
+
+    // After everything is written, every iteration's final snapshot must
+    // equal replaying that iteration's writes (over the previous state)
+    // in version order — spot-check: the *interior* of each rank's slab
+    // (outside every halo) must carry that iteration's stamp at the
+    // iteration's last version.
+    run_actors_on(&clock, 1, |_, p| {
+        for (iter, versions) in iteration_versions.iter().enumerate() {
+            let last = *versions.iter().max().unwrap();
+            for rank in 0..workload.ranks {
+                let interior_lo = (rank as u64 * workload.cells_per_rank + workload.halo)
+                    * workload.cell_size;
+                let interior_hi = ((rank as u64 + 1) * workload.cells_per_rank
+                    - workload.halo)
+                    * workload.cell_size;
+                let ext = ExtentList::from_pairs([(interior_lo, interior_hi - interior_lo)]);
+                let got = blob.read_at(p, last, &ext).unwrap();
+                let stamp = WriteStamp::new(ClientId::new(rank as u64), iter as u64);
+                assert!(
+                    stamp.matches(interior_lo, &got),
+                    "iteration {iter} rank {rank} interior wrong at {last}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn gc_retires_old_iterations_only() {
+    let s = store();
+    let blob = s.create_blob();
+    let clock = SimClock::new();
+
+    // Three full overwrites of the same leaf-aligned region.
+    let ext = ExtentList::from_pairs([(0u64, 8192u64)]);
+    let versions = run_actors_on(&clock, 1, |_, p| {
+        (0..3u64)
+            .map(|i| {
+                let stamp = WriteStamp::new(ClientId::new(0), i);
+                blob.write_list(p, &ext, Bytes::from(stamp.payload_for(&ext)))
+                    .unwrap()
+            })
+            .collect::<Vec<_>>()
+    })
+    .pop()
+    .unwrap();
+
+    run_actors_on(&clock, 1, |_, p| {
+        let report = collect_below(p, &blob, versions[2]).unwrap();
+        assert_eq!(report.versions_retired, 2);
+        assert_eq!(report.bytes_reclaimed, 2 * 8192);
+
+        // v3 readable, v1/v2 gone.
+        let got = blob.read_at(p, versions[2], &ext).unwrap();
+        assert!(WriteStamp::new(ClientId::new(0), 2).matches(0, &got));
+        for &old in &versions[..2] {
+            assert!(matches!(
+                blob.read_at(p, old, &ext),
+                Err(Error::MetadataNodeMissing(_))
+            ));
+        }
+    });
+}
+
+#[test]
+fn snapshot_reads_are_stable_under_later_writes() {
+    let s = store();
+    let blob = s.create_blob();
+    let clock = SimClock::new();
+    let ext = ExtentList::from_pairs([(0u64, 4096u64), (16384, 4096)]);
+
+    run_actors_on(&clock, 1, |_, p| {
+        let s0 = WriteStamp::new(ClientId::new(0), 0);
+        let v1 = blob
+            .write_list(p, &ext, Bytes::from(s0.payload_for(&ext)))
+            .unwrap();
+        let before = blob.read_at(p, v1, &ext).unwrap();
+
+        // Pile on 10 more overlapping writes.
+        for i in 1..=10u64 {
+            let s = WriteStamp::new(ClientId::new(0), i);
+            blob.write_list(p, &ext, Bytes::from(s.payload_for(&ext)))
+                .unwrap();
+        }
+        let after = blob.read_at(p, v1, &ext).unwrap();
+        assert_eq!(before, after, "snapshot v1 changed under later writes");
+        assert!(s0.matches(0, &after[..4096]));
+    });
+}
+
+#[test]
+fn blob_size_grows_monotonically_across_versions() {
+    let s = store();
+    let blob = s.create_blob();
+    let clock = SimClock::new();
+    run_actors_on(&clock, 1, |_, p| {
+        let v1 = blob.write(p, 0, Bytes::from(vec![1u8; 100])).unwrap();
+        let v2 = blob.write(p, 1_000_000, Bytes::from(vec![2u8; 50])).unwrap();
+        let v3 = blob.write(p, 10, Bytes::from(vec![3u8; 10])).unwrap();
+        assert_eq!(blob.size_at(p, v1).unwrap(), 100);
+        assert_eq!(blob.size_at(p, v2).unwrap(), 1_000_050);
+        assert_eq!(blob.size_at(p, v3).unwrap(), 1_000_050, "size never shrinks");
+    });
+}
