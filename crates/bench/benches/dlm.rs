@@ -61,8 +61,18 @@ fn bench_shared_reacquire(c: &mut Criterion) {
         let clock = SimClock::new();
         let p = clock.register();
         b.iter(|| {
-            let h1 = m.lock(&p, ClientId::new(0), ByteRange::new(0, 1 << 20), LockKind::Shared);
-            let h2 = m.lock(&p, ClientId::new(1), ByteRange::new(0, 1 << 20), LockKind::Shared);
+            let h1 = m.lock(
+                &p,
+                ClientId::new(0),
+                ByteRange::new(0, 1 << 20),
+                LockKind::Shared,
+            );
+            let h2 = m.lock(
+                &p,
+                ClientId::new(1),
+                ByteRange::new(0, 1 << 20),
+                LockKind::Shared,
+            );
             m.unlock(&p, h1);
             m.unlock(&p, h2);
         });

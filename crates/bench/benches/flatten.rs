@@ -39,12 +39,7 @@ fn bench_view_extents(c: &mut Criterion) {
     let view = FileView::new(0, 4096, ft).unwrap();
     for &tiles in &[16u64, 256] {
         group.bench_with_input(BenchmarkId::new("block_cyclic", tiles), &tiles, |b, &n| {
-            b.iter(|| {
-                black_box(
-                    view.extents_for(black_box(0), black_box(n * 4096))
-                        .unwrap(),
-                )
-            });
+            b.iter(|| black_box(view.extents_for(black_box(0), black_box(n * 4096)).unwrap()));
         });
     }
     // Tile view (mpi-tile-io shape).

@@ -2,7 +2,9 @@
 //! snapshot resolution — the versioning backend's per-write overhead.
 
 use atomio_meta::history::WriteSummary;
-use atomio_meta::{LeafEntry, MetaStore, NodeKey, TreeBuilder, TreeConfig, TreeReader, VersionHistory};
+use atomio_meta::{
+    LeafEntry, MetaStore, NodeKey, TreeBuilder, TreeConfig, TreeReader, VersionHistory,
+};
 use atomio_simgrid::{CostModel, SimClock};
 use atomio_types::{BlobId, ByteRange, ChunkGeometry, ChunkId, ExtentList, ProviderId, VersionId};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -73,7 +75,8 @@ fn bench_build(c: &mut Criterion) {
                 |(fx, v, cap, entries)| {
                     let clock = SimClock::new();
                     let p = clock.register();
-                    let builder = TreeBuilder::new(BlobId::new(0), &fx.store, &fx.history, fx.config);
+                    let builder =
+                        TreeBuilder::new(BlobId::new(0), &fx.store, &fx.history, fx.config);
                     black_box(builder.build_update(&p, v, cap, &entries).unwrap());
                 },
             );
@@ -96,13 +99,7 @@ fn bench_resolve(c: &mut Criterion) {
         let root = builder.build_update(&p, v, cap, &entries).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(regions), &regions, |b, _| {
             let reader = TreeReader::new(&fx.store);
-            b.iter(|| {
-                black_box(
-                    reader
-                        .resolve(&p, Some(root), black_box(&ext))
-                        .unwrap(),
-                )
-            });
+            b.iter(|| black_box(reader.resolve(&p, Some(root), black_box(&ext)).unwrap()));
         });
     }
     group.finish();

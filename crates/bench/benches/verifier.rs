@@ -10,9 +10,10 @@ fn overlapping_writes(writers: usize, regions: u64, region: u64) -> Vec<WriteRec
     let step = region / 2; // 50% neighbour overlap
     (0..writers)
         .map(|w| {
-            let extents = ExtentList::from_ranges((0..regions).map(|k| {
-                ByteRange::new((k * writers as u64 + w as u64) * step, region)
-            }));
+            let extents = ExtentList::from_ranges(
+                (0..regions)
+                    .map(|k| ByteRange::new((k * writers as u64 + w as u64) * step, region)),
+            );
             WriteRecord::new(WriteStamp::new(ClientId::new(w as u64), 0), extents)
         })
         .collect()

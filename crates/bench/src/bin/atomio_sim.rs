@@ -62,10 +62,12 @@ fn parse_flags(args: &[String]) -> (HashMap<String, String>, bool, bool) {
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
     flags
         .get(key)
-        .map(|v| v.parse().unwrap_or_else(|_| {
-            eprintln!("invalid value for --{key}: {v}");
-            std::process::exit(2);
-        }))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v}");
+                std::process::exit(2);
+            })
+        })
         .unwrap_or(default)
 }
 
@@ -94,7 +96,11 @@ fn main() {
                 println!(
                     "{:<24} atomic mode: {}",
                     b.label(),
-                    if b.atomic_flag() { "supported" } else { "none (raw)" }
+                    if b.atomic_flag() {
+                        "supported"
+                    } else {
+                        "none (raw)"
+                    }
                 );
             }
         }
@@ -111,12 +117,10 @@ fn main() {
             };
             let workload =
                 OverlapWorkload::new(clients, regions, region_kib * 1024, overlap_pct, 100);
-            let extents: Vec<ExtentList> =
-                (0..clients).map(|c| workload.extents_for(c)).collect();
+            let extents: Vec<ExtentList> = (0..clients).map(|c| workload.extents_for(c)).collect();
             let (driver, _) = cfg.build(backend);
             let clock = SimClock::new();
-            let out =
-                run_write_round(&clock, &driver, &extents, backend.atomic_flag(), 1, verify);
+            let out = run_write_round(&clock, &driver, &extents, backend.atomic_flag(), 1, verify);
             println!(
                 "{} | {clients} clients x {regions} x {region_kib} KiB ({overlap_pct}% overlap)",
                 backend.label()
@@ -149,8 +153,12 @@ fn main() {
             let blob = store.create_blob();
             let clock = SimClock::new();
             run_actors_on(&clock, 1, |_, p| {
-                blob.write(p, 0, Bytes::from(vec![0x77u8; (chunks * 64 * 1024) as usize]))
-                    .unwrap();
+                blob.write(
+                    p,
+                    0,
+                    Bytes::from(vec![0x77u8; (chunks * 64 * 1024) as usize]),
+                )
+                .unwrap();
                 // Rot `corrupt` chunks: probe provider tables for real ids.
                 let mut rotted = 0;
                 'outer: for provider in store.providers().providers() {
@@ -165,13 +173,18 @@ fn main() {
                         }
                     }
                 }
-                println!("wrote {chunks} chunks x2 replicas over {servers} servers; rotted {rotted}");
+                println!(
+                    "wrote {chunks} chunks x2 replicas over {servers} servers; rotted {rotted}"
+                );
                 let (found, repaired) = store.scrub_and_repair(p).unwrap();
                 println!("scrub pass 1: found {found} corrupted, repaired {repaired}");
                 let (found2, _) = store.scrub_and_repair(p).unwrap();
                 println!("scrub pass 2: found {found2} corrupted");
                 let got = blob.read(p, 0, chunks * 64 * 1024).unwrap();
-                assert!(got.iter().all(|&b| b == 0x77), "data corrupted after repair");
+                assert!(
+                    got.iter().all(|&b| b == 0x77),
+                    "data corrupted after repair"
+                );
                 println!("data verified bit-exact after repair ({} MiB)", chunks / 16);
             });
             println!("simulated time: {:?}", clock.now());

@@ -45,14 +45,12 @@ fn main() {
             let total_bytes = std::sync::atomic::AtomicU64::new(0);
             run_actors_on(&clock, readers, |i, p| {
                 // Reader i scans its strided slice of the snapshot.
-                let ext = ExtentList::from_ranges(
-                    (0..16u64).map(|k| {
-                        ByteRange::new(
-                            ((k * readers as u64 + i as u64) * 512 * 1024) % (DATA - 512 * 1024),
-                            512 * 1024,
-                        )
-                    }),
-                )
+                let ext = ExtentList::from_ranges((0..16u64).map(|k| {
+                    ByteRange::new(
+                        ((k * readers as u64 + i as u64) * 512 * 1024) % (DATA - 512 * 1024),
+                        512 * 1024,
+                    )
+                }))
                 .clip(ByteRange::new(0, DATA));
                 for _ in 0..PASSES {
                     let got = blob.read_list(p, ReadVersion::Latest, &ext).unwrap();

@@ -74,7 +74,11 @@ fn main() {
     }
 
     // Collect everything below the second-to-last iteration's snapshots.
-    let keep_from = VersionId::new(last_version.raw().saturating_sub(2 * workload.ranks as u64 - 1));
+    let keep_from = VersionId::new(
+        last_version
+            .raw()
+            .saturating_sub(2 * workload.ranks as u64 - 1),
+    );
     let report = run_actors_on(&clock, 1, |_, p| {
         collect_below(p, &blob, keep_from).unwrap()
     })

@@ -33,24 +33,19 @@ fn main() {
     let client_counts = [1usize, 2, 4, 8, 16, 32, 64];
     for &clients in &client_counts {
         let workload = OverlapWorkload::new(clients, 32, 256 * 1024, 1, 2);
-        let extents: Vec<ExtentList> =
-            (0..clients).map(|c| workload.extents_for(c)).collect();
+        let extents: Vec<ExtentList> = (0..clients).map(|c| workload.extents_for(c)).collect();
         // Verify atomicity at the small end (cheap), trust the strategy
         // at the large end (timing only).
         let verify = clients <= 8;
         for backend in Backend::ATOMIC {
             let (driver, _metrics) = cfg.build(backend);
             let clock = SimClock::new();
-            let out = run_write_round(
-                &clock,
-                &driver,
-                &extents,
-                backend.atomic_flag(),
-                1,
-                verify,
-            );
+            let out = run_write_round(&clock, &driver, &extents, backend.atomic_flag(), 1, verify);
             if let Some(v) = &out.violation {
-                panic!("{} violated atomicity at {clients} clients: {v:?}", backend.label());
+                panic!(
+                    "{} violated atomicity at {clients} clients: {v:?}",
+                    backend.label()
+                );
             }
             report.push(Row {
                 x: clients as u64,

@@ -49,8 +49,7 @@ fn main() {
             let stamps: Vec<WriteStamp> = (0..ranks)
                 .map(|r| WriteStamp::new(ClientId::new(r as u64), 1))
                 .collect();
-            let extents: Vec<ExtentList> =
-                (0..ranks).map(|r| workload.extents_for(r)).collect();
+            let extents: Vec<ExtentList> = (0..ranks).map(|r| workload.extents_for(r)).collect();
 
             let start = clock.now();
             run_actors_on(&clock, ranks, |rank, p| {

@@ -65,6 +65,10 @@ fn main() {
     );
     println!(
         "the paper's claim reproduces when the measured band overlaps 3.5x–10x: {}",
-        if min <= 10.0 && max >= 3.5 { "YES" } else { "NO" }
+        if min <= 10.0 && max >= 3.5 {
+            "YES"
+        } else {
+            "NO"
+        }
     );
 }

@@ -19,13 +19,16 @@ fn main() {
         "throughput vs. regions per request (8 MiB per client, 16 clients, 50% overlap)",
         "regions",
     );
-    report.note(format!("{} servers, {} KiB stripes", cfg.servers, cfg.chunk_size / 1024));
+    report.note(format!(
+        "{} servers, {} KiB stripes",
+        cfg.servers,
+        cfg.chunk_size / 1024
+    ));
 
     for &regions in &[1usize, 4, 16, 64, 256] {
         let region_size = BYTES_PER_CLIENT / regions as u64;
         let workload = OverlapWorkload::new(CLIENTS, regions, region_size, 1, 2);
-        let extents: Vec<ExtentList> =
-            (0..CLIENTS).map(|c| workload.extents_for(c)).collect();
+        let extents: Vec<ExtentList> = (0..CLIENTS).map(|c| workload.extents_for(c)).collect();
         for backend in Backend::ATOMIC {
             let (driver, _) = cfg.build(backend);
             let clock = SimClock::new();

@@ -18,15 +18,18 @@ fn main() {
         "throughput vs. overlap fraction (16 clients, 32 regions x 256 KiB each)",
         "overlap_pct",
     );
-    report.note(format!("{} servers, {} KiB stripes", cfg.servers, cfg.chunk_size / 1024));
+    report.note(format!(
+        "{} servers, {} KiB stripes",
+        cfg.servers,
+        cfg.chunk_size / 1024
+    ));
     report.note("overlap 0% means disjoint regions (conflict-free)");
 
     // (numerator, denominator) overlap fractions.
     for &(num, den) in &[(0u64, 8u64), (1, 8), (2, 8), (4, 8), (7, 8)] {
         let pct = num * 100 / den;
         let workload = OverlapWorkload::new(CLIENTS, 32, 256 * 1024, num, den);
-        let extents: Vec<ExtentList> =
-            (0..CLIENTS).map(|c| workload.extents_for(c)).collect();
+        let extents: Vec<ExtentList> = (0..CLIENTS).map(|c| workload.extents_for(c)).collect();
         for backend in Backend::ATOMIC {
             let (driver, _) = cfg.build(backend);
             let clock = SimClock::new();
@@ -45,7 +48,9 @@ fn main() {
 
     for x in report.xs() {
         if let Some(s) = report.speedup_at(x, "versioning", "lustre-lock") {
-            report.note(format!("speedup vs lustre-lock at {x:>3}% overlap: {s:.2}x"));
+            report.note(format!(
+                "speedup vs lustre-lock at {x:>3}% overlap: {s:.2}x"
+            ));
         }
         if let Some(s) = report.speedup_at(x, "conflict-detect", "lustre-lock") {
             report.note(format!(

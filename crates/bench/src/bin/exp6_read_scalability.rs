@@ -73,7 +73,9 @@ fn main() {
                         }
                         return;
                     }
-                    let ext = workload.extents_for(i).clip(atomio_types::ByteRange::new(0, DATA));
+                    let ext = workload
+                        .extents_for(i)
+                        .clip(atomio_types::ByteRange::new(0, DATA));
                     for _ in 0..2 {
                         let got = driver
                             .read_extents(p, ClientId::new(i as u64), &ext, true)

@@ -6,19 +6,23 @@
 //!   vs. naive serialized metadata builds (the *versioning without
 //!   waiting* principle);
 //! * **Allocation strategy** — round-robin vs. least-loaded vs. random
-//!   chunk placement.
+//!   chunk placement;
+//! * **Transfer engine** — pipelined batched chunk transfers vs. one
+//!   chunk at a time (the reservation engine of `DESIGN.md` §4).
 //!
 //! Run: `cargo run -p atomio-bench --release --bin exp7_ablation`
 
 use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
-use atomio_core::{Store, StoreConfig};
+use atomio_core::{ReadVersion, Store, StoreConfig, TransferMode};
 use atomio_mpiio::adio::AdioDriver;
 use atomio_mpiio::drivers::VersioningDriver;
 use atomio_provider::AllocationStrategy;
+use atomio_simgrid::clock::run_actors_on;
 use atomio_simgrid::SimClock;
 use atomio_types::ExtentList;
 use atomio_version::TicketMode;
 use atomio_workloads::{run_write_round, OverlapWorkload};
+use bytes::Bytes;
 use std::sync::Arc;
 
 const CLIENTS: usize = 16;
@@ -31,7 +35,11 @@ fn workload_extents() -> Vec<ExtentList> {
 fn measure(driver: Arc<dyn AdioDriver>, extents: &[ExtentList]) -> (f64, f64, u64) {
     let clock = SimClock::new();
     let out = run_write_round(&clock, &driver, extents, true, 1, false);
-    (out.throughput_mib_s(), out.elapsed.as_secs_f64(), out.total_bytes)
+    (
+        out.throughput_mib_s(),
+        out.elapsed.as_secs_f64(),
+        out.total_bytes,
+    )
 }
 
 fn main() {
@@ -132,4 +140,93 @@ fn main() {
     }
     println!("{}", alloc.render_table());
     alloc.save_json(atomio_bench::report::results_dir()).ok();
+
+    // --- Transfer engine --------------------------------------------------
+    // Single client, 64 KiB chunks: data-transfer throughput vs. striping
+    // factor, serial vs. pipelined chunk transfers. Serial pays
+    // (rpc + net + disk) per chunk regardless of fleet size; pipelined
+    // overlaps the RPCs and drains provider disks in parallel, so
+    // per-client bandwidth climbs with the striping factor until the
+    // client's own NIC saturates. Throughput is measured over the
+    // transfer stage (`core.transfer_time`) — the stage the
+    // `TransferMode` knob controls; the metadata build/publish cost is
+    // mode-independent and reported in the notes.
+    let mut transfer = ExperimentReport::new(
+        "E7d",
+        "ablation: pipelined vs. serial chunk transfers (1 client, 64 KiB chunks)",
+        "providers",
+    );
+    const XFER_CHUNK: u64 = 64 * 1024;
+    const XFER_CHUNKS: u64 = 128;
+    let total_bytes = XFER_CHUNK * XFER_CHUNKS;
+    for &servers in &[1usize, 2, 4, 8, 16, 32] {
+        for (label, mode) in [
+            ("serial", TransferMode::Serial),
+            ("pipelined", TransferMode::Pipelined),
+        ] {
+            let store = Store::new(
+                StoreConfig::default()
+                    .with_cost(cfg.cost)
+                    .with_chunk_size(XFER_CHUNK)
+                    .with_data_providers(servers)
+                    .with_meta_shards(cfg.meta_shards)
+                    .with_transfer_mode(mode)
+                    .with_seed(cfg.seed),
+            );
+            let blob = store.create_blob();
+            let clock = SimClock::new();
+            let ext = ExtentList::from_pairs([(0u64, total_bytes)]);
+            let blob_ref = &blob;
+            let ext_ref = &ext;
+            let xfer_stat = store.metrics().time_stat("core.transfer_time");
+            let stat_ref = &xfer_stat;
+            let times = run_actors_on(&clock, 1, move |_, p| {
+                let (s0, t0) = (stat_ref.sum(), p.now());
+                blob_ref
+                    .write_list(p, ext_ref, Bytes::from(vec![0xA5u8; total_bytes as usize]))
+                    .unwrap();
+                let (wrote_xfer, wrote) = (stat_ref.sum() - s0, p.now() - t0);
+                let (s1, t1) = (stat_ref.sum(), p.now());
+                blob_ref.read_list(p, ReadVersion::Latest, ext_ref).unwrap();
+                (wrote_xfer, wrote, stat_ref.sum() - s1, p.now() - t1)
+            });
+            let (wrote_xfer, wrote, read_xfer, read) = times[0];
+            for (phase, xfer, e2e) in [("write", wrote_xfer, wrote), ("read", read_xfer, read)] {
+                transfer.push(Row {
+                    x: servers as u64,
+                    backend: format!("{label}-{phase}"),
+                    throughput_mib_s: total_bytes as f64 / (1 << 20) as f64 / xfer.as_secs_f64(),
+                    elapsed_s: xfer.as_secs_f64(),
+                    bytes: total_bytes,
+                    atomic_ok: None,
+                });
+                if servers == 16 {
+                    transfer.note(format!(
+                        "end-to-end {label}-{phase} at 16 providers: {:.1} ms \
+                         (transfer {:.1} ms + metadata)",
+                        e2e.as_secs_f64() * 1e3,
+                        xfer.as_secs_f64() * 1e3,
+                    ));
+                }
+            }
+            // Where the virtual time went in the headline configuration.
+            if servers == 16 && mode == TransferMode::Pipelined {
+                transfer.resources =
+                    atomio_bench::report::provider_resource_usage(store.providers());
+            }
+            eprintln!("  ... transfer {label} {servers} providers done");
+        }
+    }
+    for x in transfer.xs() {
+        if let Some(s) = transfer.speedup_at(x, "pipelined-write", "serial-write") {
+            transfer.note(format!(
+                "pipelining write gain at {x:>3} providers: {s:.2}x"
+            ));
+        }
+        if let Some(s) = transfer.speedup_at(x, "pipelined-read", "serial-read") {
+            transfer.note(format!("pipelining read gain at {x:>3} providers: {s:.2}x"));
+        }
+    }
+    println!("{}", transfer.render_table());
+    transfer.save_json(atomio_bench::report::results_dir()).ok();
 }

@@ -48,9 +48,7 @@ fn main() {
                 let clock = SimClock::new();
                 let comm = Communicator::new(ranks, cfg.cost);
                 let files: Vec<File> = (0..ranks)
-                    .map(|r| {
-                        File::open(comm.clone(), r, Arc::clone(&driver), OpenMode::ReadWrite)
-                    })
+                    .map(|r| File::open(comm.clone(), r, Arc::clone(&driver), OpenMode::ReadWrite))
                     .collect();
                 let start = clock.now();
                 run_actors_on(&clock, ranks, |rank, p| {

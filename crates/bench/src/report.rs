@@ -5,6 +5,7 @@
 //! table and dumped as JSON under `results/` so `EXPERIMENTS.md` can
 //! reference machine-readable outputs.
 
+use atomio_provider::ProviderManager;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -27,6 +28,20 @@ pub struct Row {
     pub atomic_ok: Option<bool>,
 }
 
+/// Utilization of one simulated device (a provider NIC or disk, a
+/// client NIC) over an experiment run: where the virtual time went.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Device name, e.g. `"p3/disk"` or `"client0/nic"`.
+    pub name: String,
+    /// Total service time charged, simulated seconds.
+    pub busy_s: f64,
+    /// Total queueing delay experienced by requests, simulated seconds.
+    pub queue_s: f64,
+    /// Requests served.
+    pub requests: u64,
+}
+
 /// A complete experiment result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentReport {
@@ -40,6 +55,9 @@ pub struct ExperimentReport {
     pub rows: Vec<Row>,
     /// Free-form notes (parameters, cost model, observations).
     pub notes: Vec<String>,
+    /// Per-device utilization of a representative run (empty when not
+    /// collected).
+    pub resources: Vec<ResourceUsage>,
 }
 
 impl ExperimentReport {
@@ -51,6 +69,7 @@ impl ExperimentReport {
             x_label: x_label.to_owned(),
             rows: Vec::new(),
             notes: Vec::new(),
+            resources: Vec::new(),
         }
     }
 
@@ -136,6 +155,21 @@ impl ExperimentReport {
             }
             let _ = writeln!(out);
         }
+        if !self.resources.is_empty() {
+            let _ = writeln!(out, "-- device utilization (representative run) --");
+            let _ = writeln!(
+                out,
+                "{:>14} | {:>10} | {:>10} | {:>8}",
+                "device", "busy s", "queued s", "requests"
+            );
+            for r in &self.resources {
+                let _ = writeln!(
+                    out,
+                    "{:>14} | {:>10.4} | {:>10.4} | {:>8}",
+                    r.name, r.busy_s, r.queue_s, r.requests
+                );
+            }
+        }
         out
     }
 
@@ -145,9 +179,38 @@ impl ExperimentReport {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id.to_lowercase()));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )?;
         Ok(path)
     }
+}
+
+/// Collects [`ResourceUsage`] for every provider NIC and disk in a
+/// fleet, plus the per-client NICs of the pipelined transfer engine,
+/// skipping devices that never served a request.
+pub fn provider_resource_usage(providers: &ProviderManager) -> Vec<ResourceUsage> {
+    let usage_of = |dev: &atomio_simgrid::Resource| ResourceUsage {
+        name: dev.name().to_owned(),
+        busy_s: dev.busy_time().as_secs_f64(),
+        queue_s: dev.total_queue_delay().as_secs_f64(),
+        requests: dev.request_count(),
+    };
+    let mut out = Vec::new();
+    for prov in providers.providers() {
+        for dev in [prov.nic(), prov.disk()] {
+            if dev.request_count() > 0 {
+                out.push(usage_of(dev));
+            }
+        }
+    }
+    for nic in providers.client_nics() {
+        if nic.request_count() > 0 {
+            out.push(usage_of(&nic));
+        }
+    }
+    out
 }
 
 /// The conventional output directory for experiment JSON.
@@ -213,6 +276,37 @@ mod tests {
         let r = sample();
         assert_eq!(r.xs(), vec![1, 8]);
         assert_eq!(r.backends(), vec!["versioning", "lustre-lock"]);
+    }
+
+    #[test]
+    fn resource_section_renders_and_roundtrips() {
+        let mut r = sample();
+        r.resources.push(ResourceUsage {
+            name: "p0/disk".into(),
+            busy_s: 1.25,
+            queue_s: 0.5,
+            requests: 64,
+        });
+        let table = r.render_table();
+        assert!(table.contains("device utilization"));
+        assert!(table.contains("p0/disk"));
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let loaded: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(loaded.resources.len(), 1);
+        assert_eq!(loaded.resources[0].requests, 64);
+    }
+
+    #[test]
+    fn reports_without_resources_still_parse() {
+        // Committed results predate the resources section; they must
+        // keep loading (the field defaults to empty).
+        let json = r#"{
+            "id": "E0", "title": "t", "x_label": "x",
+            "rows": [], "notes": []
+        }"#;
+        let loaded: ExperimentReport = serde_json::from_str(json).unwrap();
+        assert!(loaded.resources.is_empty());
+        assert!(!loaded.render_table().contains("device utilization"));
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //!    its own version, which preserves MPI semantics ("when the call
 //!    returns, the data is visible").
 
-use atomio_meta::{LeafEntry, MetaStore, NodeCache, TreeBuilder, TreeConfig, TreeReader, VersionHistory};
-use atomio_provider::ProviderManager;
+use crate::config::TransferMode;
+use atomio_meta::{
+    LeafEntry, MetaStore, NodeCache, TreeBuilder, TreeConfig, TreeReader, VersionHistory,
+};
+use atomio_provider::{GetRequest, ProviderManager};
 use atomio_simgrid::{Metrics, Participant};
 use atomio_types::ids::IdAllocator;
 use atomio_types::{BlobId, ByteRange, ChunkGeometry, Error, ExtentList, Result, VersionId};
@@ -70,8 +73,8 @@ impl Blob {
         config: crate::StoreConfig,
         metrics: Metrics,
     ) -> Self {
-        let node_cache = (config.meta_cache_nodes > 0)
-            .then(|| NodeCache::new(config.meta_cache_nodes));
+        let node_cache =
+            (config.meta_cache_nodes > 0).then(|| NodeCache::new(config.meta_cache_nodes));
         Blob {
             inner: Arc::new(BlobInner {
                 id,
@@ -171,7 +174,10 @@ impl Blob {
     ) -> Result<VersionId> {
         let inner = &self.inner;
         inner.metrics.counter("core.writes").inc();
-        inner.metrics.counter("core.bytes_written").add(payload.len() as u64);
+        inner
+            .metrics
+            .counter("core.bytes_written")
+            .add(payload.len() as u64);
 
         let builder = TreeBuilder::new(
             inner.id,
@@ -182,9 +188,25 @@ impl Blob {
 
         let attempt = || -> Result<atomio_meta::NodeKey> {
             // 2. Data transfer: one immutable chunk per leaf-aligned
-            //    piece.
+            //    piece. The piece list is assembled first (pre-sized from
+            //    the extent/leaf count, so nothing reallocates
+            //    mid-transfer), then either pushed one chunk at a time
+            //    (Serial) or booked as one batch (Pipelined).
             let transfer_start = p.now();
-            let mut entries = Vec::new();
+            let leaf_count: usize = extents
+                .with_buffer_offsets()
+                .map(|(range, _)| {
+                    if range.len == 0 {
+                        0
+                    } else {
+                        (inner.geometry.chunk_index(range.end() - 1)
+                            - inner.geometry.chunk_index(range.offset)
+                            + 1) as usize
+                    }
+                })
+                .sum();
+            let mut spans: Vec<ByteRange> = Vec::with_capacity(leaf_count);
+            let mut puts: Vec<(atomio_types::ChunkId, Bytes)> = Vec::with_capacity(leaf_count);
             let mut cursor = 0u64;
             for (range, _buf_off) in extents.with_buffer_offsets() {
                 for span in inner.geometry.split_range(range) {
@@ -192,22 +214,51 @@ impl Blob {
                         (cursor + (span.absolute.offset - range.offset)) as usize
                             ..(cursor + (span.absolute.end() - range.offset)) as usize,
                     );
-                    let chunk = inner.chunk_ids.next_chunk();
-                    let homes = inner.providers.put_replicated(
-                        p,
-                        chunk,
-                        &slice,
-                        inner.config.replication,
-                        inner.config.min_replicas,
-                    )?;
-                    entries.push(LeafEntry {
-                        file_range: span.absolute,
-                        chunk,
-                        chunk_offset: 0,
-                        homes,
-                    });
+                    spans.push(span.absolute);
+                    puts.push((inner.chunk_ids.next_chunk(), slice));
                 }
                 cursor += range.len;
+            }
+            let depth = inner.metrics.value_stat("core.transfer_depth");
+            let mut entries = Vec::with_capacity(puts.len());
+            match inner.config.transfer_mode {
+                TransferMode::Serial => {
+                    for ((chunk, slice), &span) in puts.iter().zip(&spans) {
+                        depth.record(1);
+                        let homes = inner.providers.put_replicated(
+                            p,
+                            *chunk,
+                            slice,
+                            inner.config.replication,
+                            inner.config.min_replicas,
+                        )?;
+                        entries.push(LeafEntry {
+                            file_range: span,
+                            chunk: *chunk,
+                            chunk_offset: 0,
+                            homes,
+                        });
+                    }
+                }
+                TransferMode::Pipelined => {
+                    depth.record(puts.len() as u64);
+                    let outcomes = inner.providers.put_batch_replicated(
+                        p,
+                        &puts,
+                        inner.config.replication,
+                        inner.config.min_replicas,
+                    );
+                    for ((outcome, (chunk, _)), &span) in
+                        outcomes.into_iter().zip(&puts).zip(&spans)
+                    {
+                        entries.push(LeafEntry {
+                            file_range: span,
+                            chunk: *chunk,
+                            chunk_offset: 0,
+                            homes: outcome?,
+                        });
+                    }
+                }
             }
             inner
                 .metrics
@@ -299,26 +350,57 @@ impl Blob {
 
         // Materialize into a packed buffer.
         let mut out = vec![0u8; extents.total_len() as usize];
-        // Map absolute file offsets to packed-buffer offsets.
+        // Map absolute file offsets to packed-buffer offsets — computed
+        // once and reused by both the request-assembly pass and the
+        // copy-back pass.
         let offsets: Vec<(ByteRange, u64)> = extents.with_buffer_offsets().collect();
-        for piece in pieces {
-            let Some(src) = piece.source else { continue };
-            let data = inner.providers.get_with_failover(
-                p,
-                src.chunk,
-                &src.homes,
-                ByteRange::new(src.chunk_offset, piece.file_range.len),
-            )?;
+        let dst_of = |file_range: ByteRange| -> usize {
             // Locate the extent containing this piece (pieces never cross
             // extent boundaries because the resolver was given the same
             // extent list).
-            let idx = offsets
-                .partition_point(|(r, _)| r.end() <= piece.file_range.offset);
+            let idx = offsets.partition_point(|(r, _)| r.end() <= file_range.offset);
             let (ext_range, buf_off) = offsets[idx];
-            debug_assert!(ext_range.contains_range(piece.file_range));
-            let dst_start = (buf_off + piece.file_range.offset - ext_range.offset) as usize;
-            out[dst_start..dst_start + data.len()].copy_from_slice(&data);
+            debug_assert!(ext_range.contains_range(file_range));
+            (buf_off + file_range.offset - ext_range.offset) as usize
+        };
+        // Assemble the chunk fetches (holes read as zeros and fetch
+        // nothing).
+        let mut requests: Vec<GetRequest> = Vec::with_capacity(pieces.len());
+        let mut targets: Vec<usize> = Vec::with_capacity(pieces.len());
+        for piece in &pieces {
+            let Some(src) = &piece.source else { continue };
+            requests.push(GetRequest {
+                chunk: src.chunk,
+                homes: src.homes.clone(),
+                range: ByteRange::new(src.chunk_offset, piece.file_range.len),
+            });
+            targets.push(dst_of(piece.file_range));
         }
+        let depth = inner.metrics.value_stat("core.transfer_depth");
+        let transfer_start = p.now();
+        match inner.config.transfer_mode {
+            TransferMode::Serial => {
+                for (req, &dst) in requests.iter().zip(&targets) {
+                    depth.record(1);
+                    let data = inner
+                        .providers
+                        .get_with_failover(p, req.chunk, &req.homes, req.range)?;
+                    out[dst..dst + data.len()].copy_from_slice(&data);
+                }
+            }
+            TransferMode::Pipelined => {
+                depth.record(requests.len() as u64);
+                let results = inner.providers.get_batch_with_failover(p, &requests);
+                for (result, &dst) in results.into_iter().zip(&targets) {
+                    let data = result?;
+                    out[dst..dst + data.len()].copy_from_slice(&data);
+                }
+            }
+        }
+        inner
+            .metrics
+            .time_stat("core.transfer_time")
+            .record(p.now() - transfer_start);
         Ok(out)
     }
 
@@ -467,9 +549,7 @@ mod tests {
             // The gap is zeros.
             assert_eq!(blob.read(p, 4, 8).unwrap(), [0u8; 8]);
             // And a vectored read packs in file order.
-            let got = blob
-                .read_list(p, ReadVersion::Latest, &extents)
-                .unwrap();
+            let got = blob.read_list(p, ReadVersion::Latest, &extents).unwrap();
             assert_eq!(got, b"aaaabbbbcccc");
         });
     }
@@ -585,9 +665,8 @@ mod tests {
         let (results, _) = run_actors(n, move |i, p| {
             let stamp = WriteStamp::new(ClientId::new(i as u64), 0);
             // Interleaved strided extents: writer i owns stripes i, i+n, ...
-            let ext = ExtentList::from_pairs(
-                (0..4u64).map(|k| ((i as u64 + k * n as u64) * 32, 32u64)),
-            );
+            let ext =
+                ExtentList::from_pairs((0..4u64).map(|k| ((i as u64 + k * n as u64) * 32, 32u64)));
             let payload = Bytes::from(stamp.payload_for(&ext));
             let v = blob_ref.write_list(p, &ext, payload).unwrap();
             // Read own data back at own version.

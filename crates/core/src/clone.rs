@@ -91,7 +91,8 @@ mod tests {
         let s = store();
         let blob = s.create_blob();
         run_actors(1, |_, p| {
-            blob.write(p, 0, Bytes::from_static(b"original state!!")).unwrap();
+            blob.write(p, 0, Bytes::from_static(b"original state!!"))
+                .unwrap();
             let v1 = blob.latest(p).version;
             // Source keeps evolving after the clone point.
             blob.write(p, 0, Bytes::from_static(b"mutated")).unwrap();
@@ -166,7 +167,8 @@ mod tests {
         let blob = s.create_blob();
         run_actors(1, |_, p| {
             let ext = ExtentList::from_pairs([(0u64, 16u64), (200, 16)]);
-            blob.write_list(p, &ext, Bytes::from(vec![9u8; 32])).unwrap();
+            blob.write_list(p, &ext, Bytes::from(vec![9u8; 32]))
+                .unwrap();
             let clone = s.clone_blob(p, &blob, blob.latest(p).version).unwrap();
             assert_eq!(clone.read(p, 100, 16).unwrap(), vec![0u8; 16]);
             assert_eq!(clone.read(p, 200, 16).unwrap(), vec![9u8; 16]);

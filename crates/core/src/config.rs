@@ -4,6 +4,21 @@ use atomio_provider::AllocationStrategy;
 use atomio_simgrid::CostModel;
 use atomio_version::TicketMode;
 
+/// How the client data path issues chunk transfers (E7 ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferMode {
+    /// One chunk at a time: each transfer completes before the next is
+    /// issued. The pre-pipelining data path, kept as the ablation
+    /// baseline.
+    Serial,
+    /// Batched reservations: all chunk requests of a write or read are
+    /// booked up front (replica copies concurrently), injections
+    /// serialize on the client's own NIC, and the client sleeps once to
+    /// the latest completion — BlobSeer-style overlapped striping.
+    #[default]
+    Pipelined,
+}
+
 /// Configuration of a versioning store deployment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreConfig {
@@ -24,6 +39,8 @@ pub struct StoreConfig {
     pub cost: CostModel,
     /// Publication pipeline mode (E7 ablation knob).
     pub ticket_mode: TicketMode,
+    /// Chunk transfer engine mode (E7 ablation knob).
+    pub transfer_mode: TransferMode,
     /// Client-side metadata cache size in nodes (0 disables caching).
     pub meta_cache_nodes: usize,
     /// Seed for every random choice in the store.
@@ -44,6 +61,7 @@ impl Default for StoreConfig {
             allocation: AllocationStrategy::RoundRobin,
             cost: CostModel::grid5000(),
             ticket_mode: TicketMode::Pipelined,
+            transfer_mode: TransferMode::Pipelined,
             meta_cache_nodes: 4096,
             seed: 0x5EED,
         }
@@ -100,6 +118,12 @@ impl StoreConfig {
         self
     }
 
+    /// Sets the chunk transfer engine mode.
+    pub fn with_transfer_mode(mut self, mode: TransferMode) -> Self {
+        self.transfer_mode = mode;
+        self
+    }
+
     /// Sets the client-side metadata cache size (0 disables caching).
     pub fn with_meta_cache(mut self, nodes: usize) -> Self {
         self.meta_cache_nodes = nodes;
@@ -125,6 +149,7 @@ mod tests {
         assert_eq!(c.data_providers, 16);
         assert_eq!(c.replication, 1);
         assert_eq!(c.ticket_mode, TicketMode::Pipelined);
+        assert_eq!(c.transfer_mode, TransferMode::Pipelined);
         assert_eq!(c.meta_cache_nodes, 4096);
     }
 
@@ -138,6 +163,7 @@ mod tests {
             .with_replication(3, 2)
             .with_allocation(AllocationStrategy::LeastLoaded)
             .with_ticket_mode(TicketMode::SerializedBuild)
+            .with_transfer_mode(TransferMode::Serial)
             .with_meta_cache(0)
             .with_seed(7);
         assert_eq!(c.cost, CostModel::zero());
@@ -147,6 +173,7 @@ mod tests {
         assert_eq!((c.replication, c.min_replicas), (3, 2));
         assert_eq!(c.allocation, AllocationStrategy::LeastLoaded);
         assert_eq!(c.ticket_mode, TicketMode::SerializedBuild);
+        assert_eq!(c.transfer_mode, TransferMode::Serial);
         assert_eq!(c.meta_cache_nodes, 0);
         assert_eq!(c.seed, 7);
     }

@@ -136,7 +136,11 @@ mod tests {
             assert_eq!(blob.read(p, 0, 128).unwrap(), vec![2u8; 128]);
             // Retired version is gone.
             let err = blob
-                .read_at(p, VersionId::new(1), &ExtentList::from_pairs([(0u64, 128u64)]))
+                .read_at(
+                    p,
+                    VersionId::new(1),
+                    &ExtentList::from_pairs([(0u64, 128u64)]),
+                )
                 .unwrap_err();
             assert!(matches!(err, Error::MetadataNodeMissing(_)));
         });

@@ -173,7 +173,10 @@ mod tests {
             Some((VersionId::new(1), 128))
         );
         // Below v1 nothing is visible.
-        assert_eq!(h.latest_toucher(VersionId::new(1), ByteRange::new(0, 10)), None);
+        assert_eq!(
+            h.latest_toucher(VersionId::new(1), ByteRange::new(0, 10)),
+            None
+        );
     }
 
     #[test]

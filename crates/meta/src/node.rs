@@ -23,7 +23,11 @@ pub struct NodeKey {
 impl NodeKey {
     /// Creates a key.
     pub fn new(blob: BlobId, version: VersionId, range: ByteRange) -> Self {
-        NodeKey { blob, version, range }
+        NodeKey {
+            blob,
+            version,
+            range,
+        }
     }
 }
 

@@ -43,9 +43,7 @@ impl MetaStore {
 
     fn shard_for(&self, key: NodeKey) -> &Shard {
         let h = mix64(
-            key.version
-                .raw()
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            key.version.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ key.blob.raw().wrapping_mul(0x94D0_49BB_1331_11EB)
                 ^ key.range.offset.rotate_left(17)
                 ^ key.range.len,
@@ -86,7 +84,9 @@ impl MetaStore {
             .read()
             .get(&key)
             .cloned()
-            .ok_or(Error::MetadataNodeMissing(key.range.offset ^ key.version.raw()))
+            .ok_or(Error::MetadataNodeMissing(
+                key.range.offset ^ key.version.raw(),
+            ))
     }
 
     /// True if the node exists (free of simulated cost; for tests/GC).
@@ -119,7 +119,11 @@ mod tests {
 
     fn node(v: u64, off: u64, len: u64) -> Node {
         Node {
-            key: NodeKey::new(atomio_types::BlobId::new(0), VersionId::new(v), ByteRange::new(off, len)),
+            key: NodeKey::new(
+                atomio_types::BlobId::new(0),
+                VersionId::new(v),
+                ByteRange::new(off, len),
+            ),
             body: NodeBody::Inner {
                 left: None,
                 right: None,
@@ -132,7 +136,14 @@ mod tests {
         let store = MetaStore::new(4, CostModel::zero());
         let (res, _) = run_actors(1, |_, p| {
             store.put(p, node(1, 0, 64))?;
-            store.get(p, NodeKey::new(atomio_types::BlobId::new(0), VersionId::new(1), ByteRange::new(0, 64)))
+            store.get(
+                p,
+                NodeKey::new(
+                    atomio_types::BlobId::new(0),
+                    VersionId::new(1),
+                    ByteRange::new(0, 64),
+                ),
+            )
         });
         assert_eq!(*res[0].as_ref().unwrap().as_ref(), node(1, 0, 64));
         assert_eq!(store.node_count(), 1);
@@ -159,7 +170,14 @@ mod tests {
     fn missing_node_errors() {
         let store = MetaStore::new(2, CostModel::zero());
         let (res, _) = run_actors(1, |_, p| {
-            store.get(p, NodeKey::new(atomio_types::BlobId::new(0), VersionId::new(9), ByteRange::new(0, 64)))
+            store.get(
+                p,
+                NodeKey::new(
+                    atomio_types::BlobId::new(0),
+                    VersionId::new(9),
+                    ByteRange::new(0, 64),
+                ),
+            )
         });
         assert!(matches!(res[0], Err(Error::MetadataNodeMissing(_))));
     }
@@ -170,7 +188,11 @@ mod tests {
         let (_, _) = run_actors(1, |_, p| {
             store.put(p, node(1, 0, 64)).unwrap();
         });
-        let key = NodeKey::new(atomio_types::BlobId::new(0), VersionId::new(1), ByteRange::new(0, 64));
+        let key = NodeKey::new(
+            atomio_types::BlobId::new(0),
+            VersionId::new(1),
+            ByteRange::new(0, 64),
+        );
         assert!(store.contains(key));
         store.evict(key);
         assert!(!store.contains(key));

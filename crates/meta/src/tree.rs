@@ -228,12 +228,7 @@ impl<'a> TreeBuilder<'a> {
     /// the latest earlier toucher's node — materializing *filler* inner
     /// nodes when the target version's tree was smaller than `range`
     /// (capacity expansion).
-    fn link_for(
-        &self,
-        p: &Participant,
-        v: VersionId,
-        range: ByteRange,
-    ) -> Result<Option<NodeKey>> {
+    fn link_for(&self, p: &Participant, v: VersionId, range: ByteRange) -> Result<Option<NodeKey>> {
         match self.history.latest_toucher(v, range) {
             None => Ok(None),
             Some((u, cap_u)) if cap_u >= range.end() => Ok(Some(NodeKey::new(self.blob, u, range))),
@@ -443,7 +438,11 @@ impl<'a> TreeReader<'a> {
     }
 
     /// Every node key reachable from `root` (for GC of whole versions).
-    pub fn reachable_nodes(&self, p: &Participant, root: Option<NodeKey>) -> Result<HashSet<NodeKey>> {
+    pub fn reachable_nodes(
+        &self,
+        p: &Participant,
+        root: Option<NodeKey>,
+    ) -> Result<HashSet<NodeKey>> {
         let mut visited = HashSet::new();
         let mut chunks = HashMap::new();
         if let Some(root) = root {
@@ -534,7 +533,11 @@ mod tests {
             pairs: &[(u64, u64)],
         ) -> Vec<ResolvedPiece> {
             TreeReader::new(&self.store)
-                .resolve(p, Some(root), &ExtentList::from_pairs(pairs.iter().copied()))
+                .resolve(
+                    p,
+                    Some(root),
+                    &ExtentList::from_pairs(pairs.iter().copied()),
+                )
                 .unwrap()
         }
     }
@@ -654,7 +657,7 @@ mod tests {
         let fx = Fixture::new();
         run_actors(1, |_, p| {
             let (_, _) = fx.write(p, &[(0, 32)]); // cap 64
-            // Jump far: cap 64 -> 1024 (4 doublings).
+                                                  // Jump far: cap 64 -> 1024 (4 doublings).
             let (_, root2) = fx.write(p, &[(64 * 15, 32)]);
             assert_eq!(root2.range.len, 1024);
             let pieces = fx.resolve(p, root2, &[(0, 32), (64 * 15, 32)]);
@@ -792,7 +795,7 @@ mod tests {
         let fx = Fixture::new();
         run_actors(1, |_, p| {
             let (_, _) = fx.write(p, &[(0, 64), (64, 64)]); // v1: chunks 0,1
-            // v2 is ticketed over [32, 96) but fails: tombstone.
+                                                            // v2 is ticketed over [32, 96) but fails: tombstone.
             let v2 = VersionId::new(2);
             let ext = ExtentList::from_pairs([(32u64, 64u64)]);
             fx.history.append(WriteSummary {
@@ -815,10 +818,7 @@ mod tests {
             // A later writer linking to (v2, ...) keys finds real nodes.
             let (_, root3) = fx.write(p, &[(0, 16)]); // chunk 2
             let pieces = fx.resolve(p, root3, &[(0, 128)]);
-            assert_eq!(
-                pieces[0].source.as_ref().unwrap().chunk,
-                ChunkId::new(2)
-            );
+            assert_eq!(pieces[0].source.as_ref().unwrap().chunk, ChunkId::new(2));
         });
     }
 

@@ -40,7 +40,9 @@ fn arb_write() -> impl Strategy<Value = GenWrite> {
                 .collect(),
             fill,
         })
-        .prop_filter("need at least one non-empty range", |w| !w.ranges.is_empty())
+        .prop_filter("need at least one non-empty range", |w| {
+            !w.ranges.is_empty()
+        })
 }
 
 struct Harness {
@@ -87,8 +89,12 @@ impl Harness {
             for span in geo.split_extents(&extents) {
                 let chunk = ChunkId::new(self.next_chunk);
                 self.next_chunk += 1;
-                self.chunk_data
-                    .insert(chunk, [w.fill, w.fill].repeat(span.absolute.len as usize / 2 + 1)[..span.absolute.len as usize].to_vec());
+                self.chunk_data.insert(
+                    chunk,
+                    [w.fill, w.fill].repeat(span.absolute.len as usize / 2 + 1)
+                        [..span.absolute.len as usize]
+                        .to_vec(),
+                );
                 entries.push(LeafEntry {
                     file_range: span.absolute,
                     chunk,
@@ -111,7 +117,11 @@ impl Harness {
 
     /// Reads `window` of version `v` via the tree and materializes bytes.
     fn read(&self, p: &atomio_simgrid::Participant, v: usize, window: ByteRange) -> Vec<u8> {
-        let root = if v == 0 { None } else { Some(self.roots[v - 1]) };
+        let root = if v == 0 {
+            None
+        } else {
+            Some(self.roots[v - 1])
+        };
         let reader = TreeReader::new(&self.store);
         let pieces = reader
             .resolve(p, root, &ExtentList::single(window))

@@ -108,9 +108,9 @@ pub fn two_phase_write(
             while cursor < msg.len() {
                 let (piece, data, next) = decode_piece(msg, cursor)?;
                 let idx = dom_offsets.partition_point(|(r, _)| r.end() <= piece.offset);
-                let (outer, buf_off) = *dom_offsets.get(idx).ok_or_else(|| {
-                    Error::Internal("piece outside aggregator domain".into())
-                })?;
+                let (outer, buf_off) = *dom_offsets
+                    .get(idx)
+                    .ok_or_else(|| Error::Internal("piece outside aggregator domain".into()))?;
                 if !outer.contains_range(piece) {
                     return Err(Error::Internal(
                         "piece crosses aggregator domain runs".into(),

@@ -161,12 +161,7 @@ impl Communicator {
     ///
     /// Costs: one message latency round plus the NIC time of everything
     /// this rank sends and receives.
-    pub fn alltoallv(
-        &self,
-        p: &Participant,
-        rank: usize,
-        outgoing: Vec<Vec<u8>>,
-    ) -> Vec<Vec<u8>> {
+    pub fn alltoallv(&self, p: &Participant, rank: usize, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         assert!(rank < self.inner.size, "rank {rank} out of range");
         assert_eq!(
             outgoing.len(),
@@ -282,9 +277,7 @@ mod tests {
     #[test]
     fn allgather_collects_all_ranks() {
         let comm = Communicator::new(4, CostModel::zero());
-        let (results, _) = run_actors(4, |i, p| {
-            comm.allgather(p, i, vec![i as u8; i + 1])
-        });
+        let (results, _) = run_actors(4, |i, p| comm.allgather(p, i, vec![i as u8; i + 1]));
         for r in &results {
             assert_eq!(r.len(), 4);
             for (rank, payload) in r.iter().enumerate() {
@@ -323,14 +316,17 @@ mod tests {
         let comm = Communicator::new(3, CostModel::zero());
         let (results, _) = run_actors(3, |i, p| {
             // Rank i sends "i*10 + dst" to each destination.
-            let outgoing: Vec<Vec<u8>> =
-                (0..3).map(|dst| vec![(i * 10 + dst) as u8]).collect();
+            let outgoing: Vec<Vec<u8>> = (0..3).map(|dst| vec![(i * 10 + dst) as u8]).collect();
             comm.alltoallv(p, i, outgoing)
         });
         for (dst, inbox) in results.iter().enumerate() {
             assert_eq!(inbox.len(), 3);
             for (src, payload) in inbox.iter().enumerate() {
-                assert_eq!(payload, &vec![(src * 10 + dst) as u8], "src {src} dst {dst}");
+                assert_eq!(
+                    payload,
+                    &vec![(src * 10 + dst) as u8],
+                    "src {src} dst {dst}"
+                );
             }
         }
     }
@@ -341,7 +337,8 @@ mod tests {
         run_actors(2, |i, p| {
             for round in 0..10u8 {
                 p.sleep(Duration::from_micros(i as u64 * 3));
-                let outgoing: Vec<Vec<u8>> = (0..2).map(|d| vec![round, i as u8, d as u8]).collect();
+                let outgoing: Vec<Vec<u8>> =
+                    (0..2).map(|d| vec![round, i as u8, d as u8]).collect();
                 let inbox = comm.alltoallv(p, i, outgoing);
                 for (src, payload) in inbox.iter().enumerate() {
                     assert_eq!(payload, &vec![round, src as u8, i as u8]);

@@ -214,9 +214,7 @@ impl Datatype {
     /// `starts` within an array of `sizes` elements.
     pub fn subarray(&self, sizes: &[u64], subsizes: &[u64], starts: &[u64]) -> Result<Self> {
         if sizes.is_empty() || sizes.len() != subsizes.len() || sizes.len() != starts.len() {
-            return Err(Error::InvalidDatatype(
-                "subarray dimension mismatch".into(),
-            ));
+            return Err(Error::InvalidDatatype("subarray dimension mismatch".into()));
         }
         for i in 0..sizes.len() {
             if subsizes[i] == 0 || starts[i] + subsizes[i] > sizes[i] {
@@ -290,9 +288,7 @@ impl Datatype {
             Kind::Indexed { blocks, elem } | Kind::Hindexed { blocks, elem } => {
                 blocks.iter().map(|&(_, len)| len).sum::<u64>() * elem.size()
             }
-            Kind::Subarray {
-                subsizes, elem, ..
-            } => subsizes.iter().product::<u64>() * elem.size(),
+            Kind::Subarray { subsizes, elem, .. } => subsizes.iter().product::<u64>() * elem.size(),
             Kind::Struct { fields } => fields.iter().map(|(_, t)| t.size()).sum(),
             Kind::Resized { elem, .. } => elem.size(),
         }
@@ -606,12 +602,21 @@ mod tests {
 
     #[test]
     fn indexed_blocks() {
-        let t = Datatype::bytes(2).unwrap().indexed(&[(0, 2), (5, 1), (10, 3)]).unwrap();
+        let t = Datatype::bytes(2)
+            .unwrap()
+            .indexed(&[(0, 2), (5, 1), (10, 3)])
+            .unwrap();
         assert_eq!(t.size(), 12);
         assert_eq!(ranges(&t), vec![(0, 4), (10, 2), (20, 6)]);
         // Unsorted/overlapping rejected.
-        assert!(Datatype::bytes(1).unwrap().indexed(&[(5, 2), (0, 2)]).is_err());
-        assert!(Datatype::bytes(1).unwrap().indexed(&[(0, 3), (2, 2)]).is_err());
+        assert!(Datatype::bytes(1)
+            .unwrap()
+            .indexed(&[(5, 2), (0, 2)])
+            .is_err());
+        assert!(Datatype::bytes(1)
+            .unwrap()
+            .indexed(&[(0, 3), (2, 2)])
+            .is_err());
     }
 
     #[test]
@@ -696,17 +701,29 @@ mod tests {
 
     #[test]
     fn hindexed_blocks() {
-        let t = Datatype::bytes(4).unwrap().hindexed(&[(0, 2), (100, 1)]).unwrap();
+        let t = Datatype::bytes(4)
+            .unwrap()
+            .hindexed(&[(0, 2), (100, 1)])
+            .unwrap();
         assert_eq!(t.size(), 12);
         assert_eq!(ranges(&t), vec![(0, 8), (100, 4)]);
-        assert!(Datatype::bytes(4).unwrap().hindexed(&[(8, 1), (0, 1)]).is_err());
-        assert!(Datatype::bytes(4).unwrap().hindexed(&[(0, 3), (8, 1)]).is_err());
+        assert!(Datatype::bytes(4)
+            .unwrap()
+            .hindexed(&[(8, 1), (0, 1)])
+            .is_err());
+        assert!(Datatype::bytes(4)
+            .unwrap()
+            .hindexed(&[(0, 3), (8, 1)])
+            .is_err());
         assert!(Datatype::bytes(4).unwrap().hindexed(&[]).is_err());
     }
 
     #[test]
     fn indexed_block_equal_lengths() {
-        let t = Datatype::bytes(2).unwrap().indexed_block(3, &[0, 10, 20]).unwrap();
+        let t = Datatype::bytes(2)
+            .unwrap()
+            .indexed_block(3, &[0, 10, 20])
+            .unwrap();
         assert_eq!(t.size(), 18);
         assert_eq!(ranges(&t), vec![(0, 6), (20, 6), (40, 6)]);
         assert!(Datatype::bytes(2).unwrap().indexed_block(0, &[0]).is_err());
@@ -714,7 +731,10 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        let t = Datatype::bytes(2).unwrap().indexed(&[(0, 2), (5, 1), (10, 2)]).unwrap();
+        let t = Datatype::bytes(2)
+            .unwrap()
+            .indexed(&[(0, 2), (5, 1), (10, 2)])
+            .unwrap();
         // Memory layout: data at elements 0-1, 5, 10-11 of 2-byte elems.
         let mut mem = vec![0u8; t.span() as usize];
         for (i, b) in mem.iter_mut().enumerate() {
@@ -743,9 +763,18 @@ mod tests {
         let types = [
             Datatype::double().contiguous(7).unwrap(),
             Datatype::double().vector(5, 3, 9).unwrap(),
-            Datatype::bytes(3).unwrap().indexed(&[(0, 1), (4, 2), (9, 5)]).unwrap(),
-            Datatype::bytes(5).unwrap().hindexed(&[(0, 2), (50, 3)]).unwrap(),
-            Datatype::bytes(2).unwrap().indexed_block(4, &[0, 8, 16]).unwrap(),
+            Datatype::bytes(3)
+                .unwrap()
+                .indexed(&[(0, 1), (4, 2), (9, 5)])
+                .unwrap(),
+            Datatype::bytes(5)
+                .unwrap()
+                .hindexed(&[(0, 2), (50, 3)])
+                .unwrap(),
+            Datatype::bytes(2)
+                .unwrap()
+                .indexed_block(4, &[0, 8, 16])
+                .unwrap(),
             Datatype::bytes(2)
                 .unwrap()
                 .subarray(&[6, 6, 6], &[2, 3, 4], &[1, 0, 2])

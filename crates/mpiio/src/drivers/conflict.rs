@@ -109,7 +109,9 @@ impl AdioDriver for ConflictDetectDriver {
         } else {
             // Wait for the earlier conflicting writes to retire, then
             // write under the covering lock.
-            self.coordinator.locked_writes.fetch_add(1, Ordering::Relaxed);
+            self.coordinator
+                .locked_writes
+                .fetch_add(1, Ordering::Relaxed);
             p.poll_until(|| {
                 let active = self.coordinator.active.lock();
                 conflicting
@@ -147,8 +149,9 @@ impl AdioDriver for ConflictDetectDriver {
         let mut result = Ok(());
         for (range, buf_off) in extents.with_buffer_offsets() {
             match self.file.pread(p, range.offset, range.len) {
-                Ok(data) => out[buf_off as usize..(buf_off + range.len) as usize]
-                    .copy_from_slice(&data),
+                Ok(data) => {
+                    out[buf_off as usize..(buf_off + range.len) as usize].copy_from_slice(&data)
+                }
                 Err(e) => {
                     result = Err(e);
                     break;
@@ -170,12 +173,7 @@ impl AdioDriver for ConflictDetectDriver {
     }
 }
 
-fn write_raw(
-    file: &PfsFile,
-    p: &Participant,
-    extents: &ExtentList,
-    payload: &Bytes,
-) -> Result<()> {
+fn write_raw(file: &PfsFile, p: &Participant, extents: &ExtentList, payload: &Bytes) -> Result<()> {
     for (range, buf_off) in extents.with_buffer_offsets() {
         file.pwrite(
             p,
@@ -203,8 +201,14 @@ mod tests {
         let d = driver(CostModel::zero());
         run_actors(1, |_, p| {
             let ext = ExtentList::from_pairs([(0u64, 4u64), (64, 4)]);
-            d.write_extents(p, ClientId::new(0), &ext, Bytes::from_static(b"aaaabbbb"), true)
-                .unwrap();
+            d.write_extents(
+                p,
+                ClientId::new(0),
+                &ext,
+                Bytes::from_static(b"aaaabbbb"),
+                true,
+            )
+            .unwrap();
             assert_eq!(
                 d.read_extents(p, ClientId::new(0), &ext, true).unwrap(),
                 b"aaaabbbb"
@@ -265,7 +269,8 @@ mod tests {
             let f = Arc::new(fs.create_file(64));
             run_actors(1, move |_, p| {
                 for (range, _) in ExtentList::from_pairs([(0u64, 4096u64)]).with_buffer_offsets() {
-                    f.pwrite(p, range.offset, &vec![0u8; range.len as usize]).unwrap();
+                    f.pwrite(p, range.offset, &vec![0u8; range.len as usize])
+                        .unwrap();
                 }
             })
             .1

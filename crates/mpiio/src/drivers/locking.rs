@@ -77,8 +77,7 @@ impl AdioDriver for LockingDriver {
         for (range, buf_off) in extents.with_buffer_offsets() {
             match self.file.pread(p, range.offset, range.len) {
                 Ok(data) => {
-                    out[buf_off as usize..(buf_off + range.len) as usize]
-                        .copy_from_slice(&data);
+                    out[buf_off as usize..(buf_off + range.len) as usize].copy_from_slice(&data);
                 }
                 Err(e) => {
                     result = Err(e);
@@ -120,8 +119,14 @@ mod tests {
         let (d, _) = driver(CostModel::zero());
         run_actors(1, |_, p| {
             let ext = ExtentList::from_pairs([(0u64, 4u64), (100, 4)]);
-            d.write_extents(p, ClientId::new(0), &ext, Bytes::from_static(b"aaaabbbb"), true)
-                .unwrap();
+            d.write_extents(
+                p,
+                ClientId::new(0),
+                &ext,
+                Bytes::from_static(b"aaaabbbb"),
+                true,
+            )
+            .unwrap();
             let got = d.read_extents(p, ClientId::new(0), &ext, true).unwrap();
             assert_eq!(got, b"aaaabbbb");
             assert_eq!(d.file_size(p), 104);
@@ -157,8 +162,14 @@ mod tests {
             let (d1, _) = driver(CostModel::grid5000());
             run_actors(1, move |_, p| {
                 let ext = ExtentList::from_pairs([(0u64, 1u64 << 20), (2 << 20, 1 << 20)]);
-                d1.write_extents(p, ClientId::new(0), &ext, Bytes::from(vec![0; 2 << 20]), true)
-                    .unwrap();
+                d1.write_extents(
+                    p,
+                    ClientId::new(0),
+                    &ext,
+                    Bytes::from(vec![0; 2 << 20]),
+                    true,
+                )
+                .unwrap();
             })
             .1
         };
@@ -187,8 +198,14 @@ mod tests {
             let (d1, _) = driver(cost);
             run_actors(1, move |_, p| {
                 let ext = ExtentList::from_pairs([(0u64, 1u64 << 20)]);
-                d1.write_extents(p, ClientId::new(0), &ext, Bytes::from(vec![0; 1 << 20]), false)
-                    .unwrap();
+                d1.write_extents(
+                    p,
+                    ClientId::new(0),
+                    &ext,
+                    Bytes::from(vec![0; 1 << 20]),
+                    false,
+                )
+                .unwrap();
             })
             .1
         };

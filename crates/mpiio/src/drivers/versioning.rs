@@ -69,8 +69,7 @@ impl AdioDriver for VersioningDriver {
             let idx = offsets.partition_point(|(r, _)| r.end() <= r_in.offset);
             let (outer, buf_off) = offsets[idx];
             let dst = (buf_off + r_in.offset - outer.offset) as usize;
-            out[dst..dst + r_in.len as usize]
-                .copy_from_slice(&data[src..src + r_in.len as usize]);
+            out[dst..dst + r_in.len as usize].copy_from_slice(&data[src..src + r_in.len as usize]);
             src += r_in.len as usize;
         }
         Ok(out)
@@ -106,8 +105,14 @@ mod tests {
         let d = driver();
         run_actors(1, |_, p| {
             let ext = ExtentList::from_pairs([(0u64, 4u64), (100, 4)]);
-            d.write_extents(p, ClientId::new(0), &ext, Bytes::from_static(b"aaaabbbb"), true)
-                .unwrap();
+            d.write_extents(
+                p,
+                ClientId::new(0),
+                &ext,
+                Bytes::from_static(b"aaaabbbb"),
+                true,
+            )
+            .unwrap();
             let got = d.read_extents(p, ClientId::new(0), &ext, true).unwrap();
             assert_eq!(got, b"aaaabbbb");
             assert_eq!(d.file_size(p), 104);

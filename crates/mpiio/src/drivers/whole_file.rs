@@ -74,8 +74,9 @@ impl AdioDriver for WholeFileDriver {
         let mut result = Ok(());
         for (range, buf_off) in extents.with_buffer_offsets() {
             match self.file.pread(p, range.offset, range.len) {
-                Ok(data) => out[buf_off as usize..(buf_off + range.len) as usize]
-                    .copy_from_slice(&data),
+                Ok(data) => {
+                    out[buf_off as usize..(buf_off + range.len) as usize].copy_from_slice(&data)
+                }
                 Err(e) => {
                     result = Err(e);
                     break;
@@ -114,8 +115,14 @@ mod tests {
         let d = driver(CostModel::zero());
         run_actors(1, |_, p| {
             let ext = ExtentList::from_pairs([(5u64, 3u64), (50, 3)]);
-            d.write_extents(p, ClientId::new(0), &ext, Bytes::from_static(b"abcdef"), true)
-                .unwrap();
+            d.write_extents(
+                p,
+                ClientId::new(0),
+                &ext,
+                Bytes::from_static(b"abcdef"),
+                true,
+            )
+            .unwrap();
             assert_eq!(
                 d.read_extents(p, ClientId::new(0), &ext, true).unwrap(),
                 b"abcdef"

@@ -468,10 +468,7 @@ mod tests {
             .map(|r| File::open(comm.clone(), r, Arc::clone(&driver), OpenMode::ReadWrite))
             .collect();
         for (r, f) in files.iter().enumerate() {
-            let ft = Datatype::bytes(4)
-                .unwrap()
-                .resized(8)
-                .unwrap();
+            let ft = Datatype::bytes(4).unwrap().resized(8).unwrap();
             f.set_view(FileView::new(r as u64 * 4, 4, ft).unwrap());
         }
         let fref = &files;
@@ -532,13 +529,12 @@ mod tests {
             .collect();
         let extents: Vec<atomio_types::ExtentList> = (0..4u64)
             .map(|r| {
-                atomio_types::ExtentList::from_pairs(
-                    (0..6u64).map(|k| (k * 256 + r * 96, 128u64)),
-                )
+                atomio_types::ExtentList::from_pairs((0..6u64).map(|k| (k * 256 + r * 96, 128u64)))
             })
             .collect();
-        let stamps: Vec<WriteStamp> =
-            (0..4).map(|r| WriteStamp::new(atomio_types::ClientId::new(r), 5)).collect();
+        let stamps: Vec<WriteStamp> = (0..4)
+            .map(|r| WriteStamp::new(atomio_types::ClientId::new(r), 5))
+            .collect();
         let fref = &files;
         let eref = &extents;
         let sref = &stamps;
@@ -549,25 +545,23 @@ mod tests {
             // writes is awkward, so write each extent set through a
             // custom view-less path: set an indexed filetype matching
             // the extent list.
-            let pairs: Vec<(u64, u64)> = eref[i]
-                .ranges()
-                .iter()
-                .map(|r| (r.offset, r.len))
-                .collect();
+            let pairs: Vec<(u64, u64)> =
+                eref[i].ranges().iter().map(|r| (r.offset, r.len)).collect();
             let ft = Datatype::bytes(1).unwrap().indexed(&pairs).unwrap();
             fref[i].set_view(FileView::new(0, 1, ft).unwrap());
             let payload = sref[i].payload_for(&eref[i]);
             fref[i].write_at_all(p, 0, &payload).unwrap();
         });
         // Model: apply in rank order.
-        let end = extents.iter().map(|e| e.covering_range().end()).max().unwrap();
+        let end = extents
+            .iter()
+            .map(|e| e.covering_range().end())
+            .max()
+            .unwrap();
         let mut model = vec![0u8; end as usize];
         for (i, e) in extents.iter().enumerate() {
             for r in e {
-                stamps[i].fill_range(
-                    r.offset,
-                    &mut model[r.offset as usize..r.end() as usize],
-                );
+                stamps[i].fill_range(r.offset, &mut model[r.offset as usize..r.end() as usize]);
             }
         }
         run_actors(1, |_, p| {
@@ -592,10 +586,7 @@ mod tests {
         // Each rank reads a strided slice both ways; results must agree.
         let fref = &files;
         run_actors(4, move |i, p| {
-            let ft = Datatype::bytes(64)
-                .unwrap()
-                .resized(256)
-                .unwrap();
+            let ft = Datatype::bytes(64).unwrap().resized(256).unwrap();
             fref[i].set_view(FileView::new(i as u64 * 64, 1, ft).unwrap());
             fref[i].set_collective(CollectiveStrategy::Independent);
             let independent = fref[i].read_at_all(p, 0, 640).unwrap();
@@ -705,7 +696,11 @@ mod tests {
             p.sleep(std::time::Duration::from_micros((3 - i as u64) * 50));
             let payload = vec![b'A' + i as u8; (i + 1) * 2];
             fref[i].write_ordered(p, &payload).unwrap();
-            let payload2 = if i == 1 { vec![] } else { vec![b'x' + i as u8; 2] };
+            let payload2 = if i == 1 {
+                vec![]
+            } else {
+                vec![b'x' + i as u8; 2]
+            };
             fref[i].write_ordered(p, &payload2).unwrap();
         });
         run_actors(1, |_, p| {

@@ -225,12 +225,24 @@ impl LockManager {
                 let holder = table
                     .granted
                     .iter()
-                    .find(|g| conflicts(g, &LockReq { id, owner, range, kind }))
+                    .find(|g| {
+                        conflicts(
+                            g,
+                            &LockReq {
+                                id,
+                                owner,
+                                range,
+                                kind,
+                            },
+                        )
+                    })
                     .map(|g| atomio_types::error::ClientHint(g.owner.raw()));
                 table.queue.retain(|r| r.id != id);
                 let mut woken = Vec::new();
                 table.promote(&mut woken);
-                return Err(atomio_types::Error::LockTimeout { holder_hint: holder });
+                return Err(atomio_types::Error::LockTimeout {
+                    holder_hint: holder,
+                });
             }
         }
         self.metrics.counter("dlm.locks_granted").inc();
@@ -305,7 +317,11 @@ mod tests {
             active.fetch_sub(1, Ordering::SeqCst);
             m.unlock(p, h);
         });
-        assert_eq!(peak.load(Ordering::SeqCst), 1, "exclusive overlap ran concurrently");
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "exclusive overlap ran concurrently"
+        );
         assert_eq!(m.granted_count(), 0);
         assert_eq!(m.waiting_count(), 0);
     }
@@ -323,7 +339,10 @@ mod tests {
             p.sleep(Duration::from_millis(5));
             m.unlock(p, h);
         });
-        assert!(total < Duration::from_millis(10), "disjoint locks serialized: {total:?}");
+        assert!(
+            total < Duration::from_millis(10),
+            "disjoint locks serialized: {total:?}"
+        );
     }
 
     #[test]
@@ -332,13 +351,23 @@ mod tests {
         let (_, total) = run_actors(3, |i, p| {
             if i < 2 {
                 // Two readers hold overlapping shared locks together.
-                let h = m.lock(p, ClientId::new(i as u64), ByteRange::new(0, 100), LockKind::Shared);
+                let h = m.lock(
+                    p,
+                    ClientId::new(i as u64),
+                    ByteRange::new(0, 100),
+                    LockKind::Shared,
+                );
                 p.sleep(Duration::from_millis(5));
                 m.unlock(p, h);
             } else {
                 // The writer (queued after both) must wait for both.
                 p.sleep(Duration::from_millis(1));
-                let h = m.lock(p, ClientId::new(9), ByteRange::new(50, 10), LockKind::Exclusive);
+                let h = m.lock(
+                    p,
+                    ClientId::new(9),
+                    ByteRange::new(50, 10),
+                    LockKind::Exclusive,
+                );
                 m.unlock(p, h);
             }
         });
@@ -355,20 +384,35 @@ mod tests {
         let order = Mutex::new(Vec::new());
         run_actors(3, |i, p| match i {
             0 => {
-                let h = m.lock(p, ClientId::new(0), ByteRange::new(0, 100), LockKind::Shared);
+                let h = m.lock(
+                    p,
+                    ClientId::new(0),
+                    ByteRange::new(0, 100),
+                    LockKind::Shared,
+                );
                 p.sleep(Duration::from_millis(4));
                 m.unlock(p, h);
                 order.lock().push('A');
             }
             1 => {
                 p.sleep(Duration::from_millis(1));
-                let h = m.lock(p, ClientId::new(1), ByteRange::new(0, 100), LockKind::Exclusive);
+                let h = m.lock(
+                    p,
+                    ClientId::new(1),
+                    ByteRange::new(0, 100),
+                    LockKind::Exclusive,
+                );
                 order.lock().push('W');
                 m.unlock(p, h);
             }
             _ => {
                 p.sleep(Duration::from_millis(2));
-                let h = m.lock(p, ClientId::new(2), ByteRange::new(0, 100), LockKind::Shared);
+                let h = m.lock(
+                    p,
+                    ClientId::new(2),
+                    ByteRange::new(0, 100),
+                    LockKind::Shared,
+                );
                 order.lock().push('B');
                 m.unlock(p, h);
             }
@@ -385,12 +429,22 @@ mod tests {
         let m = mgr();
         let (_, total) = run_actors(2, |i, p| {
             if i == 0 {
-                let h = m.lock(p, ClientId::new(0), ByteRange::new(0, 300), LockKind::Exclusive);
+                let h = m.lock(
+                    p,
+                    ClientId::new(0),
+                    ByteRange::new(0, 300),
+                    LockKind::Exclusive,
+                );
                 p.sleep(Duration::from_millis(5));
                 m.unlock(p, h);
             } else {
                 p.sleep(Duration::from_millis(1));
-                let h = m.lock(p, ClientId::new(1), ByteRange::new(100, 100), LockKind::Exclusive);
+                let h = m.lock(
+                    p,
+                    ClientId::new(1),
+                    ByteRange::new(100, 100),
+                    LockKind::Exclusive,
+                );
                 p.sleep(Duration::from_millis(5));
                 m.unlock(p, h);
             }
@@ -409,7 +463,12 @@ mod tests {
         let m = mgr();
         let clock = atomio_simgrid::SimClock::new();
         let p = clock.register();
-        let h = m.lock(&p, ClientId::new(0), ByteRange::new(0, 10), LockKind::Exclusive);
+        let h = m.lock(
+            &p,
+            ClientId::new(0),
+            ByteRange::new(0, 10),
+            LockKind::Exclusive,
+        );
         assert_eq!(m.holders(), vec![ClientId::new(0)]);
         m.unlock(&p, h);
         m.unlock(&p, h);
@@ -429,7 +488,12 @@ mod tests {
         let m = mgr();
         run_actors(2, |i, p| {
             if i == 0 {
-                let h = m.lock(p, ClientId::new(0), ByteRange::new(0, 100), LockKind::Exclusive);
+                let h = m.lock(
+                    p,
+                    ClientId::new(0),
+                    ByteRange::new(0, 100),
+                    LockKind::Exclusive,
+                );
                 p.sleep(Duration::from_millis(10));
                 m.unlock(p, h);
             } else {
@@ -444,7 +508,12 @@ mod tests {
                         Duration::from_millis(2),
                     )
                     .unwrap_err();
-                assert!(matches!(err, atomio_types::Error::LockTimeout { holder_hint: Some(_) }));
+                assert!(matches!(
+                    err,
+                    atomio_types::Error::LockTimeout {
+                        holder_hint: Some(_)
+                    }
+                ));
                 // A later retry (after the holder is gone) succeeds.
                 p.sleep(Duration::from_millis(10));
                 let h = m
@@ -460,7 +529,11 @@ mod tests {
             }
         });
         assert_eq!(m.granted_count(), 0);
-        assert_eq!(m.waiting_count(), 0, "timed-out request must leave the queue");
+        assert_eq!(
+            m.waiting_count(),
+            0,
+            "timed-out request must leave the queue"
+        );
     }
 
     #[test]
@@ -485,7 +558,12 @@ mod tests {
         let metrics = Metrics::new();
         let m = Arc::new(LockManager::new(CostModel::zero(), metrics.clone()));
         run_actors(2, |i, p| {
-            let h = m.lock(p, ClientId::new(i as u64), ByteRange::new(0, 10), LockKind::Exclusive);
+            let h = m.lock(
+                p,
+                ClientId::new(i as u64),
+                ByteRange::new(0, 10),
+                LockKind::Exclusive,
+            );
             p.sleep(Duration::from_millis(2));
             m.unlock(p, h);
         });

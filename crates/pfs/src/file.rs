@@ -244,7 +244,10 @@ mod tests {
             assert_eq!(f.size(), 0);
             assert_eq!(f.pread(p, 5, 0).unwrap(), Vec::<u8>::new());
             f.posix_pwrite(p, ClientId::new(0), 5, b"").unwrap();
-            assert_eq!(f.posix_pread(p, ClientId::new(0), 5, 0).unwrap(), Vec::<u8>::new());
+            assert_eq!(
+                f.posix_pread(p, ClientId::new(0), 5, 0).unwrap(),
+                Vec::<u8>::new()
+            );
         });
     }
 
@@ -270,7 +273,8 @@ mod tests {
             let fc = Arc::clone(&f);
             let (_, total) = run_actors(8, move |i, p| {
                 // Disjoint 1 MiB regions, each exactly one stripe.
-                fc.pwrite(p, i as u64 * (1 << 20), &vec![0u8; 1 << 20]).unwrap();
+                fc.pwrite(p, i as u64 * (1 << 20), &vec![0u8; 1 << 20])
+                    .unwrap();
             });
             total
         };

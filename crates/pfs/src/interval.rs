@@ -125,7 +125,9 @@ impl IntervalTree {
         offset: u64,
         id: u64,
     ) -> (Option<Box<TreeNode>>, Option<Box<TreeNode>>) {
-        let Some(mut root) = root else { return (None, None) };
+        let Some(mut root) = root else {
+            return (None, None);
+        };
         if (root.range.offset, root.id) < (offset, id) {
             let (l, r) = Self::split(root.right.take(), offset, id);
             root.right = l;
@@ -155,7 +157,9 @@ impl IntervalTree {
         range: ByteRange,
         id: u64,
     ) -> (Option<Box<TreeNode>>, bool) {
-        let Some(mut root) = root else { return (None, false) };
+        let Some(mut root) = root else {
+            return (None, false);
+        };
         if root.id == id && root.range == range {
             let merged = Self::merge(root.left.take(), root.right.take());
             return (merged, true);
@@ -173,10 +177,7 @@ impl IntervalTree {
         (Some(root), removed)
     }
 
-    fn merge(
-        left: Option<Box<TreeNode>>,
-        right: Option<Box<TreeNode>>,
-    ) -> Option<Box<TreeNode>> {
+    fn merge(left: Option<Box<TreeNode>>, right: Option<Box<TreeNode>>) -> Option<Box<TreeNode>> {
         match (left, right) {
             (None, r) => r,
             (l, None) => l,

@@ -30,6 +30,6 @@ pub mod interval;
 pub mod ost;
 
 pub use dlm::{LockHandle, LockKind, LockManager};
-pub use interval::IntervalTree;
 pub use file::{ParallelFs, PfsFile};
+pub use interval::IntervalTree;
 pub use ost::Ost;

@@ -223,7 +223,8 @@ mod tests {
         ));
         let oc = Arc::clone(&o);
         let (_, total) = run_actors(4, move |i, p| {
-            oc.write_stripe(p, 1, i as u64, 0, &vec![0u8; 1 << 20]).unwrap();
+            oc.write_stripe(p, 1, i as u64, 0, &vec![0u8; 1 << 20])
+                .unwrap();
         });
         let per = cost.disk_transfer(1 << 20);
         assert!(total >= per * 4, "disk did not serialize: {total:?}");

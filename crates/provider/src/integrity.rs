@@ -70,7 +70,9 @@ impl ProviderManager {
             if home == victim {
                 continue;
             }
-            let Ok(provider) = self.provider(home) else { continue };
+            let Ok(provider) = self.provider(home) else {
+                continue;
+            };
             let Ok(data) = provider.get_chunk(p, chunk) else {
                 continue;
             };
@@ -188,7 +190,9 @@ mod tests {
                 .put_replicated(p, ChunkId::new(9), &Bytes::from(vec![7u8; 128]), 2, 2)
                 .unwrap();
             let victim = homes[0];
-            m.provider(victim).unwrap().corrupt_chunk(ChunkId::new(9), 5);
+            m.provider(victim)
+                .unwrap()
+                .corrupt_chunk(ChunkId::new(9), 5);
             assert_eq!(m.provider(victim).unwrap().scrub(p).corrupted.len(), 1);
 
             m.repair_chunk(p, ChunkId::new(9), victim, &homes).unwrap();
@@ -211,7 +215,9 @@ mod tests {
                 .put_replicated(p, ChunkId::new(1), &Bytes::from(vec![3u8; 32]), 1, 1)
                 .unwrap();
             assert_eq!(homes.len(), 1, "unreplicated");
-            m.provider(homes[0]).unwrap().corrupt_chunk(ChunkId::new(1), 0);
+            m.provider(homes[0])
+                .unwrap()
+                .corrupt_chunk(ChunkId::new(1), 0);
             assert!(matches!(
                 m.repair_chunk(p, ChunkId::new(1), homes[0], &homes),
                 Err(Error::ChunkNotFound { .. })
@@ -233,7 +239,9 @@ mod tests {
             // Corrupt three chunks (one replica each).
             for i in [1u64, 4, 6] {
                 let victim = homes_map[&ChunkId::new(i)][0];
-                m.provider(victim).unwrap().corrupt_chunk(ChunkId::new(i), 3);
+                m.provider(victim)
+                    .unwrap()
+                    .corrupt_chunk(ChunkId::new(i), 3);
             }
             let (found, repaired) =
                 m.scrub_and_repair(p, |c| homes_map.get(&c).cloned().unwrap_or_default());

@@ -24,5 +24,5 @@ pub mod manager;
 pub mod store;
 
 pub use integrity::{chunk_checksum, ScrubReport};
-pub use manager::{AllocationStrategy, ProviderManager};
+pub use manager::{AllocationStrategy, GetRequest, ProviderManager};
 pub use store::DataProvider;

@@ -9,9 +9,11 @@
 //! are the obvious alternatives and are compared in the E7 ablation.
 
 use crate::store::DataProvider;
-use atomio_simgrid::{CostModel, DetRng, FaultInjector, Participant};
-use atomio_types::{ChunkId, Error, ProviderId, Result};
+use atomio_simgrid::{CostModel, DetRng, FaultInjector, Participant, Resource};
+use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result};
 use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -26,6 +28,18 @@ pub enum AllocationStrategy {
     Random,
 }
 
+/// One chunk read in a [`ProviderManager::get_batch_with_failover`]
+/// batch: the replica homes are tried in order.
+#[derive(Debug, Clone)]
+pub struct GetRequest {
+    /// The chunk to read.
+    pub chunk: ChunkId,
+    /// Replica homes in failover order (primary first).
+    pub homes: Vec<ProviderId>,
+    /// The sub-range of the chunk to fetch.
+    pub range: ByteRange,
+}
+
 /// Routes chunk operations to a fleet of data providers.
 #[derive(Debug)]
 pub struct ProviderManager {
@@ -34,6 +48,9 @@ pub struct ProviderManager {
     rr_cursor: AtomicU64,
     rng: DetRng,
     faults: Arc<FaultInjector>,
+    /// Per-client injection/reception NICs, created on first use and
+    /// keyed by participant id. See [`Self::client_nic`].
+    client_nics: Mutex<BTreeMap<u64, Arc<Resource>>>,
 }
 
 impl ProviderManager {
@@ -75,6 +92,7 @@ impl ProviderManager {
             rr_cursor: AtomicU64::new(0),
             rng: DetRng::new(seed),
             faults,
+            client_nics: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -131,10 +149,13 @@ impl ProviderManager {
         out
     }
 
-    /// Stores a chunk on `replicas` providers; succeeds when the primary
-    /// and at least `replicas - 1` secondaries took the data, and reports
-    /// [`Error::InsufficientReplicas`] when fewer than `min_ok` placements
-    /// survived fault injection.
+    /// Stores a chunk on `replicas` providers, attempting every allocated
+    /// home (primary first). The write succeeds when at least
+    /// `max(min_ok, 1)` placements survived fault injection — the primary
+    /// is not special: a write whose primary is down but whose secondary
+    /// took the data still meets a quorum of 1. Reports
+    /// [`Error::InsufficientReplicas`] when fewer than the quorum
+    /// survived.
     pub fn put_replicated(
         &self,
         p: &Participant,
@@ -185,6 +206,160 @@ impl ProviderManager {
             }
         }
         Err(last_err)
+    }
+
+    /// The injection/reception NIC of the calling client, created on
+    /// first use.
+    ///
+    /// Giving each client its own serialized NIC keeps the pipelined
+    /// path honest: a client cannot start injecting chunk `i + 1` before
+    /// chunk `i`'s bytes have left its NIC, so per-client bandwidth caps
+    /// at the client link while provider disks drain in parallel —
+    /// exactly the striping behavior the paper measures.
+    pub fn client_nic(&self, p: &Participant) -> Arc<Resource> {
+        let mut nics = self.client_nics.lock();
+        Arc::clone(
+            nics.entry(p.id())
+                .or_insert_with(|| Arc::new(Resource::new(format!("client{}/nic", p.id())))),
+        )
+    }
+
+    /// Snapshot of every client NIC created so far, in client-id order
+    /// (for utilization accounting).
+    pub fn client_nics(&self) -> Vec<Arc<Resource>> {
+        self.client_nics.lock().values().cloned().collect()
+    }
+
+    /// Stores a batch of chunks with replication, pipelined.
+    ///
+    /// Every replica copy of every chunk is *booked* up front through the
+    /// reservation API and the calling client sleeps exactly once, to the
+    /// latest completion in the batch. The cost model: the RPC round
+    /// trips of the whole batch overlap (the List-I/O effect — requests
+    /// are issued back to back, so one round-trip latency offsets them
+    /// all); each copy then serializes through the client's own NIC
+    /// (injection order = batch order) and cuts through to the target
+    /// provider's NIC and disk. Placement and quorum semantics are those
+    /// of [`Self::put_replicated`], evaluated independently per chunk.
+    ///
+    /// Returns one outcome per input chunk, in order: the surviving homes
+    /// on success, [`Error::InsufficientReplicas`] when fault injection
+    /// left a chunk under quorum. Homes that are already failed when the
+    /// batch is issued cost nothing, as in the serial path.
+    pub fn put_batch_replicated(
+        &self,
+        p: &Participant,
+        items: &[(ChunkId, Bytes)],
+        replicas: usize,
+        min_ok: usize,
+    ) -> Vec<Result<Vec<ProviderId>>> {
+        let client_nic = self.client_nic(p);
+        let now = p.now_ns();
+        let mut latest = now;
+        let mut outcomes = Vec::with_capacity(items.len());
+        for (chunk, data) in items {
+            let homes = self.allocate_replicas(replicas);
+            let mut placed = Vec::new();
+            let mut fatal = None;
+            for &home in &homes {
+                let prov = match self.provider(home) {
+                    Ok(prov) => prov,
+                    Err(e) => {
+                        fatal = Some(e);
+                        break;
+                    }
+                };
+                // A home that is already down books nothing, mirroring
+                // the serial path's up-front liveness check.
+                if self.faults.is_failed(home) {
+                    continue;
+                }
+                let net_ns = prov.cost().net_transfer(data.len() as u64).as_nanos() as u64;
+                let arrival = now + prov.cost().rpc_round_trip().as_nanos() as u64;
+                let inj_done = client_nic.reserve_ns(arrival, net_ns);
+                // Cut-through: the provider starts receiving when the
+                // first byte leaves the client, not when the last does.
+                let inj_start = inj_done - net_ns;
+                match prov.put_chunk_at(inj_start, *chunk, data.clone()) {
+                    Ok(done) => {
+                        placed.push(home);
+                        latest = latest.max(done).max(inj_done);
+                    }
+                    Err(Error::ProviderFailed(_)) => continue,
+                    Err(e) => {
+                        fatal = Some(e);
+                        break;
+                    }
+                }
+            }
+            outcomes.push(match fatal {
+                Some(e) => Err(e),
+                None if placed.len() < min_ok.max(1) => Err(Error::InsufficientReplicas {
+                    wanted: min_ok.max(1),
+                    placed: placed.len(),
+                }),
+                None => Ok(placed),
+            });
+        }
+        p.sleep_until_ns(latest);
+        outcomes
+    }
+
+    /// Reads a batch of chunk ranges, pipelined, failing over across each
+    /// request's replica homes in order.
+    ///
+    /// The mirror image of [`Self::put_batch_replicated`]: all requests
+    /// share one overlapped RPC offset, each provider books its disk and
+    /// NIC through the reservation API, and the payload cuts through to
+    /// the client's reception NIC, which serializes arrivals. The caller
+    /// sleeps once, to the latest reception. Returns one outcome per
+    /// request, in order; per-request errors are those of
+    /// [`Self::get_with_failover`], and failed lookups book nothing.
+    pub fn get_batch_with_failover(
+        &self,
+        p: &Participant,
+        requests: &[GetRequest],
+    ) -> Vec<Result<Bytes>> {
+        let client_nic = self.client_nic(p);
+        let now = p.now_ns();
+        let mut latest = now;
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for req in requests {
+            let mut verdict = None;
+            let mut last_err = Error::Internal(format!("no homes recorded for {}", req.chunk));
+            for &home in &req.homes {
+                let prov = match self.provider(home) {
+                    Ok(prov) => prov,
+                    Err(e) => {
+                        verdict = Some(Err(e));
+                        break;
+                    }
+                };
+                let arrival = now + prov.cost().rpc_round_trip().as_nanos() as u64;
+                match prov.get_chunk_range_at(arrival, req.chunk, req.range) {
+                    Ok((data, sent)) => {
+                        let net_ns = prov.cost().net_transfer(req.range.len).as_nanos() as u64;
+                        // Reception occupies the client NIC for the
+                        // transfer time, ending no earlier than the last
+                        // byte leaves the provider.
+                        let recv_done = client_nic.reserve_ns(sent.saturating_sub(net_ns), net_ns);
+                        latest = latest.max(recv_done);
+                        verdict = Some(Ok(data));
+                        break;
+                    }
+                    Err(e @ (Error::ProviderFailed(_) | Error::ChunkNotFound { .. })) => {
+                        last_err = e;
+                    }
+                    Err(e) => {
+                        verdict = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+            outcomes.push(verdict.unwrap_or(Err(last_err)));
+        }
+        p.sleep_until_ns(latest);
+        outcomes
     }
 
     /// The shared fault plane.
@@ -337,6 +512,208 @@ mod tests {
     }
 
     #[test]
+    fn put_replicated_succeeds_without_primary_when_quorum_met() {
+        // Pins the documented quorum rule: the primary is not special. A
+        // dead primary with a live secondary still satisfies min_ok = 1.
+        let faults = Arc::new(FaultInjector::default());
+        let m = ProviderManager::new(
+            2,
+            CostModel::zero(),
+            AllocationStrategy::RoundRobin,
+            Arc::clone(&faults),
+            1,
+        );
+        // RoundRobin allocates provider 0 as the first primary.
+        faults.fail_provider(ProviderId::new(0));
+        let (res, _) = run_actors(1, |_, p| {
+            m.put_replicated(p, ChunkId::new(1), &Bytes::from(vec![3; 4]), 2, 1)
+        });
+        assert_eq!(res[0], Ok(vec![ProviderId::new(1)]));
+        assert!(m
+            .provider(ProviderId::new(1))
+            .unwrap()
+            .has_chunk(ChunkId::new(1)));
+        // The same write under min_ok = 2 is under quorum.
+        let (res, _) = run_actors(1, |_, p| {
+            m.put_replicated(p, ChunkId::new(2), &Bytes::from(vec![3; 4]), 2, 2)
+        });
+        assert_eq!(
+            res[0],
+            Err(Error::InsufficientReplicas {
+                wanted: 2,
+                placed: 1
+            })
+        );
+    }
+
+    #[test]
+    fn batch_put_places_and_reports_per_chunk() {
+        let m = mgr(4, AllocationStrategy::RoundRobin);
+        let items: Vec<(ChunkId, Bytes)> = (0..8)
+            .map(|i| (ChunkId::new(i), Bytes::from(vec![i as u8; 16])))
+            .collect();
+        let (res, _) = run_actors(1, |_, p| m.put_batch_replicated(p, &items, 2, 2));
+        let outcomes = &res[0];
+        assert_eq!(outcomes.len(), 8);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let homes = outcome.as_ref().unwrap();
+            assert_eq!(homes.len(), 2);
+            for h in homes {
+                assert!(m.provider(*h).unwrap().has_chunk(ChunkId::new(i as u64)));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_put_quorum_failures_are_per_chunk() {
+        let faults = Arc::new(FaultInjector::default());
+        let m = ProviderManager::new(
+            2,
+            CostModel::zero(),
+            AllocationStrategy::RoundRobin,
+            Arc::clone(&faults),
+            1,
+        );
+        // Provider 1 down: chunks whose only home is 1 fail, others land.
+        faults.fail_provider(ProviderId::new(1));
+        let items: Vec<(ChunkId, Bytes)> = (0..4)
+            .map(|i| (ChunkId::new(i), Bytes::from(vec![0u8; 8])))
+            .collect();
+        let (res, _) = run_actors(1, |_, p| m.put_batch_replicated(p, &items, 1, 1));
+        let outcomes = &res[0];
+        // RoundRobin: chunks 0 and 2 land on provider 0; 1 and 3 on 1.
+        assert_eq!(outcomes[0], Ok(vec![ProviderId::new(0)]));
+        assert!(matches!(
+            outcomes[1],
+            Err(Error::InsufficientReplicas { .. })
+        ));
+        assert_eq!(outcomes[2], Ok(vec![ProviderId::new(0)]));
+        assert!(matches!(
+            outcomes[3],
+            Err(Error::InsufficientReplicas { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_get_fails_over_per_request() {
+        let faults = Arc::new(FaultInjector::default());
+        let m = ProviderManager::new(
+            3,
+            CostModel::zero(),
+            AllocationStrategy::RoundRobin,
+            Arc::clone(&faults),
+            1,
+        );
+        let (res, _) = run_actors(1, |_, p| {
+            let items: Vec<(ChunkId, Bytes)> = (0..3)
+                .map(|i| (ChunkId::new(i), Bytes::from(vec![i as u8 + 1; 8])))
+                .collect();
+            let homes: Vec<Vec<ProviderId>> = m
+                .put_batch_replicated(p, &items, 2, 2)
+                .into_iter()
+                .map(|o| o.unwrap())
+                .collect();
+            // Kill chunk 0's primary: its read must come from the
+            // secondary while the other chunks read from their primaries.
+            faults.fail_provider(homes[0][0]);
+            let requests: Vec<GetRequest> = homes
+                .iter()
+                .enumerate()
+                .map(|(i, h)| GetRequest {
+                    chunk: ChunkId::new(i as u64),
+                    homes: h.clone(),
+                    range: ByteRange::new(0, 8),
+                })
+                .collect();
+            m.get_batch_with_failover(p, &requests)
+        });
+        for (i, outcome) in res[0].iter().enumerate() {
+            assert_eq!(outcome.as_ref().unwrap().as_ref(), &[i as u8 + 1; 8][..]);
+        }
+    }
+
+    #[test]
+    fn batch_put_timing_is_pipelined() {
+        // One client, 8 chunks striped over 8 providers, grid5000 costs.
+        // Serial: 8 * (rpc + net + disk). Pipelined: injections serialize
+        // on the client NIC while disks drain in parallel, so the batch
+        // finishes at rpc + 8*net + disk exactly (no provider queues).
+        let cost = CostModel::grid5000();
+        const LEN: u64 = 64 * 1024;
+        let m = Arc::new(ProviderManager::new(
+            8,
+            cost,
+            AllocationStrategy::RoundRobin,
+            Arc::new(FaultInjector::default()),
+            7,
+        ));
+        let items: Vec<(ChunkId, Bytes)> = (0..8)
+            .map(|i| (ChunkId::new(i), Bytes::from(vec![0u8; LEN as usize])))
+            .collect();
+        let mc = Arc::clone(&m);
+        let (_, total) = run_actors(1, move |_, p| {
+            let outcomes = mc.put_batch_replicated(p, &items, 1, 1);
+            assert!(outcomes.iter().all(|o| o.is_ok()));
+        });
+        let expected = cost.rpc_round_trip() + cost.net_transfer(LEN) * 8 + cost.disk_transfer(LEN);
+        assert_eq!(total, expected);
+        let serial = (cost.rpc_round_trip() + cost.net_transfer(LEN) + cost.disk_transfer(LEN)) * 8;
+        assert!(
+            total.as_secs_f64() * 2.0 < serial.as_secs_f64(),
+            "pipelined {total:?} not ahead of serial {serial:?}"
+        );
+    }
+
+    #[test]
+    fn batch_of_one_matches_serial_timing() {
+        let cost = CostModel::grid5000();
+        const LEN: u64 = 64 * 1024;
+        let serial = Arc::new(ProviderManager::new(
+            4,
+            cost,
+            AllocationStrategy::RoundRobin,
+            Arc::new(FaultInjector::default()),
+            7,
+        ));
+        let sm = Arc::clone(&serial);
+        let (_, t_serial) = run_actors(1, move |_, p| {
+            let homes = sm
+                .put_replicated(
+                    p,
+                    ChunkId::new(0),
+                    &Bytes::from(vec![0u8; LEN as usize]),
+                    1,
+                    1,
+                )
+                .unwrap();
+            sm.get_with_failover(p, ChunkId::new(0), &homes, ByteRange::new(0, LEN))
+                .unwrap();
+        });
+        let batched = Arc::new(ProviderManager::new(
+            4,
+            cost,
+            AllocationStrategy::RoundRobin,
+            Arc::new(FaultInjector::default()),
+            7,
+        ));
+        let bm = Arc::clone(&batched);
+        let (_, t_batched) = run_actors(1, move |_, p| {
+            let items = vec![(ChunkId::new(0), Bytes::from(vec![0u8; LEN as usize]))];
+            let homes = bm.put_batch_replicated(p, &items, 1, 1)[0].clone().unwrap();
+            let requests = vec![GetRequest {
+                chunk: ChunkId::new(0),
+                homes,
+                range: ByteRange::new(0, LEN),
+            }];
+            bm.get_batch_with_failover(p, &requests)[0].clone().unwrap();
+        });
+        assert_eq!(
+            t_serial, t_batched,
+            "a batch of one must cost the serial price"
+        );
+    }
+
+    #[test]
     fn heterogeneous_fleet_uses_per_provider_costs() {
         use std::time::Duration;
         // Provider 0 is 10x slower than provider 1; one put to each.
@@ -390,8 +767,14 @@ mod tests {
             ));
             let mc = Arc::clone(&m);
             let (_, total) = run_actors(8, move |i, p| {
-                mc.put_replicated(p, ChunkId::new(i as u64), &Bytes::from(vec![0u8; 1 << 20]), 1, 1)
-                    .unwrap();
+                mc.put_replicated(
+                    p,
+                    ChunkId::new(i as u64),
+                    &Bytes::from(vec![0u8; 1 << 20]),
+                    1,
+                    1,
+                )
+                .unwrap();
             });
             total
         };

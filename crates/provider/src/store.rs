@@ -1,6 +1,6 @@
 //! A single data provider: one storage server holding immutable chunks.
 
-use atomio_simgrid::{CostModel, FaultInjector, Participant, Resource};
+use atomio_simgrid::{CostModel, FaultInjector, Participant, Resource, SimTime};
 use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result};
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -78,6 +78,86 @@ impl DataProvider {
         chunks.insert(chunk, (data, checksum));
         self.bytes_stored.fetch_add(len, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Reservation-based variant of [`Self::put_chunk`] for the pipelined
+    /// transfer engine.
+    ///
+    /// `arrival` is the absolute virtual instant the first payload byte
+    /// reaches this provider (the caller has already accounted the RPC
+    /// offset and its own injection NIC). The provider books its NIC and
+    /// then its disk from there and returns the completion instant
+    /// **without blocking** — the caller sleeps once, to the max
+    /// completion over its whole batch. Booked this way, replica copies
+    /// on distinct providers overlap while each provider's own devices
+    /// still serialize.
+    ///
+    /// The chunk is recorded at booking time: a provider that fails
+    /// mid-transfer keeps the payload but refuses all subsequent access,
+    /// which is indistinguishable to clients from the serial path's
+    /// abort-on-failure.
+    ///
+    /// # Errors
+    /// Same as [`Self::put_chunk`].
+    pub fn put_chunk_at(&self, arrival: SimTime, chunk: ChunkId, data: Bytes) -> Result<SimTime> {
+        self.check_alive()?;
+        let len = data.len() as u64;
+        let nic_done = self.nic.reserve(arrival, self.cost.net_transfer(len));
+        let disk_done = self.disk.reserve(nic_done, self.cost.disk_transfer(len));
+        let checksum = crate::integrity::chunk_checksum(&data);
+        let mut chunks = self.chunks.write();
+        if chunks.contains_key(&chunk) {
+            return Err(Error::Internal(format!(
+                "chunk id {chunk} reused on {}",
+                self.id
+            )));
+        }
+        chunks.insert(chunk, (data, checksum));
+        self.bytes_stored.fetch_add(len, Ordering::Relaxed);
+        Ok(disk_done)
+    }
+
+    /// Reservation-based variant of [`Self::get_chunk_range`]: books the
+    /// disk read and then the NIC send-out starting at `arrival` and
+    /// returns `(payload, instant the last byte leaves this provider's
+    /// NIC)` without blocking. The caller books its own reception NIC
+    /// against that instant and sleeps to the batch max.
+    ///
+    /// # Errors
+    /// Same as [`Self::get_chunk_range`]. All error paths cost nothing:
+    /// nothing is booked before the payload is known to be servable.
+    pub fn get_chunk_range_at(
+        &self,
+        arrival: SimTime,
+        chunk: ChunkId,
+        range: ByteRange,
+    ) -> Result<(Bytes, SimTime)> {
+        self.check_alive()?;
+        let data = self
+            .chunks
+            .read()
+            .get(&chunk)
+            .map(|(d, _)| d.clone())
+            .ok_or(Error::ChunkNotFound {
+                provider: self.id,
+                chunk,
+            })?;
+        if range.end() > data.len() as u64 {
+            return Err(Error::OutOfBounds {
+                requested_end: range.end(),
+                snapshot_size: data.len() as u64,
+            });
+        }
+        let disk_done = self
+            .disk
+            .reserve(arrival, self.cost.disk_transfer(range.len));
+        let nic_done = self
+            .nic
+            .reserve(disk_done, self.cost.net_transfer(range.len));
+        Ok((
+            data.slice(range.offset as usize..range.end() as usize),
+            nic_done,
+        ))
     }
 
     /// Fetches a whole chunk.
@@ -203,6 +283,12 @@ impl DataProvider {
     pub fn nic(&self) -> &Resource {
         &self.nic
     }
+
+    /// The cost model this provider charges (callers of the reservation
+    /// API need it to book their own side of a transfer).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +320,11 @@ mod tests {
     fn get_range_slices() {
         let prov = provider(CostModel::zero());
         let (res, _) = run_actors(1, |_, p| {
-            prov.put_chunk(p, ChunkId::new(1), Bytes::from((0u8..100).collect::<Vec<_>>()))?;
+            prov.put_chunk(
+                p,
+                ChunkId::new(1),
+                Bytes::from((0u8..100).collect::<Vec<_>>()),
+            )?;
             prov.get_chunk_range(p, ChunkId::new(1), ByteRange::new(10, 5))
         });
         assert_eq!(res[0].as_ref().unwrap().as_ref(), &[10, 11, 12, 13, 14]);
@@ -313,6 +403,70 @@ mod tests {
         );
         // ... but not pathologically more (NIC overlaps with disk).
         assert!(total < disk_time * 6, "total {total:?}");
+    }
+
+    #[test]
+    fn reserved_put_matches_serial_timing() {
+        // A single reserved put, slept to completion, costs exactly what
+        // the blocking path does: rpc + net + disk.
+        let cost = CostModel::grid5000();
+        let serial = provider(cost);
+        let (_, t_serial) = run_actors(1, |_, p| {
+            serial
+                .put_chunk(p, ChunkId::new(1), Bytes::from(vec![0u8; 4096]))
+                .unwrap();
+        });
+        let reserved = provider(cost);
+        let (_, t_reserved) = run_actors(1, |_, p| {
+            let arrival = p.now_ns() + cost.rpc_round_trip().as_nanos() as u64;
+            let done = reserved
+                .put_chunk_at(arrival, ChunkId::new(1), Bytes::from(vec![0u8; 4096]))
+                .unwrap();
+            p.sleep_until_ns(done);
+        });
+        assert_eq!(t_serial, t_reserved);
+        assert_eq!(serial.disk().busy_time(), reserved.disk().busy_time());
+        assert_eq!(serial.nic().busy_time(), reserved.nic().busy_time());
+    }
+
+    #[test]
+    fn reserved_get_matches_serial_timing() {
+        let cost = CostModel::grid5000();
+        let setup = |prov: &Arc<DataProvider>| {
+            let pr = Arc::clone(prov);
+            run_actors(1, move |_, p| {
+                pr.put_chunk(p, ChunkId::new(1), Bytes::from(vec![7u8; 4096]))
+                    .unwrap();
+            });
+        };
+        let serial = provider(cost);
+        setup(&serial);
+        let (_, t_serial) = run_actors(1, |_, p| {
+            serial
+                .get_chunk_range(p, ChunkId::new(1), ByteRange::new(0, 4096))
+                .unwrap();
+        });
+        let reserved = provider(cost);
+        setup(&reserved);
+        let (res, t_reserved) = run_actors(1, |_, p| {
+            let arrival = p.now_ns() + cost.rpc_round_trip().as_nanos() as u64;
+            let (data, done) = reserved
+                .get_chunk_range_at(arrival, ChunkId::new(1), ByteRange::new(0, 4096))
+                .unwrap();
+            p.sleep_until_ns(done);
+            data
+        });
+        assert_eq!(t_serial, t_reserved);
+        assert_eq!(res[0].as_ref(), &[7u8; 4096][..]);
+    }
+
+    #[test]
+    fn reserved_get_error_paths_book_nothing() {
+        let prov = provider(CostModel::grid5000());
+        let missing = prov.get_chunk_range_at(0, ChunkId::new(9), ByteRange::new(0, 4));
+        assert!(matches!(missing, Err(Error::ChunkNotFound { .. })));
+        assert_eq!(prov.disk().request_count(), 0);
+        assert_eq!(prov.nic().request_count(), 0);
     }
 
     #[test]

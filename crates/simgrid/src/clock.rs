@@ -148,6 +148,14 @@ pub struct Participant {
 }
 
 impl Participant {
+    /// Stable identifier of this registration: tickets are handed out
+    /// monotonically by the clock and never reused, so the id is unique
+    /// for the clock's lifetime. Services key per-client state (e.g. a
+    /// client-side NIC) on it.
+    pub fn id(&self) -> u64 {
+        self._ticket
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Duration {
         Duration::from_nanos(self.clock.state.lock().now)
@@ -184,11 +192,7 @@ impl Participant {
         self.sleep_until_locked(st, wake);
     }
 
-    fn sleep_until_locked(
-        &self,
-        mut st: parking_lot::MutexGuard<'_, ClockState>,
-        wake: SimTime,
-    ) {
+    fn sleep_until_locked(&self, mut st: parking_lot::MutexGuard<'_, ClockState>, wake: SimTime) {
         assert!(
             wake <= st.horizon,
             "virtual time horizon exceeded (wake at {wake} ns): livelock or runaway simulation"
@@ -319,7 +323,10 @@ pub fn run_actors_on<T: Send>(
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("actor panicked")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("actor panicked"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod metrics;
 pub mod resource;
 pub mod rng;
 
-pub use clock::{Participant, SimClock};
+pub use clock::{Participant, SimClock, SimTime};
 pub use cost::CostModel;
 pub use fault::FaultInjector;
 pub use metrics::Metrics;

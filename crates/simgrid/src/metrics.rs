@@ -65,9 +65,55 @@ impl TimeStat {
 
     /// Mean observation (zero if empty).
     pub fn mean(&self) -> Duration {
-        match self.sum_ns.load(Ordering::Relaxed).checked_div(self.count()) {
+        match self
+            .sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+        {
             Some(ns) => Duration::from_nanos(ns),
             None => Duration::ZERO,
+        }
+    }
+}
+
+/// An accumulating dimensionless statistic (sum, count, max) over u64
+/// observations — e.g. the outstanding-request depth of each transfer
+/// batch.
+#[derive(Debug, Default)]
+pub struct ValueStat {
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl ValueStat {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest single observation.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (zero if empty).
+    pub fn mean(&self) -> f64 {
+        match self.count() {
+            0 => 0.0,
+            n => self.sum() as f64 / n as f64,
         }
     }
 }
@@ -85,6 +131,7 @@ pub struct Metrics {
 struct MetricsInner {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     times: RwLock<BTreeMap<String, Arc<TimeStat>>>,
+    values: RwLock<BTreeMap<String, Arc<ValueStat>>>,
 }
 
 impl Metrics {
@@ -111,6 +158,15 @@ impl Metrics {
         Arc::clone(w.entry(name.to_owned()).or_default())
     }
 
+    /// Returns (creating on first use) the value statistic named `name`.
+    pub fn value_stat(&self, name: &str) -> Arc<ValueStat> {
+        if let Some(v) = self.inner.values.read().get(name) {
+            return Arc::clone(v);
+        }
+        let mut w = self.inner.values.write();
+        Arc::clone(w.entry(name.to_owned()).or_default())
+    }
+
     /// Snapshot of every counter, sorted by name.
     pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
         self.inner
@@ -131,6 +187,16 @@ impl Metrics {
             .collect()
     }
 
+    /// Snapshot of every value stat as `(name, sum, count, max)`.
+    pub fn value_snapshot(&self) -> Vec<(String, u64, u64, u64)> {
+        self.inner
+            .values
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.sum(), v.count(), v.max()))
+            .collect()
+    }
+
     /// Renders a human-readable report.
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
@@ -139,10 +205,15 @@ impl Metrics {
             let _ = writeln!(out, "{name:<40} {value}");
         }
         for (name, sum, count, max) in self.time_snapshot() {
-            let _ = writeln!(
-                out,
-                "{name:<40} sum={sum:?} n={count} max={max:?}"
-            );
+            let _ = writeln!(out, "{name:<40} sum={sum:?} n={count} max={max:?}");
+        }
+        for (name, sum, count, max) in self.value_snapshot() {
+            let mean = if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            };
+            let _ = writeln!(out, "{name:<40} mean={mean:.1} n={count} max={max}");
         }
         out
     }
@@ -192,15 +263,27 @@ mod tests {
         m.counter("a").add(2);
         m.time_stat("t").record(Duration::from_nanos(5));
         let counters = m.counter_snapshot();
-        assert_eq!(
-            counters,
-            vec![("a".to_owned(), 2), ("b".to_owned(), 1)]
-        );
+        assert_eq!(counters, vec![("a".to_owned(), 2), ("b".to_owned(), 1)]);
         let times = m.time_snapshot();
         assert_eq!(times.len(), 1);
         assert_eq!(times[0].2, 1);
         let report = m.report();
         assert!(report.contains('a') && report.contains('t'));
+    }
+
+    #[test]
+    fn value_stats_track_sum_count_max_mean() {
+        let m = Metrics::new();
+        let v = m.value_stat("depth");
+        v.record(4);
+        v.record(16);
+        v.record(1);
+        assert_eq!((v.sum(), v.count(), v.max()), (21, 3, 16));
+        assert!((v.mean() - 7.0).abs() < 1e-9);
+        assert_eq!(m.value_stat("empty").mean(), 0.0);
+        let snap = m.value_snapshot();
+        assert_eq!(snap[0], ("depth".to_owned(), 21, 3, 16));
+        assert!(m.report().contains("depth"));
     }
 
     #[test]

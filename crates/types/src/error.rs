@@ -20,7 +20,10 @@ pub enum Error {
     /// The requested snapshot version has not been published (yet).
     VersionNotFound { blob: BlobId, version: VersionId },
     /// A data provider did not hold the requested chunk.
-    ChunkNotFound { provider: ProviderId, chunk: ChunkId },
+    ChunkNotFound {
+        provider: ProviderId,
+        chunk: ChunkId,
+    },
     /// A provider id was unknown to the provider manager.
     ProviderNotFound(ProviderId),
     /// A provider is marked failed (fault injection) and refused service.

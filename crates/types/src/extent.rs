@@ -139,12 +139,8 @@ impl ExtentList {
         }
         // Find insertion window: all existing ranges that overlap or are
         // adjacent to `range` get merged into it.
-        let start = self
-            .ranges
-            .partition_point(|r| r.end() < range.offset);
-        let end = self
-            .ranges
-            .partition_point(|r| r.offset <= range.end());
+        let start = self.ranges.partition_point(|r| r.end() < range.offset);
+        let end = self.ranges.partition_point(|r| r.offset <= range.end());
         let mut merged = range;
         for r in &self.ranges[start..end] {
             merged = merged.hull(*r);

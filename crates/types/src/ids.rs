@@ -85,9 +85,7 @@ id_newtype!(
 /// Versions are dense and totally ordered: version `v` is the state of the
 /// blob after the first `v` writes in publication order have been applied.
 /// Version 0 is the empty initial snapshot created by `blob create`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct VersionId(pub u64);
 
 impl VersionId {

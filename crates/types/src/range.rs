@@ -87,7 +87,10 @@ impl ByteRange {
     /// True if the two ranges share at least one byte.
     #[inline]
     pub fn overlaps(self, other: ByteRange) -> bool {
-        self.offset < other.end() && other.offset < self.end() && !self.is_empty() && !other.is_empty()
+        self.offset < other.end()
+            && other.offset < self.end()
+            && !self.is_empty()
+            && !other.is_empty()
     }
 
     /// True if the ranges are adjacent (share a boundary but no bytes).
@@ -280,7 +283,10 @@ mod tests {
         assert!(r(0, 10).contains_range(r(2, 8)));
         assert!(r(0, 10).contains_range(r(0, 10)));
         assert!(!r(0, 10).contains_range(r(2, 11)));
-        assert!(r(0, 10).contains_range(ByteRange::empty()), "empty set is subset");
+        assert!(
+            r(0, 10).contains_range(ByteRange::empty()),
+            "empty set is subset"
+        );
     }
 
     #[test]

@@ -98,7 +98,8 @@ mod tests {
         let a = WriteStamp::new(ClientId::new(1), 0);
         let b = WriteStamp::new(ClientId::new(2), 0);
         let c = WriteStamp::new(ClientId::new(1), 1);
-        let differs = |x: WriteStamp, y: WriteStamp| (0..64u64).any(|p| x.byte_at(p) != y.byte_at(p));
+        let differs =
+            |x: WriteStamp, y: WriteStamp| (0..64u64).any(|p| x.byte_at(p) != y.byte_at(p));
         assert!(differs(a, b));
         assert!(differs(a, c));
         assert!(differs(b, c));

@@ -29,9 +29,11 @@ fn to_bitmap(e: &ExtentList) -> Vec<bool> {
 }
 
 fn from_bitmap(bits: &[bool]) -> ExtentList {
-    let ranges = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| {
-        ByteRange::new(i as u64, 1)
-    });
+    let ranges = bits
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| ByteRange::new(i as u64, 1));
     ExtentList::from_ranges(ranges)
 }
 

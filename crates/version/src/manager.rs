@@ -147,11 +147,13 @@ impl VersionManager {
                     let prev_size = st.ticket_sizes.last().copied().unwrap_or(0);
                     let extents = match shape {
                         TicketShape::Explicit(e) => e.clone(),
-                        TicketShape::Append(len) => ExtentList::single(
-                            atomio_types::ByteRange::new(prev_size, len),
-                        ),
+                        TicketShape::Append(len) => {
+                            ExtentList::single(atomio_types::ByteRange::new(prev_size, len))
+                        }
                     };
-                    let prev_cap = self.history.capacity_of(v.predecessor().unwrap_or_default());
+                    let prev_cap = self
+                        .history
+                        .capacity_of(v.predecessor().unwrap_or_default());
                     let capacity = self
                         .config
                         .capacity_for(extents.covering_range().end())
@@ -306,7 +308,11 @@ mod tests {
     }
 
     fn root_for(t: Ticket) -> NodeKey {
-        NodeKey::new(atomio_types::BlobId::new(0), t.version, ByteRange::new(0, t.capacity))
+        NodeKey::new(
+            atomio_types::BlobId::new(0),
+            t.version,
+            ByteRange::new(0, t.capacity),
+        )
     }
 
     #[test]

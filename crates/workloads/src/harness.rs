@@ -214,13 +214,15 @@ mod tests {
         // verification only succeeds when round 1's state is the base.
         let driver = versioning_driver();
         let clock = SimClock::new();
-        let round1: Vec<ExtentList> =
-            (0..3).map(|i| ExtentList::from_pairs([(i as u64 * 1024, 1024u64)])).collect();
+        let round1: Vec<ExtentList> = (0..3)
+            .map(|i| ExtentList::from_pairs([(i as u64 * 1024, 1024u64)]))
+            .collect();
         let r1 = run_write_round(&clock, &driver, &round1, true, 1, true);
         assert!(r1.is_atomic_ok());
         let base = r1.final_state.as_deref().unwrap();
-        let round2: Vec<ExtentList> =
-            (0..3).map(|i| ExtentList::from_pairs([(i as u64 * 1024 + 256, 256u64)])).collect();
+        let round2: Vec<ExtentList> = (0..3)
+            .map(|i| ExtentList::from_pairs([(i as u64 * 1024 + 256, 256u64)]))
+            .collect();
         let r2 = run_write_round_from(&clock, &driver, &round2, true, 2, true, Some(base));
         assert!(r2.is_atomic_ok(), "violation: {:?}", r2.violation);
         // Against a zero base the same round must fail (round-1 bytes in

@@ -38,7 +38,10 @@ impl OverlapWorkload {
         overlap_den: u64,
     ) -> Self {
         assert!(clients > 0 && regions_per_client > 0 && region_size > 0);
-        assert!(overlap_den > 0 && overlap_num < overlap_den, "overlap must be in [0,1)");
+        assert!(
+            overlap_den > 0 && overlap_num < overlap_den,
+            "overlap must be in [0,1)"
+        );
         OverlapWorkload {
             clients,
             regions_per_client,
@@ -78,9 +81,7 @@ impl OverlapWorkload {
 
     /// One past the highest byte the workload touches.
     pub fn file_end(&self) -> u64 {
-        ((self.regions_per_client as u64 - 1) * self.clients as u64
-            + self.clients as u64
-            - 1)
+        ((self.regions_per_client as u64 - 1) * self.clients as u64 + self.clients as u64 - 1)
             * self.step()
             + self.region_size
     }

@@ -111,15 +111,12 @@ impl TileWorkload {
 
     /// `rank`'s flattened file footprint.
     pub fn extents_for(&self, rank: usize) -> ExtentList {
-        self.filetype(rank)
-            .expect("validated geometry")
-            .flatten()
+        self.filetype(rank).expect("validated geometry").flatten()
     }
 
     /// True when ghost cells make neighbouring tiles overlap.
     pub fn has_overlap(&self) -> bool {
-        (self.overlap_x > 0 && self.nr_tiles_x > 1)
-            || (self.overlap_y > 0 && self.nr_tiles_y > 1)
+        (self.overlap_x > 0 && self.nr_tiles_x > 1) || (self.overlap_y > 0 && self.nr_tiles_y > 1)
     }
 }
 

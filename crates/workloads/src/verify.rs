@@ -200,8 +200,7 @@ pub fn replay(len: usize, writes: &[WriteRecord], order: &[usize]) -> Vec<u8> {
             let end = (r.end() as usize).min(len);
             let start = (r.offset as usize).min(len);
             if start < end {
-                w.stamp
-                    .fill_range(r.offset, &mut out[start..end]);
+                w.stamp.fill_range(r.offset, &mut out[start..end]);
             }
         }
     }
@@ -230,11 +229,7 @@ mod tests {
 
     #[test]
     fn any_serial_order_verifies() {
-        let writes = vec![
-            rec(0, &[(0, 50)]),
-            rec(1, &[(25, 50)]),
-            rec(2, &[(40, 40)]),
-        ];
+        let writes = vec![rec(0, &[(0, 50)]), rec(1, &[(25, 50)]), rec(2, &[(40, 40)])];
         for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [0, 2, 1]] {
             let state = replay(100, &writes, &order);
             let witness = check_serializable(&state, &writes)
@@ -363,7 +358,8 @@ mod tests {
         let mut state = base.clone();
         let w = &round2[0];
         for r in &w.extents {
-            w.stamp.fill_range(r.offset, &mut state[r.offset as usize..r.end() as usize]);
+            w.stamp
+                .fill_range(r.offset, &mut state[r.offset as usize..r.end() as usize]);
         }
         assert!(matches!(
             check_serializable(&state, &round2),

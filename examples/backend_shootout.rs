@@ -15,9 +15,7 @@ fn main() {
     let workload = OverlapWorkload::new(CLIENTS, 16, 256 * 1024, 1, 2);
     let extents: Vec<ExtentList> = (0..CLIENTS).map(|c| workload.extents_for(c)).collect();
 
-    println!(
-        "{CLIENTS} clients, each atomically writing 16 x 256 KiB overlapping regions"
-    );
+    println!("{CLIENTS} clients, each atomically writing 16 x 256 KiB overlapping regions");
     println!(
         "deployment: {} servers, {} KiB stripes, Grid'5000-like costs\n",
         cfg.servers,

@@ -90,7 +90,10 @@ fn main() {
             println!("MPI atomicity holds; a witness serial order of the 9 tile dumps:");
             println!(
                 "  {:?}",
-                order.iter().map(|&i| format!("rank{i}")).collect::<Vec<_>>()
+                order
+                    .iter()
+                    .map(|&i| format!("rank{i}"))
+                    .collect::<Vec<_>>()
             );
         }
         Err(v) => panic!("atomicity violated: {v:?}"),

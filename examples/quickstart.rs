@@ -39,10 +39,7 @@ fn main() {
         let latest = blob
             .read_list(p, ReadVersion::Latest, &extents)
             .expect("read latest");
-        println!(
-            "latest   = {:?}",
-            String::from_utf8_lossy(&latest)
-        );
+        println!("latest   = {:?}", String::from_utf8_lossy(&latest));
         assert_eq!(&latest, b"hello magic world!");
 
         // Versioning means v1 is still there, bit-exact.

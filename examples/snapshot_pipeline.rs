@@ -43,9 +43,10 @@ fn main() {
                 let v = blob
                     .write_list(p, &extents, Bytes::from(stamp.payload_for(&extents)))
                     .expect("dump iteration");
-                lag_report
-                    .lock()
-                    .push(format!("[{:>9?}] producer published iteration {iter} as {v}", p.now()));
+                lag_report.lock().push(format!(
+                    "[{:>9?}] producer published iteration {iter} as {v}",
+                    p.now()
+                ));
             }
         } else {
             // --- A visualization consumer ---

@@ -77,13 +77,12 @@ fn main() {
         let text = String::from_utf8(log.read(p, 0, final_size).unwrap()).unwrap();
         let total = text.lines().count();
         assert_eq!(total, PRODUCERS * (EVENTS_PER_PRODUCER + 2));
-        println!(
-            "live log has grown to {total} lines; the analysis fork is unaffected"
-        );
+        println!("live log has grown to {total} lines; the analysis fork is unaffected");
     });
 
     // Namespace niceties.
-    store.rename("/logs/simulation/events.log", "/logs/archive/run-0042.log")
+    store
+        .rename("/logs/simulation/events.log", "/logs/archive/run-0042.log")
         .unwrap();
     println!("archived as: {:?}", store.list("/logs/archive"));
     println!("total simulated time: {:?}", clock.now());

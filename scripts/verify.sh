@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification gate, run offline:
+#   1. tier-1: release build + the root test suite
+#   2. formatting
+#   3. lints (warnings are errors, workspace-wide)
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --offline -- -D warnings
+
+echo "verify: all gates passed"

@@ -11,11 +11,7 @@ use atomio::workloads::{CheckpointWorkload, OverlapWorkload, TileWorkload};
 use atomio_bench::{Backend, BenchConfig};
 use atomio_simgrid::CostModel;
 
-fn final_state(
-    backend: Backend,
-    extents: &[ExtentList],
-    sequential: bool,
-) -> Vec<u8> {
+fn final_state(backend: Backend, extents: &[ExtentList], sequential: bool) -> Vec<u8> {
     let cfg = BenchConfig {
         servers: 4,
         chunk_size: 4096,

@@ -112,10 +112,7 @@ fn pfs_ost_failure_surfaces_as_error() {
         f.pwrite(p, 0, &vec![9u8; 3072]).unwrap();
         fs.faults().fail_provider(ProviderId::new(1));
         // Stripe 1 lives on OST 1: reads and writes touching it fail.
-        assert!(matches!(
-            f.pread(p, 0, 3072),
-            Err(Error::ProviderFailed(_))
-        ));
+        assert!(matches!(f.pread(p, 0, 3072), Err(Error::ProviderFailed(_))));
         assert!(matches!(
             f.pwrite(p, 1024, &[0u8; 10]),
             Err(Error::ProviderFailed(_))

@@ -54,9 +54,7 @@ fn full_job_lifecycle_over_named_files() {
         // The fork holds the complete dataset.
         assert_eq!(frozen.latest(p).size, workload.dataset_bytes());
         let all = ExtentList::from_pairs([(0u64, workload.dataset_bytes())]);
-        let data = frozen
-            .read_at(p, frozen.latest(p).version, &all)
-            .unwrap();
+        let data = frozen.read_at(p, frozen.latest(p).version, &all).unwrap();
         assert_eq!(data.len() as u64, workload.dataset_bytes());
         // Some rank's stamp appears at the dataset start (rank 0 owns it
         // unless a ghost neighbour won the corner — accept either).
@@ -97,7 +95,8 @@ fn two_jobs_on_different_paths_are_isolated() {
         let fill = if i == 0 { 0xAA } else { 0xBB };
         for round in 0..3 {
             let _ = round;
-            blob.write(p, 0, bytes::Bytes::from(vec![fill; 2048])).unwrap();
+            blob.write(p, 0, bytes::Bytes::from(vec![fill; 2048]))
+                .unwrap();
         }
     });
     run_actors_on(&clock, 1, |_, p| {

@@ -45,9 +45,7 @@ fn concurrent_reads_always_see_a_published_prefix() {
                 }));
                 let payload = Bytes::from(stamp.payload_for(&ext));
                 let v = blob.write_list(p, &ext, payload).unwrap();
-                version_map
-                    .lock()
-                    .insert(v, WriteRecord::new(stamp, ext));
+                version_map.lock().insert(v, WriteRecord::new(stamp, ext));
             }
         } else {
             // Readers: wait for the first snapshot, then repeatedly pin
@@ -81,7 +79,8 @@ fn concurrent_reads_always_see_a_published_prefix() {
         let order: Vec<usize> = (0..records.len()).collect();
         let model = replay(data.len(), &records, &order);
         assert_eq!(
-            data, model,
+            data,
+            model,
             "read at {v} does not match the replay of versions 1..={}",
             v.raw()
         );

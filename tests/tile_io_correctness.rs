@@ -63,8 +63,8 @@ fn tile_round_is_serializable_on_both_backends() {
     let workload = TileWorkload::new(3, 3, 16, 16, 8, 2, 2);
     for backend in [Backend::Versioning, Backend::LustreLock] {
         let (state, writes) = run_tile_round(backend, &workload);
-        let order = check_serializable(&state, &writes)
-            .unwrap_or_else(|v| panic!("{backend:?}: {v:?}"));
+        let order =
+            check_serializable(&state, &writes).unwrap_or_else(|v| panic!("{backend:?}: {v:?}"));
         // The witness replay reproduces the observed dataset exactly.
         assert_eq!(
             replay(state.len(), &writes, &order),

@@ -49,10 +49,9 @@ fn historical_checkpoints_remain_bit_exact() {
         for (iter, versions) in iteration_versions.iter().enumerate() {
             let last = *versions.iter().max().unwrap();
             for rank in 0..workload.ranks {
-                let interior_lo = (rank as u64 * workload.cells_per_rank + workload.halo)
-                    * workload.cell_size;
-                let interior_hi = ((rank as u64 + 1) * workload.cells_per_rank
-                    - workload.halo)
+                let interior_lo =
+                    (rank as u64 * workload.cells_per_rank + workload.halo) * workload.cell_size;
+                let interior_hi = ((rank as u64 + 1) * workload.cells_per_rank - workload.halo)
                     * workload.cell_size;
                 let ext = ExtentList::from_pairs([(interior_lo, interior_hi - interior_lo)]);
                 let got = blob.read_at(p, last, &ext).unwrap();
@@ -136,10 +135,16 @@ fn blob_size_grows_monotonically_across_versions() {
     let clock = SimClock::new();
     run_actors_on(&clock, 1, |_, p| {
         let v1 = blob.write(p, 0, Bytes::from(vec![1u8; 100])).unwrap();
-        let v2 = blob.write(p, 1_000_000, Bytes::from(vec![2u8; 50])).unwrap();
+        let v2 = blob
+            .write(p, 1_000_000, Bytes::from(vec![2u8; 50]))
+            .unwrap();
         let v3 = blob.write(p, 10, Bytes::from(vec![3u8; 10])).unwrap();
         assert_eq!(blob.size_at(p, v1).unwrap(), 100);
         assert_eq!(blob.size_at(p, v2).unwrap(), 1_000_050);
-        assert_eq!(blob.size_at(p, v3).unwrap(), 1_000_050, "size never shrinks");
+        assert_eq!(
+            blob.size_at(p, v3).unwrap(),
+            1_000_050,
+            "size never shrinks"
+        );
     });
 }

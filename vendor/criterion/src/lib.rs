@@ -1,0 +1,263 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` macros, `Criterion`,
+//! benchmark groups, `BenchmarkId`, and `Bencher::iter`/`iter_with_setup`
+//! with adaptive iteration counts. Two modes, matching real criterion's
+//! behavior under cargo:
+//!
+//! * `cargo bench` passes `--bench`: each benchmark is warmed up and then
+//!   timed adaptively until the measurement window is filled, printing
+//!   mean ns/iter.
+//! * `cargo test` (no `--bench` flag): every benchmark body runs exactly
+//!   once as a smoke test, with no timing output.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const MEASURE_WINDOW: Duration = Duration::from_millis(40);
+const MAX_ITERS: u64 = 1 << 22;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench invokes bench targets with `--bench`; cargo test
+        // runs them without it (smoke-test mode).
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            test_mode: !bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.test_mode, name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<N, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        N: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(self.c.test_mode, &full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(self.c.test_mode, &full, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timing loop of one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    /// `(iterations, total elapsed)` of the final measured batch.
+    measurement: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively choosing an iteration count that fills the
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warmup.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_WINDOW || iters >= MAX_ITERS {
+                self.measurement = Some((iters, elapsed));
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    /// Like [`Self::iter`], but `setup` runs outside the timed section
+    /// before every invocation of `f`.
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut f: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        if self.test_mode {
+            black_box(f(setup()));
+            return;
+        }
+        for _ in 0..3 {
+            black_box(f(setup()));
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(f(input));
+                elapsed += start.elapsed();
+            }
+            if elapsed >= MEASURE_WINDOW || iters >= MAX_ITERS {
+                self.measurement = Some((iters, elapsed));
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, name: &str, mut f: F) {
+    let mut b = Bencher {
+        test_mode,
+        measurement: None,
+    };
+    f(&mut b);
+    if test_mode {
+        return;
+    }
+    match b.measurement {
+        Some((iters, elapsed)) => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!(
+                "{name:<56} {:>14} ns/iter  ({iters} iters)",
+                format_ns(per_iter)
+            );
+        }
+        None => println!("{name:<56} (no measurement recorded)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2}M", ns / 1_000_000.0)
+    } else if ns >= 10_000.0 {
+        format!("{:.1}k", ns / 1_000.0)
+    } else {
+        format!("{ns:.0}")
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, invoking each group-runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u64;
+        c.bench_function("x", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter_with_setup(|| vec![1u64; n as usize], |v| v.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("put", 16).to_string(), "put/16");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! value-tree traits. Supported shapes — exactly what this workspace
+//! derives on:
+//!
+//! * named-field structs → serialized as an object keyed by field name;
+//! * one-field tuple structs (newtypes) → serialized transparently as the
+//!   inner value, matching real serde's newtype behavior.
+//!
+//! Enums, generics, and `#[serde(...)]` attributes are rejected with a
+//! compile-time panic so accidental use fails loudly instead of silently
+//! producing the wrong format.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    kind: StructKind,
+}
+
+enum StructKind {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields (only 1 is supported).
+    Tuple(usize),
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let body = match &def.kind {
+        StructKind::Named(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        StructKind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        StructKind::Tuple(n) => panic!(
+            "derive(Serialize): tuple struct {} has {n} fields; only 1-field newtypes are supported",
+            def.name
+        ),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        def.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let body = match &def.kind {
+        StructKind::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.get_or_null(\"{f}\"))?,")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({} {{ {inits} }})",
+                def.name
+            )
+        }
+        StructKind::Tuple(1) => format!(
+            "::std::result::Result::Ok({}(::serde::Deserialize::from_value(v)?))",
+            def.name
+        ),
+        StructKind::Tuple(n) => panic!(
+            "derive(Deserialize): tuple struct {} has {n} fields; only 1-field newtypes are supported",
+            def.name
+        ),
+    };
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        def.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("derive: malformed attribute near {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+            panic!("derive(Serialize/Deserialize): enums are not supported by the vendored serde_derive")
+        }
+        other => panic!("derive: expected `struct`, found {other:?}"),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("derive: expected struct name, found {other:?}"),
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "derive(Serialize/Deserialize): generic struct {name} is not supported by the vendored serde_derive"
+        ),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => StructDef {
+            name,
+            kind: StructKind::Named(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => StructDef {
+            name,
+            kind: StructKind::Tuple(count_tuple_fields(g.stream())),
+        },
+        other => panic!("derive: expected struct body for {name}, found {other:?}"),
+    }
+}
+
+/// Extracts field names from the `{ ... }` body of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected `:` after field {name}, found {other:?}"),
+        }
+        fields.push(name);
+        // Skip the field type up to the next top-level comma. `<`/`>`
+        // depth tracking keeps commas inside generic arguments (e.g.
+        // `HashMap<K, V>`) from terminating the field early.
+        let mut angle_depth: i64 = 0;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct body `( ... )`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth: i64 = 0;
+    let mut pending = false;
+    for tok in body {
+        saw_tokens = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if pending {
+                    count += 1;
+                    pending = false;
+                }
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    if !saw_tokens {
+        0
+    } else {
+        count
+    }
+}

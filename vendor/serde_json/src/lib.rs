@@ -1,0 +1,458 @@
+//! Offline drop-in subset of `serde_json`: JSON text ⇄ the vendored
+//! `serde` value tree.
+//!
+//! Supports everything the workspace's experiment reports need — objects,
+//! arrays, strings with escapes, exact u64/i64 integers, floats (including
+//! scientific notation), booleans, and null — and parses the JSON files
+//! already committed under `results/` (written by real serde_json).
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// A JSON serialization or parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // `{:?}` keeps a decimal point on round numbers ("1.0"),
+                // matching serde_json's rendering closely enough.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                // Real serde_json emits null for non-finite floats.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs: decode a following \uXXXX.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.eat_keyword("\\u") {
+                                    let low = self.parse_hex4()?;
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| Error::new("invalid \\u escape"))?);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value_tree() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("E9".into())),
+            ("count".into(), Value::UInt(u64::MAX)),
+            ("delta".into(), Value::Int(-3)),
+            ("ratio".into(), Value::Float(2.5)),
+            ("flag".into(), Value::Bool(true)),
+            ("missing".into(), Value::Null),
+            (
+                "rows".into(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+        let compact = to_string(&v).unwrap();
+        let back2: Value = from_str(&compact).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn parses_serde_json_style_output() {
+        let text = r#"{
+  "id": "e7a",
+  "rows": [
+    { "x": 16, "throughput_mib_s": 123.4, "atomic_ok": null },
+    { "x": 32, "throughput_mib_s": 1.0e2, "atomic_ok": true }
+  ]
+}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v.get("id"), Some(&Value::Str("e7a".into())));
+        let Value::Array(rows) = v.get("rows").unwrap() else {
+            panic!("rows is an array")
+        };
+        assert_eq!(rows[0].get("x"), Some(&Value::UInt(16)));
+        assert_eq!(rows[1].get("throughput_mib_s"), Some(&Value::Float(100.0)));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::Str("a\"b\\c\nd\te\u{1F600}".into());
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+        // Incoming \u escapes (incl. surrogate pairs) decode too.
+        assert_eq!(
+            from_str::<Value>("\"A\\ud83d\\ude00\"").unwrap(),
+            Value::Str("A\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&Value::Float(100.0)).unwrap(), "100.0");
+        assert_eq!(to_string(&Value::Float(f64::INFINITY)).unwrap(), "null");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{,}").is_err());
+        assert!(from_str::<Value>("[1 2]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("\"open").is_err());
+    }
+}
