@@ -8,12 +8,14 @@
 //! * **Allocation strategy** — round-robin vs. least-loaded vs. random
 //!   chunk placement;
 //! * **Transfer engine** — pipelined batched chunk transfers vs. one
-//!   chunk at a time (the reservation engine of `DESIGN.md` §4).
+//!   chunk at a time (the reservation engine of `DESIGN.md` §4);
+//! * **Metadata commit engine** — batched shard-parallel node commits
+//!   vs. one node put at a time (`DESIGN.md` §5).
 //!
 //! Run: `cargo run -p atomio-bench --release --bin exp7_ablation`
 
 use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
-use atomio_core::{ReadVersion, Store, StoreConfig, TransferMode};
+use atomio_core::{MetaCommitMode, ReadVersion, Store, StoreConfig, TransferMode};
 use atomio_mpiio::adio::AdioDriver;
 use atomio_mpiio::drivers::VersioningDriver;
 use atomio_provider::AllocationStrategy;
@@ -229,4 +231,87 @@ fn main() {
     }
     println!("{}", transfer.render_table());
     transfer.save_json(atomio_bench::report::results_dir()).ok();
+
+    // --- Metadata commit engine -------------------------------------------
+    // Single client, one 128-leaf write (255 tree nodes): virtual time of
+    // the metadata commit stage (`core.meta_commit_time`) vs. shard
+    // count, serial vs. batched commits. Serial pays (rpc + wire +
+    // meta_op) per node regardless of shard count; batched overlaps the
+    // RPCs, serializes node payloads on the client NIC, and lands one
+    // list-request per shard, so commit time shrinks with the shard
+    // count. The throughput column is **nodes committed per simulated
+    // second** for this experiment.
+    let mut meta_commit = ExperimentReport::new(
+        "E7e",
+        "ablation: batched shard-parallel vs. serial metadata commits (1 client, 128 x 64 KiB)",
+        "meta_shards",
+    );
+    meta_commit.note("throughput column = metadata nodes committed per simulated second");
+    for &shards in &[1usize, 2, 4, 8, 16] {
+        for (label, mode) in [
+            ("serial", MetaCommitMode::Serial),
+            ("batched", MetaCommitMode::Batched),
+        ] {
+            let run_once = || {
+                let store = Store::new(
+                    StoreConfig::default()
+                        .with_cost(cfg.cost)
+                        .with_chunk_size(XFER_CHUNK)
+                        .with_data_providers(16)
+                        .with_meta_shards(shards)
+                        .with_meta_commit_mode(mode)
+                        .with_seed(cfg.seed),
+                );
+                let blob = store.create_blob();
+                let clock = SimClock::new();
+                let ext = ExtentList::from_pairs([(0u64, total_bytes)]);
+                let commit_stat = store.metrics().time_stat("core.meta_commit_time");
+                let depth_stat = store.metrics().value_stat("core.meta_commit_depth");
+                let blob_ref = &blob;
+                let ext_ref = &ext;
+                let stat_ref = &commit_stat;
+                let times = run_actors_on(&clock, 1, move |_, p| {
+                    let t0 = p.now();
+                    blob_ref
+                        .write_list(p, ext_ref, Bytes::from(vec![0x5Au8; total_bytes as usize]))
+                        .unwrap();
+                    (stat_ref.sum(), p.now() - t0)
+                });
+                (times[0].0, times[0].1, depth_stat.max())
+            };
+            let (commit, e2e, depth) = run_once();
+            let (commit2, e2e2, _) = run_once();
+            assert_eq!(
+                (commit, e2e),
+                (commit2, e2e2),
+                "meta commit must be bit-reproducible"
+            );
+            meta_commit.push(Row {
+                x: shards as u64,
+                backend: label.into(),
+                throughput_mib_s: depth as f64 / commit.as_secs_f64(),
+                elapsed_s: commit.as_secs_f64(),
+                bytes: total_bytes,
+                atomic_ok: None,
+            });
+            if shards == 4 {
+                meta_commit.note(format!(
+                    "{label} at 4 shards: commit {:.2} ms of {:.2} ms end-to-end, \
+                     {depth} nodes/commit",
+                    commit.as_secs_f64() * 1e3,
+                    e2e.as_secs_f64() * 1e3,
+                ));
+            }
+            eprintln!("  ... meta commit {label} {shards} shards done");
+        }
+    }
+    for x in meta_commit.xs() {
+        if let Some(s) = meta_commit.speedup_at(x, "batched", "serial") {
+            meta_commit.note(format!("batched commit gain at {x:>2} shards: {s:.2}x"));
+        }
+    }
+    println!("{}", meta_commit.render_table());
+    meta_commit
+        .save_json(atomio_bench::report::results_dir())
+        .ok();
 }

@@ -184,7 +184,9 @@ impl Blob {
             &inner.meta,
             &inner.history,
             TreeConfig::new(inner.geometry.chunk_size()),
-        );
+        )
+        .with_mode(inner.config.meta_commit_mode)
+        .with_metrics(inner.metrics.clone());
 
         let attempt = || -> Result<atomio_meta::NodeKey> {
             // 2. Data transfer: one immutable chunk per leaf-aligned
@@ -482,7 +484,9 @@ impl Blob {
             &inner.meta,
             &inner.history,
             TreeConfig::new(inner.geometry.chunk_size()),
-        );
+        )
+        .with_mode(inner.config.meta_commit_mode)
+        .with_metrics(inner.metrics.clone());
         let root = builder.build_update(p, ticket.version, ticket.capacity, &entries)?;
         inner.vm.publish(p, ticket, root)?;
         inner.vm.wait_published(p, ticket.version);

@@ -4,6 +4,8 @@ use atomio_provider::AllocationStrategy;
 use atomio_simgrid::CostModel;
 use atomio_version::TicketMode;
 
+pub use atomio_meta::MetaCommitMode;
+
 /// How the client data path issues chunk transfers (E7 ablation knob).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TransferMode {
@@ -41,6 +43,8 @@ pub struct StoreConfig {
     pub ticket_mode: TicketMode,
     /// Chunk transfer engine mode (E7 ablation knob).
     pub transfer_mode: TransferMode,
+    /// Metadata commit engine mode (E7 ablation knob).
+    pub meta_commit_mode: MetaCommitMode,
     /// Client-side metadata cache size in nodes (0 disables caching).
     pub meta_cache_nodes: usize,
     /// Seed for every random choice in the store.
@@ -62,6 +66,7 @@ impl Default for StoreConfig {
             cost: CostModel::grid5000(),
             ticket_mode: TicketMode::Pipelined,
             transfer_mode: TransferMode::Pipelined,
+            meta_commit_mode: MetaCommitMode::Batched,
             meta_cache_nodes: 4096,
             seed: 0x5EED,
         }
@@ -124,6 +129,12 @@ impl StoreConfig {
         self
     }
 
+    /// Sets the metadata commit engine mode.
+    pub fn with_meta_commit_mode(mut self, mode: MetaCommitMode) -> Self {
+        self.meta_commit_mode = mode;
+        self
+    }
+
     /// Sets the client-side metadata cache size (0 disables caching).
     pub fn with_meta_cache(mut self, nodes: usize) -> Self {
         self.meta_cache_nodes = nodes;
@@ -150,6 +161,7 @@ mod tests {
         assert_eq!(c.replication, 1);
         assert_eq!(c.ticket_mode, TicketMode::Pipelined);
         assert_eq!(c.transfer_mode, TransferMode::Pipelined);
+        assert_eq!(c.meta_commit_mode, MetaCommitMode::Batched);
         assert_eq!(c.meta_cache_nodes, 4096);
     }
 
@@ -164,6 +176,7 @@ mod tests {
             .with_allocation(AllocationStrategy::LeastLoaded)
             .with_ticket_mode(TicketMode::SerializedBuild)
             .with_transfer_mode(TransferMode::Serial)
+            .with_meta_commit_mode(MetaCommitMode::Serial)
             .with_meta_cache(0)
             .with_seed(7);
         assert_eq!(c.cost, CostModel::zero());
@@ -174,6 +187,7 @@ mod tests {
         assert_eq!(c.allocation, AllocationStrategy::LeastLoaded);
         assert_eq!(c.ticket_mode, TicketMode::SerializedBuild);
         assert_eq!(c.transfer_mode, TransferMode::Serial);
+        assert_eq!(c.meta_commit_mode, MetaCommitMode::Serial);
         assert_eq!(c.meta_cache_nodes, 0);
         assert_eq!(c.seed, 7);
     }

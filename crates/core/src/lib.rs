@@ -48,5 +48,5 @@ pub mod namespace;
 pub mod store;
 
 pub use blob::{Blob, ReadVersion};
-pub use config::{StoreConfig, TransferMode};
+pub use config::{MetaCommitMode, StoreConfig, TransferMode};
 pub use store::Store;

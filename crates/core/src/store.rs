@@ -41,14 +41,22 @@ impl Store {
     /// and the version manager keep `config.cost`.
     pub fn new_heterogeneous(config: StoreConfig, costs: Vec<CostModel>) -> Self {
         let faults = Arc::new(FaultInjector::new(config.seed ^ 0xFA17));
+        let providers = Arc::new(ProviderManager::heterogeneous(
+            costs,
+            config.allocation,
+            Arc::clone(&faults),
+            config.seed,
+        ));
+        // Metadata and data traffic of one client contend for the same
+        // simulated NIC: the meta store books on the provider registry.
+        let meta = Arc::new(MetaStore::with_client_nics(
+            config.meta_shards,
+            config.cost,
+            Arc::clone(providers.client_nic_registry()),
+        ));
         Store {
-            providers: Arc::new(ProviderManager::heterogeneous(
-                costs,
-                config.allocation,
-                Arc::clone(&faults),
-                config.seed,
-            )),
-            meta: Arc::new(MetaStore::new(config.meta_shards, config.cost)),
+            providers,
+            meta,
             faults,
             metrics: Metrics::new(),
             chunk_ids: Arc::new(IdAllocator::new()),

@@ -50,4 +50,4 @@ pub use cache::NodeCache;
 pub use history::VersionHistory;
 pub use node::{LeafEntry, Node, NodeBody, NodeKey};
 pub use store::MetaStore;
-pub use tree::{ResolvedPiece, TreeBuilder, TreeConfig, TreeReader};
+pub use tree::{MetaCommitMode, ResolvedPiece, TreeBuilder, TreeConfig, TreeReader};

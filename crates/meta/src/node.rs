@@ -97,10 +97,36 @@ pub struct Node {
     pub body: NodeBody,
 }
 
+impl NodeKey {
+    /// Serialized size of a key on the wire: blob id (8) + version (8) +
+    /// range offset and length (8 + 8).
+    pub const WIRE_SIZE: u64 = 32;
+}
+
 impl Node {
     /// True for leaf nodes.
     pub fn is_leaf(&self) -> bool {
         matches!(self.body, NodeBody::Leaf { .. })
+    }
+
+    /// Approximate serialized size of the node in bytes — what crosses
+    /// the simulated network when the node is shipped to or from a
+    /// metadata shard. Inner nodes carry their key plus two optional
+    /// child keys; leaves carry their key, an optional backlink key, and
+    /// per-entry descriptors (file range 16, chunk id 8, chunk offset 8,
+    /// home count 8, 8 per home).
+    pub fn wire_size(&self) -> u64 {
+        NodeKey::WIRE_SIZE
+            + match &self.body {
+                NodeBody::Inner { .. } => 2 * (1 + NodeKey::WIRE_SIZE),
+                NodeBody::Leaf { entries, .. } => {
+                    1 + NodeKey::WIRE_SIZE
+                        + entries
+                            .iter()
+                            .map(|e| 40 + 8 * e.homes.len() as u64)
+                            .sum::<u64>()
+                }
+            }
     }
 }
 
@@ -159,6 +185,36 @@ mod tests {
             },
         };
         assert!(!inner.is_leaf());
+    }
+
+    #[test]
+    fn wire_size_tracks_shape() {
+        let key = NodeKey::new(BlobId::new(0), VersionId::new(1), ByteRange::new(0, 128));
+        let inner = Node {
+            key,
+            body: NodeBody::Inner {
+                left: None,
+                right: None,
+            },
+        };
+        assert_eq!(inner.wire_size(), 32 + 2 * 33);
+        let leaf = Node {
+            key,
+            body: NodeBody::Leaf {
+                entries: vec![entry(0, 64, 1, 0), entry(64, 64, 2, 0)],
+                backlink: None,
+            },
+        };
+        // Key + backlink slot + 2 entries with one home each.
+        assert_eq!(leaf.wire_size(), 32 + 33 + 2 * 48);
+        let empty = Node {
+            key,
+            body: NodeBody::Leaf {
+                entries: vec![],
+                backlink: None,
+            },
+        };
+        assert!(empty.wire_size() < leaf.wire_size());
     }
 
     #[test]

@@ -9,11 +9,9 @@
 //! are the obvious alternatives and are compared in the E7 ablation.
 
 use crate::store::DataProvider;
-use atomio_simgrid::{CostModel, DetRng, FaultInjector, Participant, Resource};
+use atomio_simgrid::{ClientNics, CostModel, DetRng, FaultInjector, Participant, Resource};
 use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result};
 use bytes::Bytes;
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -48,9 +46,11 @@ pub struct ProviderManager {
     rr_cursor: AtomicU64,
     rng: DetRng,
     faults: Arc<FaultInjector>,
-    /// Per-client injection/reception NICs, created on first use and
-    /// keyed by participant id. See [`Self::client_nic`].
-    client_nics: Mutex<BTreeMap<u64, Arc<Resource>>>,
+    /// Per-client injection/reception NICs. Shared with the metadata
+    /// store (see `Store::new_heterogeneous`) so a client's data and
+    /// metadata traffic contend for the same link. See
+    /// [`Self::client_nic`].
+    client_nics: Arc<ClientNics>,
 }
 
 impl ProviderManager {
@@ -92,7 +92,7 @@ impl ProviderManager {
             rr_cursor: AtomicU64::new(0),
             rng: DetRng::new(seed),
             faults,
-            client_nics: Mutex::new(BTreeMap::new()),
+            client_nics: Arc::new(ClientNics::new()),
         }
     }
 
@@ -217,17 +217,20 @@ impl ProviderManager {
     /// at the client link while provider disks drain in parallel —
     /// exactly the striping behavior the paper measures.
     pub fn client_nic(&self, p: &Participant) -> Arc<Resource> {
-        let mut nics = self.client_nics.lock();
-        Arc::clone(
-            nics.entry(p.id())
-                .or_insert_with(|| Arc::new(Resource::new(format!("client{}/nic", p.id())))),
-        )
+        self.client_nics.nic_for(p)
     }
 
     /// Snapshot of every client NIC created so far, in client-id order
     /// (for utilization accounting).
     pub fn client_nics(&self) -> Vec<Arc<Resource>> {
-        self.client_nics.lock().values().cloned().collect()
+        self.client_nics.all()
+    }
+
+    /// The per-client NIC registry, for sharing with other services
+    /// (the metadata store wires into this so one client's data and
+    /// metadata streams serialize through the same link).
+    pub fn client_nic_registry(&self) -> &Arc<ClientNics> {
+        &self.client_nics
     }
 
     /// Stores a batch of chunks with replication, pipelined.

@@ -10,6 +10,21 @@
 //! turn) poll it with a small virtual interval. With virtual time this
 //! costs no wall-clock waiting, and explicit FIFO queues inside the
 //! services preserve fairness.
+//!
+//! ## Deterministic execution
+//!
+//! Wake-ups are released **one participant at a time**, ordered by
+//! `(wake time, participant id)`: when several actors are due at the same
+//! virtual instant, the one with the smallest id runs first, and the next
+//! is only released once it sleeps (or deregisters) again. Combined with
+//! [`Participant::sync`] at actor start (see [`run_actors_on`]), exactly
+//! one actor executes at any moment, so every side effect that happens at
+//! one virtual instant — resource bookings via
+//! [`crate::Resource::reserve_ns`], allocation-cursor bumps, table
+//! inserts — lands in participant-id order regardless of how the OS
+//! schedules the underlying threads. Simulations are therefore
+//! bit-reproducible run-to-run; virtual timing is unchanged (sequencing
+//! costs zero virtual time).
 
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
@@ -46,6 +61,12 @@ struct ClockState {
     /// Hard ceiling on virtual time; exceeded => livelock, panic.
     horizon: SimTime,
     next_ticket: u64,
+    /// The one sleeper released to run but not yet resumed. At most one
+    /// wake-up is outstanding at a time: the next sleeper is released
+    /// only after this one consumed its release (and went back to sleep
+    /// or deregistered), which is what serializes same-instant actors in
+    /// participant-id order.
+    released: Option<u64>,
 }
 
 /// A shared virtual clock. Cheap to clone (it is an `Arc` internally).
@@ -96,6 +117,7 @@ impl SimClock {
                     registered: 0,
                     horizon: horizon.as_nanos() as SimTime,
                     next_ticket: 0,
+                    released: None,
                 }),
                 cv: Condvar::new(),
             }),
@@ -192,6 +214,18 @@ impl Participant {
         self.sleep_until_locked(st, wake);
     }
 
+    /// Parks this actor at the *current* instant and resumes it in
+    /// participant-id order relative to every other actor due now.
+    ///
+    /// Costs zero virtual time. [`run_actors_on`] calls this before each
+    /// actor body so the segment an actor executes before its first sleep
+    /// is sequenced like every later segment; services never need it.
+    pub fn sync(&self) {
+        let st = self.clock.state.lock();
+        let wake = st.now;
+        self.sleep_until_locked(st, wake);
+    }
+
     fn sleep_until_locked(&self, mut st: parking_lot::MutexGuard<'_, ClockState>, wake: SimTime) {
         assert!(
             wake <= st.horizon,
@@ -200,9 +234,15 @@ impl Participant {
         st.sleepers.push(Reverse((wake, self._ticket)));
         st.runnable -= 1;
         Self::try_advance(&mut st, &self.clock.cv);
-        while st.now < wake {
+        // Waking requires an explicit release (not merely `now` reaching
+        // `wake`): releases are handed out one at a time in (wake time,
+        // participant id) order, which keeps same-instant actors
+        // deterministic.
+        while st.released != Some(self._ticket) {
             self.clock.cv.wait(&mut st);
         }
+        st.released = None;
+        debug_assert!(st.now >= wake);
     }
 
     /// Repeatedly evaluates `cond` until it returns `Some`, then yields
@@ -244,12 +284,15 @@ impl Participant {
         }
     }
 
-    /// Advances the clock if every registered participant is asleep.
+    /// Releases the earliest sleeper if every registered participant is
+    /// asleep and no release is already outstanding. Exactly one sleeper
+    /// is released per call — ties at one instant resolve by participant
+    /// id because the heap orders on `(wake, ticket)`.
     fn try_advance(st: &mut ClockState, cv: &Condvar) {
-        if st.runnable > 0 {
+        if st.runnable > 0 || st.released.is_some() {
             return;
         }
-        let Some(&Reverse((wake, _))) = st.sleepers.peek() else {
+        let Some(&Reverse((wake, ticket))) = st.sleepers.peek() else {
             if st.registered > 0 {
                 // Every live participant is deregistered-or-sleeping and
                 // nobody posted a wake-up: nothing can ever run again.
@@ -261,14 +304,10 @@ impl Participant {
             return;
         };
         debug_assert!(wake >= st.now);
+        st.sleepers.pop();
         st.now = wake;
-        while let Some(&Reverse((w, _))) = st.sleepers.peek() {
-            if w > st.now {
-                break;
-            }
-            st.sleepers.pop();
-            st.runnable += 1;
-        }
+        st.runnable += 1;
+        st.released = Some(ticket);
         cv.notify_all();
     }
 }
@@ -313,12 +352,18 @@ pub fn run_actors_on<T: Send>(
     f: impl Fn(usize, &Participant) -> T + Sync,
 ) -> Vec<T> {
     // Register before spawning so time cannot advance past a slow spawn.
+    // Registration order = actor index order, so tickets (participant
+    // ids) follow actor indices.
     let participants: Vec<Participant> = (0..n).map(|_| clock.register()).collect();
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (i, (p, slot)) in participants.into_iter().zip(slots.iter_mut()).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                // Sequence actor starts: the segment before the first
+                // sleep executes in id order like every later segment,
+                // making the whole run deterministic.
+                p.sync();
                 *slot = Some(f(i, &p));
             });
         }
@@ -467,6 +512,49 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 32 * 50);
         // All actors sleep in lockstep: 50 µs total.
         assert_eq!(total, Duration::from_micros(50));
+    }
+
+    #[test]
+    fn sync_costs_no_virtual_time() {
+        let (_, total) = run_actors(3, |_, p| {
+            p.sync();
+            p.sync();
+        });
+        assert_eq!(total, Duration::ZERO);
+    }
+
+    #[test]
+    fn same_instant_wakeups_release_in_id_order() {
+        // 8 actors all due at the same instant resume smallest-id first,
+        // regardless of OS scheduling.
+        let order = parking_lot::Mutex::new(Vec::new());
+        let (_, _) = run_actors(8, |i, p| {
+            p.sleep(Duration::from_millis(1));
+            order.lock().push(i);
+        });
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_instant_bookings_serialize_by_participant_id() {
+        // The ROADMAP nondeterminism item: concurrent clients booking one
+        // device at the same virtual instant. The sequenced clock hands
+        // the device to participants in id order, every run.
+        let run = || {
+            let disk = crate::resource::Resource::new("disk");
+            let order = parking_lot::Mutex::new(Vec::new());
+            run_actors(4, |i, p| {
+                p.sleep(Duration::from_millis(1));
+                let done = disk.reserve_ns(p.now_ns(), 1_000_000);
+                order.lock().push((i, done));
+            });
+            order.into_inner()
+        };
+        let got = run();
+        let expect: Vec<(usize, SimTime)> =
+            (0..4).map(|i| (i, (i as u64 + 2) * 1_000_000)).collect();
+        assert_eq!(got, expect, "bookings must land in participant-id order");
+        assert_eq!(got, run(), "and identically on every run");
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub use clock::{Participant, SimClock, SimTime};
 pub use cost::CostModel;
 pub use fault::FaultInjector;
 pub use metrics::Metrics;
-pub use resource::Resource;
+pub use resource::{ClientNics, Resource};
 pub use rng::DetRng;

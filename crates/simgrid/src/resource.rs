@@ -10,7 +10,9 @@
 
 use crate::clock::{Participant, SimTime};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A serialized virtual-time device with utilization accounting.
@@ -80,6 +82,12 @@ impl Resource {
     /// taking the max completion. Utilization accounting is identical to
     /// the blocking path; zero-duration requests return `arrival` and
     /// record nothing.
+    ///
+    /// **Determinism.** Bookings with the same `arrival` instant issued
+    /// by different actors reach this method in participant-id order:
+    /// the clock releases same-instant wake-ups one actor at a time,
+    /// smallest id first (see [`crate::clock`]), so queue positions —
+    /// and therefore completion times — are identical on every run.
     pub fn reserve_ns(&self, arrival: SimTime, service_ns: u64) -> SimTime {
         if service_ns == 0 {
             return arrival;
@@ -117,6 +125,42 @@ impl Resource {
             return 0.0;
         }
         self.busy_time().as_secs_f64() / window.as_secs_f64()
+    }
+}
+
+/// Per-client injection/reception NICs, created on first use and keyed by
+/// participant id.
+///
+/// Every batch engine (chunk transfers, metadata commits) serializes a
+/// client's wire traffic through that client's own NIC, so per-client
+/// bandwidth caps at the client link while server-side devices drain in
+/// parallel. Sharing one registry across services models the physical
+/// truth that a client has *one* NIC: its data and metadata streams
+/// contend with each other.
+#[derive(Debug, Default)]
+pub struct ClientNics {
+    nics: Mutex<BTreeMap<u64, Arc<Resource>>>,
+}
+
+impl ClientNics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The NIC of the calling client, created on first use.
+    pub fn nic_for(&self, p: &Participant) -> Arc<Resource> {
+        let mut nics = self.nics.lock();
+        Arc::clone(
+            nics.entry(p.id())
+                .or_insert_with(|| Arc::new(Resource::new(format!("client{}/nic", p.id())))),
+        )
+    }
+
+    /// Snapshot of every NIC created so far, in client-id order (for
+    /// utilization accounting).
+    pub fn all(&self) -> Vec<Arc<Resource>> {
+        self.nics.lock().values().cloned().collect()
     }
 }
 
@@ -273,6 +317,19 @@ mod tests {
             p.sleep_until_ns(done);
         });
         assert_eq!(total, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn client_nics_are_per_participant_and_shared() {
+        let nics = ClientNics::new();
+        let (ids, _) = run_actors(2, |_, p| {
+            let a = nics.nic_for(p);
+            let b = nics.nic_for(p);
+            assert!(Arc::ptr_eq(&a, &b), "one NIC per client");
+            a.name().to_string()
+        });
+        assert_ne!(ids[0], ids[1], "distinct clients get distinct NICs");
+        assert_eq!(nics.all().len(), 2);
     }
 
     #[test]
