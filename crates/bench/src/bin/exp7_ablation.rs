@@ -10,18 +10,22 @@
 //! * **Transfer engine** — pipelined batched chunk transfers vs. one
 //!   chunk at a time (the reservation engine of `DESIGN.md` §4);
 //! * **Metadata commit engine** — batched shard-parallel node commits
-//!   vs. one node put at a time (`DESIGN.md` §5).
+//!   vs. one node put at a time (`DESIGN.md` §4);
+//! * **Metadata read path** — one batched fetch per tree level vs. a
+//!   per-node walk, plus wire-transport accounting of the same workload
+//!   through the RPC codec.
 //!
 //! Run: `cargo run -p atomio-bench --release --bin exp7_ablation`
 
 use atomio_bench::{Backend, BenchConfig, ExperimentReport, Row};
-use atomio_core::{MetaCommitMode, ReadVersion, Store, StoreConfig, TransferMode};
+use atomio_core::{MetaCommitMode, MetaReadMode, ReadVersion, Store, StoreConfig, TransferMode};
 use atomio_mpiio::adio::AdioDriver;
 use atomio_mpiio::drivers::VersioningDriver;
-use atomio_provider::AllocationStrategy;
+use atomio_provider::{AllocationStrategy, ChunkStore, ProviderManager};
+use atomio_rpc::{Loopback, MetaService, ProviderService, RemoteMetaStore, RemoteProvider};
 use atomio_simgrid::clock::run_actors_on;
-use atomio_simgrid::SimClock;
-use atomio_types::ExtentList;
+use atomio_simgrid::{FaultInjector, Metrics, SimClock};
+use atomio_types::{ExtentList, ProviderId};
 use atomio_version::TicketMode;
 use atomio_workloads::{run_write_round, OverlapWorkload};
 use bytes::Bytes;
@@ -312,6 +316,143 @@ fn main() {
     }
     println!("{}", meta_commit.render_table());
     meta_commit
+        .save_json(atomio_bench::report::results_dir())
+        .ok();
+
+    // --- Metadata read path -----------------------------------------------
+    // The read-side mirror of E7e: the single client reads the 128-leaf
+    // write back, and we time the tree-resolve stage
+    // (`core.meta_resolve_time`) vs. shard count. A per-node walk pays
+    // (rpc + wire + meta_op) for every node on the root-to-leaf paths;
+    // the batched reader issues one list-request per tree level, so the
+    // per-node round trips collapse and shards serve a level in
+    // parallel. The throughput column is **nodes resolved per simulated
+    // second**.
+    let mut meta_read = ExperimentReport::new(
+        "E7f",
+        "ablation: batched per-level vs. per-node metadata reads (1 client, 128 x 64 KiB)",
+        "meta_shards",
+    );
+    meta_read.note("throughput column = metadata nodes resolved per simulated second");
+    for &shards in &[1usize, 2, 4, 8, 16] {
+        for (label, mode) in [
+            ("per-node", MetaReadMode::PerNode),
+            ("batched", MetaReadMode::Batched),
+        ] {
+            let run_once = || {
+                let store = Store::new(
+                    StoreConfig::default()
+                        .with_cost(cfg.cost)
+                        .with_chunk_size(XFER_CHUNK)
+                        .with_data_providers(16)
+                        .with_meta_shards(shards)
+                        .with_meta_read_mode(mode)
+                        .with_seed(cfg.seed),
+                );
+                let blob = store.create_blob();
+                let clock = SimClock::new();
+                let ext = ExtentList::from_pairs([(0u64, total_bytes)]);
+                let resolve_stat = store.metrics().time_stat("core.meta_resolve_time");
+                let blob_ref = &blob;
+                let ext_ref = &ext;
+                let stat_ref = &resolve_stat;
+                let times = run_actors_on(&clock, 1, move |_, p| {
+                    blob_ref
+                        .write_list(p, ext_ref, Bytes::from(vec![0xC3u8; total_bytes as usize]))
+                        .unwrap();
+                    let (s0, t0) = (stat_ref.sum(), p.now());
+                    blob_ref.read_list(p, ReadVersion::Latest, ext_ref).unwrap();
+                    (stat_ref.sum() - s0, p.now() - t0)
+                });
+                (times[0].0, times[0].1, store.meta().node_count() as u64)
+            };
+            let (resolve, read, nodes) = run_once();
+            let (resolve2, read2, _) = run_once();
+            assert_eq!(
+                (resolve, read),
+                (resolve2, read2),
+                "meta read must be bit-reproducible"
+            );
+            meta_read.push(Row {
+                x: shards as u64,
+                backend: label.into(),
+                throughput_mib_s: nodes as f64 / resolve.as_secs_f64(),
+                elapsed_s: resolve.as_secs_f64(),
+                bytes: total_bytes,
+                atomic_ok: None,
+            });
+            if shards == 4 {
+                meta_read.note(format!(
+                    "{label} at 4 shards: resolve {:.2} ms of {:.2} ms read end-to-end, \
+                     {nodes} tree nodes",
+                    resolve.as_secs_f64() * 1e3,
+                    read.as_secs_f64() * 1e3,
+                ));
+            }
+            eprintln!("  ... meta read {label} {shards} shards done");
+        }
+    }
+    for x in meta_read.xs() {
+        if let Some(s) = meta_read.speedup_at(x, "batched", "per-node") {
+            meta_read.note(format!("batched read gain at {x:>2} shards: {s:.2}x"));
+        }
+    }
+
+    // Wire-transport accounting: the same write + read through the RPC
+    // codec (`Loopback` transport, zero-cost services), counting the
+    // messages and bytes the workload actually puts on the wire. The
+    // counters land in the report's `stats` block.
+    {
+        let metrics = Metrics::new();
+        let providers = 16usize;
+        let provider_transport = Arc::new(
+            Loopback::new(Arc::new(ProviderService::new(providers))).with_metrics(metrics.clone()),
+        );
+        let stores: Vec<Arc<dyn ChunkStore>> = (0..providers)
+            .map(|i| {
+                Arc::new(RemoteProvider::new(
+                    ProviderId::new(i as u64),
+                    provider_transport.clone() as _,
+                )) as Arc<dyn ChunkStore>
+            })
+            .collect();
+        let config = StoreConfig::default()
+            .with_zero_cost()
+            .with_chunk_size(XFER_CHUNK)
+            .with_data_providers(providers)
+            .with_meta_shards(4)
+            .with_seed(cfg.seed);
+        let manager = Arc::new(ProviderManager::from_stores(
+            stores,
+            config.allocation,
+            Arc::new(FaultInjector::new(config.seed)),
+            config.seed,
+        ));
+        let meta_transport = Arc::new(
+            Loopback::new(Arc::new(MetaService::new(4, XFER_CHUNK))).with_metrics(metrics.clone()),
+        );
+        let meta = Arc::new(RemoteMetaStore::new(meta_transport as _));
+        let store = Store::with_substrates(config, manager, meta);
+
+        let blob = store.create_blob();
+        let clock = SimClock::new();
+        let ext = ExtentList::from_pairs([(0u64, total_bytes)]);
+        let blob_ref = &blob;
+        let ext_ref = &ext;
+        run_actors_on(&clock, 1, move |_, p| {
+            blob_ref
+                .write_list(p, ext_ref, Bytes::from(vec![0xC3u8; total_bytes as usize]))
+                .unwrap();
+            blob_ref.read_list(p, ReadVersion::Latest, ext_ref).unwrap();
+        });
+        meta_read.stats = atomio_bench::report::rpc_counter_stats(&metrics);
+        meta_read.note(
+            "stats = RPC messages/bytes for the same workload over the wire codec \
+             (Loopback transport, 16 providers + 4 meta shards)",
+        );
+    }
+    println!("{}", meta_read.render_table());
+    meta_read
         .save_json(atomio_bench::report::results_dir())
         .ok();
 }

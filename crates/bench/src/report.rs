@@ -42,6 +42,17 @@ pub struct ResourceUsage {
     pub requests: u64,
 }
 
+/// One named scalar statistic attached to a report — counter-style
+/// bookkeeping that is not a sweep row, e.g. the per-RPC transport
+/// counters (`rpc.messages`, `rpc.bytes_tx`, ...).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatEntry {
+    /// Stat name, e.g. `"rpc.messages"`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
 /// A complete experiment result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentReport {
@@ -58,6 +69,9 @@ pub struct ExperimentReport {
     /// Per-device utilization of a representative run (empty when not
     /// collected).
     pub resources: Vec<ResourceUsage>,
+    /// Named counters from a representative run (empty when not
+    /// collected) — e.g. wire-transport message/byte/retry totals.
+    pub stats: Vec<StatEntry>,
 }
 
 impl ExperimentReport {
@@ -70,12 +84,23 @@ impl ExperimentReport {
             rows: Vec::new(),
             notes: Vec::new(),
             resources: Vec::new(),
+            stats: Vec::new(),
         }
     }
 
     /// Appends a row.
     pub fn push(&mut self, row: Row) {
         self.rows.push(row);
+    }
+
+    /// Records a named counter (overwrites an existing entry with the
+    /// same name so re-measured runs don't accumulate duplicates).
+    pub fn stat(&mut self, name: impl Into<String>, value: u64) {
+        let name = name.into();
+        match self.stats.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.value = value,
+            None => self.stats.push(StatEntry { name, value }),
+        }
     }
 
     /// Appends a note.
@@ -170,6 +195,12 @@ impl ExperimentReport {
                 );
             }
         }
+        if !self.stats.is_empty() {
+            let _ = writeln!(out, "-- counters (representative run) --");
+            for s in &self.stats {
+                let _ = writeln!(out, "{:>20} | {:>12}", s.name, s.value);
+            }
+        }
         out
     }
 
@@ -210,6 +241,21 @@ pub fn provider_resource_usage(providers: &ProviderManager) -> Vec<ResourceUsage
             out.push(usage_of(&nic));
         }
     }
+    out
+}
+
+/// Extracts the wire-transport counters (`rpc.*` namespace — messages,
+/// bytes on the wire in each direction, connect retries) from a metrics
+/// registry, sorted by name. Empty when the run never touched an RPC
+/// transport (the in-process fast path doesn't count messages).
+pub fn rpc_counter_stats(metrics: &atomio_simgrid::Metrics) -> Vec<StatEntry> {
+    let mut out: Vec<StatEntry> = metrics
+        .counter_snapshot()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("rpc."))
+        .map(|(name, value)| StatEntry { name, value })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
     out
 }
 
@@ -298,15 +344,54 @@ mod tests {
 
     #[test]
     fn reports_without_resources_still_parse() {
-        // Committed results predate the resources section; they must
-        // keep loading (the field defaults to empty).
+        // Committed results predate the resources and stats sections;
+        // they must keep loading (the fields default to empty).
         let json = r#"{
             "id": "E0", "title": "t", "x_label": "x",
             "rows": [], "notes": []
         }"#;
         let loaded: ExperimentReport = serde_json::from_str(json).unwrap();
         assert!(loaded.resources.is_empty());
-        assert!(!loaded.render_table().contains("device utilization"));
+        assert!(loaded.stats.is_empty());
+        let table = loaded.render_table();
+        assert!(!table.contains("device utilization"));
+        assert!(!table.contains("counters"));
+    }
+
+    #[test]
+    fn stats_render_roundtrip_and_overwrite() {
+        let mut r = sample();
+        r.stat("rpc.messages", 10);
+        r.stat("rpc.bytes_tx", 4096);
+        r.stat("rpc.messages", 12); // re-measured: overwrite, not append
+        assert_eq!(r.stats.len(), 2);
+        let table = r.render_table();
+        assert!(table.contains("counters"));
+        assert!(table.contains("rpc.messages"));
+        assert!(table.contains("12"));
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let loaded: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(loaded.stats.len(), 2);
+        assert_eq!(
+            loaded
+                .stats
+                .iter()
+                .find(|s| s.name == "rpc.messages")
+                .map(|s| s.value),
+            Some(12)
+        );
+    }
+
+    #[test]
+    fn rpc_counter_stats_filters_and_sorts() {
+        let metrics = atomio_simgrid::Metrics::new();
+        metrics.counter("rpc.messages").add(3);
+        metrics.counter("rpc.bytes_tx").add(100);
+        metrics.counter("core.unrelated").add(9);
+        let stats = rpc_counter_stats(&metrics);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "rpc.bytes_tx");
+        assert_eq!(stats[1].name, "rpc.messages");
     }
 
     #[test]

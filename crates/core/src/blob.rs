@@ -18,7 +18,7 @@
 
 use crate::config::TransferMode;
 use atomio_meta::{
-    LeafEntry, MetaStore, NodeCache, TreeBuilder, TreeConfig, TreeReader, VersionHistory,
+    LeafEntry, NodeCache, NodeStore, TreeBuilder, TreeConfig, TreeReader, VersionHistory,
 };
 use atomio_provider::{GetRequest, ProviderManager};
 use atomio_simgrid::{Metrics, Participant};
@@ -43,7 +43,7 @@ struct BlobInner {
     id: BlobId,
     geometry: ChunkGeometry,
     providers: Arc<ProviderManager>,
-    meta: Arc<MetaStore>,
+    meta: Arc<dyn NodeStore>,
     history: Arc<VersionHistory>,
     vm: Arc<VersionManager>,
     chunk_ids: Arc<IdAllocator>,
@@ -66,7 +66,7 @@ impl Blob {
         id: BlobId,
         geometry: ChunkGeometry,
         providers: Arc<ProviderManager>,
-        meta: Arc<MetaStore>,
+        meta: Arc<dyn NodeStore>,
         history: Arc<VersionHistory>,
         vm: Arc<VersionManager>,
         chunk_ids: Arc<IdAllocator>,
@@ -181,7 +181,7 @@ impl Blob {
 
         let builder = TreeBuilder::new(
             inner.id,
-            &inner.meta,
+            inner.meta.as_ref(),
             &inner.history,
             TreeConfig::new(inner.geometry.chunk_size()),
         )
@@ -345,10 +345,16 @@ impl Blob {
             .add(extents.total_len());
 
         let reader = match &inner.node_cache {
-            Some(cache) => TreeReader::with_cache(&inner.meta, cache),
-            None => TreeReader::new(&inner.meta),
-        };
+            Some(cache) => TreeReader::with_cache(inner.meta.as_ref(), cache),
+            None => TreeReader::new(inner.meta.as_ref()),
+        }
+        .with_read_mode(inner.config.meta_read_mode);
+        let resolve_start = p.now();
         let pieces = reader.resolve(p, snap.root, extents)?;
+        inner
+            .metrics
+            .time_stat("core.meta_resolve_time")
+            .record(p.now() - resolve_start);
 
         // Materialize into a packed buffer.
         let mut out = vec![0u8; extents.total_len() as usize];
@@ -481,7 +487,7 @@ impl Blob {
         let ticket = inner.vm.ticket(p, extents)?;
         let builder = TreeBuilder::new(
             inner.id,
-            &inner.meta,
+            inner.meta.as_ref(),
             &inner.history,
             TreeConfig::new(inner.geometry.chunk_size()),
         )
@@ -493,7 +499,7 @@ impl Blob {
         Ok(ticket.version)
     }
 
-    pub(crate) fn meta_store(&self) -> &Arc<MetaStore> {
+    pub(crate) fn meta_store(&self) -> &Arc<dyn NodeStore> {
         &self.inner.meta
     }
 

@@ -42,7 +42,7 @@ impl Store {
 
         // Resolve the complete source snapshot to chunk references.
         let whole = ExtentList::single(ByteRange::new(0, snap.size));
-        let reader = TreeReader::new(source.meta_store());
+        let reader = TreeReader::new(source.meta_store().as_ref());
         let pieces = reader.resolve(p, snap.root, &whole)?;
         let mut entries = Vec::new();
         let mut touched = Vec::new();

@@ -4,7 +4,23 @@ use atomio_provider::AllocationStrategy;
 use atomio_simgrid::CostModel;
 use atomio_version::TicketMode;
 
-pub use atomio_meta::MetaCommitMode;
+pub use atomio_meta::{MetaCommitMode, MetaReadMode};
+
+/// How clients reach the provider and metadata services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// In-process calls with simulated virtual-time costs — the default,
+    /// and the mode every committed benchmark result was produced under.
+    #[default]
+    Loopback,
+    /// Real sockets: services are hosted by the `atomio-provider-server`
+    /// and `atomio-meta-server` binaries and reached through the
+    /// `atomio-rpc` TCP transport. [`crate::Store::new`] cannot assemble
+    /// this mode by itself (it has no addresses to dial); build the
+    /// remote handles with `atomio-rpc` and pass them to
+    /// [`crate::Store::with_substrates`].
+    Tcp,
+}
 
 /// How the client data path issues chunk transfers (E7 ablation knob).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +61,10 @@ pub struct StoreConfig {
     pub transfer_mode: TransferMode,
     /// Metadata commit engine mode (E7 ablation knob).
     pub meta_commit_mode: MetaCommitMode,
+    /// Metadata read engine mode (E7 ablation knob).
+    pub meta_read_mode: MetaReadMode,
+    /// How clients reach the provider and metadata services.
+    pub transport_mode: TransportMode,
     /// Client-side metadata cache size in nodes (0 disables caching).
     pub meta_cache_nodes: usize,
     /// Seed for every random choice in the store.
@@ -67,6 +87,8 @@ impl Default for StoreConfig {
             ticket_mode: TicketMode::Pipelined,
             transfer_mode: TransferMode::Pipelined,
             meta_commit_mode: MetaCommitMode::Batched,
+            meta_read_mode: MetaReadMode::Batched,
+            transport_mode: TransportMode::Loopback,
             meta_cache_nodes: 4096,
             seed: 0x5EED,
         }
@@ -135,6 +157,18 @@ impl StoreConfig {
         self
     }
 
+    /// Sets the metadata read engine mode.
+    pub fn with_meta_read_mode(mut self, mode: MetaReadMode) -> Self {
+        self.meta_read_mode = mode;
+        self
+    }
+
+    /// Sets the transport mode.
+    pub fn with_transport_mode(mut self, mode: TransportMode) -> Self {
+        self.transport_mode = mode;
+        self
+    }
+
     /// Sets the client-side metadata cache size (0 disables caching).
     pub fn with_meta_cache(mut self, nodes: usize) -> Self {
         self.meta_cache_nodes = nodes;
@@ -162,6 +196,8 @@ mod tests {
         assert_eq!(c.ticket_mode, TicketMode::Pipelined);
         assert_eq!(c.transfer_mode, TransferMode::Pipelined);
         assert_eq!(c.meta_commit_mode, MetaCommitMode::Batched);
+        assert_eq!(c.meta_read_mode, MetaReadMode::Batched);
+        assert_eq!(c.transport_mode, TransportMode::Loopback);
         assert_eq!(c.meta_cache_nodes, 4096);
     }
 
@@ -177,6 +213,8 @@ mod tests {
             .with_ticket_mode(TicketMode::SerializedBuild)
             .with_transfer_mode(TransferMode::Serial)
             .with_meta_commit_mode(MetaCommitMode::Serial)
+            .with_meta_read_mode(MetaReadMode::PerNode)
+            .with_transport_mode(TransportMode::Tcp)
             .with_meta_cache(0)
             .with_seed(7);
         assert_eq!(c.cost, CostModel::zero());
@@ -188,6 +226,8 @@ mod tests {
         assert_eq!(c.ticket_mode, TicketMode::SerializedBuild);
         assert_eq!(c.transfer_mode, TransferMode::Serial);
         assert_eq!(c.meta_commit_mode, MetaCommitMode::Serial);
+        assert_eq!(c.meta_read_mode, MetaReadMode::PerNode);
+        assert_eq!(c.transport_mode, TransportMode::Tcp);
         assert_eq!(c.meta_cache_nodes, 0);
         assert_eq!(c.seed, 7);
     }

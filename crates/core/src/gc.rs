@@ -37,7 +37,7 @@ pub fn collect_below(p: &Participant, blob: &Blob, keep_from: VersionId) -> Resu
     let vm = blob.version_manager();
     let latest = vm.latest(p).version;
     let keep_from = keep_from.min(latest); // never retire the latest snapshot
-    let reader = TreeReader::new(blob.meta_store());
+    let reader = TreeReader::new(blob.meta_store().as_ref());
 
     // Mark: everything reachable from retained snapshots.
     let mut live_nodes = HashSet::new();

@@ -48,5 +48,5 @@ pub mod namespace;
 pub mod store;
 
 pub use blob::{Blob, ReadVersion};
-pub use config::{MetaCommitMode, StoreConfig, TransferMode};
+pub use config::{MetaCommitMode, MetaReadMode, StoreConfig, TransferMode, TransportMode};
 pub use store::Store;

@@ -3,7 +3,7 @@
 use crate::blob::Blob;
 use crate::config::StoreConfig;
 use crate::namespace::Namespace;
-use atomio_meta::{MetaStore, TreeConfig, VersionHistory};
+use atomio_meta::{MetaStore, NodeStore, TreeConfig, VersionHistory};
 use atomio_provider::ProviderManager;
 use atomio_simgrid::{CostModel, FaultInjector, Metrics};
 use atomio_types::ids::IdAllocator;
@@ -21,7 +21,7 @@ use std::sync::Arc;
 pub struct Store {
     config: StoreConfig,
     providers: Arc<ProviderManager>,
-    meta: Arc<MetaStore>,
+    meta: Arc<dyn NodeStore>,
     faults: Arc<FaultInjector>,
     metrics: Metrics,
     chunk_ids: Arc<IdAllocator>,
@@ -32,7 +32,20 @@ pub struct Store {
 
 impl Store {
     /// Deploys a store.
+    ///
+    /// # Panics
+    /// Panics when `config.transport_mode` is
+    /// [`crate::config::TransportMode::Tcp`]: this constructor has no
+    /// server addresses to dial. Assemble the remote substrates with
+    /// `atomio-rpc` and hand them to [`Self::with_substrates`] instead.
     pub fn new(config: StoreConfig) -> Self {
+        assert_eq!(
+            config.transport_mode,
+            crate::config::TransportMode::Loopback,
+            "Store::new only assembles the in-process Loopback transport; \
+             for Tcp build remote handles with atomio-rpc and call \
+             Store::with_substrates"
+        );
         Self::new_heterogeneous(config, vec![config.cost; config.data_providers])
     }
 
@@ -54,6 +67,21 @@ impl Store {
             config.cost,
             Arc::clone(providers.client_nic_registry()),
         ));
+        Self::with_substrates(config, providers, meta)
+    }
+
+    /// Assembles a store over caller-built substrates — the seam the
+    /// `atomio-rpc` transports plug into: pass a [`ProviderManager`]
+    /// built from `RemoteProvider` handles and a `RemoteMetaStore`, and
+    /// the whole write/read/scrub machinery runs over real sockets. The
+    /// in-process constructors funnel through here too, so both
+    /// deployments execute the same code path above this line.
+    pub fn with_substrates(
+        config: StoreConfig,
+        providers: Arc<ProviderManager>,
+        meta: Arc<dyn NodeStore>,
+    ) -> Self {
+        let faults = Arc::clone(providers.faults());
         Store {
             providers,
             meta,
@@ -108,7 +136,7 @@ impl Store {
     }
 
     /// The metadata store.
-    pub fn meta(&self) -> &Arc<MetaStore> {
+    pub fn meta(&self) -> &Arc<dyn NodeStore> {
         &self.meta
     }
 
@@ -141,7 +169,7 @@ impl Store {
 
         // Gather chunk→homes from every published version of every blob.
         let mut homes: HashMap<ChunkId, Vec<ProviderId>> = HashMap::new();
-        let reader = TreeReader::new(&self.meta);
+        let reader = TreeReader::new(self.meta.as_ref());
         let blobs: Vec<Blob> = self.blobs.read().values().cloned().collect();
         for blob in &blobs {
             let latest = blob.version_manager().latest(p).version;

@@ -9,11 +9,12 @@
 
 use atomio_types::{ByteRange, ExtentList, VersionId};
 use parking_lot::RwLock;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::sync::Arc;
 
 /// Summary of one write: which bytes it touched and the tree capacity its
 /// version was published with.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteSummary {
     /// The write's assigned version.
     pub version: VersionId,
@@ -23,6 +24,28 @@ pub struct WriteSummary {
     /// multiple of the leaf size, monotonically non-decreasing across
     /// versions.
     pub capacity: u64,
+}
+
+// Hand-written: the derive cannot see through the `Arc` around the
+// extent list (summaries ride ticket responses over the wire).
+impl Serialize for WriteSummary {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".to_string(), self.version.to_value()),
+            ("extents".to_string(), self.extents.to_value()),
+            ("capacity".to_string(), self.capacity.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WriteSummary {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(WriteSummary {
+            version: VersionId::from_value(v.get_or_null("version"))?,
+            extents: Arc::new(ExtentList::from_value(v.get_or_null("extents"))?),
+            capacity: u64::from_value(v.get_or_null("capacity"))?,
+        })
+    }
 }
 
 /// Append-only, shared history of write summaries for one blob.
@@ -59,6 +82,30 @@ impl VersionHistory {
             );
         }
         rows.push(summary);
+    }
+
+    /// All summaries of versions strictly greater than `known` (a row
+    /// count from a previous call). Used by remote clients to mirror the
+    /// server-side history incrementally: a ticket response carries the
+    /// delta since the client's last known row.
+    pub fn summaries_since(&self, known: usize) -> Vec<WriteSummary> {
+        let rows = self.rows.read();
+        rows.get(known.min(rows.len())..)
+            .map_or_else(Vec::new, |tail| tail.to_vec())
+    }
+
+    /// Merges a delta obtained from [`Self::summaries_since`] into this
+    /// history: already-known versions are skipped, new ones appended in
+    /// order. Panics (via [`Self::append`]) on a gap, which would mean the
+    /// server skipped rows.
+    pub fn absorb(&self, delta: impl IntoIterator<Item = WriteSummary>) {
+        for summary in delta {
+            let known = self.rows.read().len() as u64;
+            if summary.version.raw() <= known {
+                continue;
+            }
+            self.append(summary);
+        }
     }
 
     /// Number of versions recorded (excluding the implicit version 0).
@@ -177,6 +224,35 @@ mod tests {
             h.latest_toucher(VersionId::new(1), ByteRange::new(0, 10)),
             None
         );
+    }
+
+    #[test]
+    fn summaries_roundtrip_and_mirror() {
+        use serde::{Deserialize, Serialize};
+        let h = VersionHistory::new();
+        h.append(summary(1, &[(0, 10)], 64));
+        h.append(summary(2, &[(100, 10), (200, 4)], 128));
+        h.append(summary(3, &[(50, 10)], 128));
+
+        // Wire roundtrip preserves every field.
+        for s in h.summaries_since(0) {
+            let back = WriteSummary::from_value(&s.to_value()).unwrap();
+            assert_eq!(back.version, s.version);
+            assert_eq!(*back.extents, *s.extents);
+            assert_eq!(back.capacity, s.capacity);
+        }
+
+        // A mirror absorbing overlapping deltas converges without gaps.
+        let mirror = VersionHistory::new();
+        mirror.absorb(h.summaries_since(0));
+        mirror.absorb(h.summaries_since(1)); // overlap: v2, v3 already known
+        assert_eq!(mirror.len(), 3);
+        assert_eq!(
+            mirror.latest_toucher(VersionId::new(4), ByteRange::new(55, 1)),
+            Some((VersionId::new(3), 128))
+        );
+        assert!(h.summaries_since(3).is_empty());
+        assert!(h.summaries_since(99).is_empty());
     }
 
     #[test]

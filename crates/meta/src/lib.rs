@@ -47,7 +47,7 @@ pub mod store;
 pub mod tree;
 
 pub use cache::NodeCache;
-pub use history::VersionHistory;
+pub use history::{VersionHistory, WriteSummary};
 pub use node::{LeafEntry, Node, NodeBody, NodeKey};
-pub use store::MetaStore;
-pub use tree::{MetaCommitMode, ResolvedPiece, TreeBuilder, TreeConfig, TreeReader};
+pub use store::{MetaStore, NodeStore};
+pub use tree::{MetaCommitMode, MetaReadMode, ResolvedPiece, TreeBuilder, TreeConfig, TreeReader};

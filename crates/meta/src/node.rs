@@ -1,6 +1,7 @@
 //! Segment-tree node representation.
 
 use atomio_types::{BlobId, ByteRange, ChunkId, ProviderId, VersionId};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Deterministic address of a tree node: the version that created it and
@@ -9,7 +10,7 @@ use std::fmt;
 /// Determinism is what allows concurrent writers to link to each other's
 /// nodes *before those nodes exist*: a writer computes the key of the
 /// latest toucher of a range from write summaries alone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NodeKey {
     /// Owning blob (trees of different blobs share one node store, as
     /// BlobSeer's DHT does, so the blob id is part of the key).
@@ -39,7 +40,7 @@ impl fmt::Display for NodeKey {
 
 /// One leaf descriptor: a sub-range of the leaf's file space whose bytes
 /// live in a stored chunk.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LeafEntry {
     /// Absolute file range the entry covers (contained in the leaf range).
     pub file_range: ByteRange,
@@ -88,8 +89,43 @@ pub enum NodeBody {
     },
 }
 
+// The vendored serde derive handles only named-field structs, so the
+// body enum gets a hand-written tagged-object encoding.
+impl Serialize for NodeBody {
+    fn to_value(&self) -> Value {
+        match self {
+            NodeBody::Inner { left, right } => Value::Object(vec![
+                ("t".to_string(), Value::Str("Inner".to_string())),
+                ("left".to_string(), left.to_value()),
+                ("right".to_string(), right.to_value()),
+            ]),
+            NodeBody::Leaf { entries, backlink } => Value::Object(vec![
+                ("t".to_string(), Value::Str("Leaf".to_string())),
+                ("entries".to_string(), entries.to_value()),
+                ("backlink".to_string(), backlink.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for NodeBody {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.get("t") {
+            Some(Value::Str(s)) if s == "Inner" => Ok(NodeBody::Inner {
+                left: Option::<NodeKey>::from_value(v.get_or_null("left"))?,
+                right: Option::<NodeKey>::from_value(v.get_or_null("right"))?,
+            }),
+            Some(Value::Str(s)) if s == "Leaf" => Ok(NodeBody::Leaf {
+                entries: Vec::<LeafEntry>::from_value(v.get_or_null("entries"))?,
+                backlink: Option::<NodeKey>::from_value(v.get_or_null("backlink"))?,
+            }),
+            _ => Err(DeError::expected("tagged node body", v)),
+        }
+    }
+}
+
 /// An immutable segment-tree node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Node {
     /// The node's deterministic address.
     pub key: NodeKey,
@@ -215,6 +251,31 @@ mod tests {
             },
         };
         assert!(empty.wire_size() < leaf.wire_size());
+    }
+
+    #[test]
+    fn nodes_roundtrip_through_wire_encoding() {
+        let key = NodeKey::new(BlobId::new(7), VersionId::new(3), ByteRange::new(0, 128));
+        let inner = Node {
+            key,
+            body: NodeBody::Inner {
+                left: Some(NodeKey::new(
+                    BlobId::new(7),
+                    VersionId::new(2),
+                    ByteRange::new(0, 64),
+                )),
+                right: None,
+            },
+        };
+        assert_eq!(Node::from_value(&inner.to_value()).unwrap(), inner);
+        let leaf = Node {
+            key,
+            body: NodeBody::Leaf {
+                entries: vec![entry(0, 64, 9, 16)],
+                backlink: Some(key),
+            },
+        };
+        assert_eq!(Node::from_value(&leaf.to_value()).unwrap(), leaf);
     }
 
     #[test]

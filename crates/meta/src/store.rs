@@ -22,6 +22,48 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// The interface tree builders and readers consume to store and fetch
+/// nodes. [`MetaStore`] is the in-process implementation; an RPC client
+/// talking to a remote metadata server implements the same trait, so the
+/// whole metadata path is transport-agnostic.
+///
+/// Batch operations are canonical (mirroring [`MetaStore`]); `put`/`get`
+/// are provided one-element wrappers.
+pub trait NodeStore: Send + Sync + std::fmt::Debug {
+    /// Stores a batch of nodes; one outcome per node, in order.
+    fn put_batch(&self, p: &Participant, nodes: Vec<Node>) -> Vec<Result<()>>;
+
+    /// Fetches a batch of nodes; one outcome per key, in order.
+    fn get_batch(&self, p: &Participant, keys: &[NodeKey]) -> Vec<Result<Arc<Node>>>;
+
+    /// Stores one node.
+    fn put(&self, p: &Participant, node: Node) -> Result<()> {
+        self.put_batch(p, vec![node])
+            .pop()
+            .expect("one outcome per node")
+    }
+
+    /// Fetches one node.
+    fn get(&self, p: &Participant, key: NodeKey) -> Result<Arc<Node>> {
+        self.get_batch(p, &[key])
+            .pop()
+            .expect("one outcome per key")
+    }
+
+    /// True if the node exists (free of simulated cost; for tests/GC).
+    fn contains(&self, key: NodeKey) -> bool;
+
+    /// Total nodes stored.
+    fn node_count(&self) -> usize;
+
+    /// Removes a node (version GC). Missing keys are ignored.
+    fn evict(&self, key: NodeKey);
+
+    /// Every stored key, in unspecified order (for equivalence checks
+    /// and GC sweeps).
+    fn list_keys(&self) -> Vec<NodeKey>;
+}
+
 /// A hash-partitioned store of immutable tree nodes.
 #[derive(Debug)]
 pub struct MetaStore {
@@ -249,6 +291,63 @@ impl MetaStore {
     /// Per-shard node counts (for distribution tests).
     pub fn shard_loads(&self) -> Vec<usize> {
         self.shards.iter().map(|s| s.nodes.read().len()).collect()
+    }
+
+    /// Every stored key, in unspecified order.
+    pub fn list_keys(&self) -> Vec<NodeKey> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.nodes.read().keys().copied().collect::<Vec<_>>())
+            .collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Participant-free entry points for network servers. A TCP server
+    // thread has no simulated clock; the wire itself is the cost model.
+    // -----------------------------------------------------------------
+
+    /// Stores a batch without booking any simulated cost (server-side
+    /// half of a remote put).
+    pub fn put_batch_local(&self, nodes: Vec<Node>) -> Vec<Result<()>> {
+        nodes.into_iter().map(|n| self.install(n)).collect()
+    }
+
+    /// Fetches a batch without booking any simulated cost (server-side
+    /// half of a remote get).
+    pub fn get_batch_local(&self, keys: &[NodeKey]) -> Vec<Result<Arc<Node>>> {
+        keys.iter()
+            .map(|&key| {
+                self.shard_for(key).nodes.read().get(&key).cloned().ok_or(
+                    Error::MetadataNodeMissing(key.range.offset ^ key.version.raw()),
+                )
+            })
+            .collect()
+    }
+}
+
+impl NodeStore for MetaStore {
+    fn put_batch(&self, p: &Participant, nodes: Vec<Node>) -> Vec<Result<()>> {
+        MetaStore::put_batch(self, p, nodes)
+    }
+
+    fn get_batch(&self, p: &Participant, keys: &[NodeKey]) -> Vec<Result<Arc<Node>>> {
+        MetaStore::get_batch(self, p, keys)
+    }
+
+    fn contains(&self, key: NodeKey) -> bool {
+        MetaStore::contains(self, key)
+    }
+
+    fn node_count(&self) -> usize {
+        MetaStore::node_count(self)
+    }
+
+    fn evict(&self, key: NodeKey) {
+        MetaStore::evict(self, key)
+    }
+
+    fn list_keys(&self) -> Vec<NodeKey> {
+        MetaStore::list_keys(self)
     }
 }
 

@@ -16,7 +16,7 @@
 
 use crate::history::VersionHistory;
 use crate::node::{LeafEntry, Node, NodeBody, NodeKey};
-use crate::store::MetaStore;
+use crate::store::NodeStore;
 use atomio_simgrid::{Metrics, Participant};
 use atomio_types::{BlobId, ByteRange, ChunkId, Error, ExtentList, ProviderId, Result, VersionId};
 use std::collections::{HashMap, HashSet};
@@ -63,11 +63,23 @@ impl TreeConfig {
     }
 }
 
+/// How a tree read traverses node levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetaReadMode {
+    /// One [`NodeStore::get`] per visited node, in depth-first order.
+    /// The pre-batching baseline, kept for the E7f ablation.
+    PerNode,
+    /// One [`NodeStore::get_batch`] per traversal level: all pending
+    /// node fetches of a level ship as a single list-request.
+    #[default]
+    Batched,
+}
+
 /// Writer-side tree construction.
 #[derive(Debug)]
 pub struct TreeBuilder<'a> {
     blob: BlobId,
-    store: &'a MetaStore,
+    store: &'a dyn NodeStore,
     history: &'a VersionHistory,
     config: TreeConfig,
     mode: MetaCommitMode,
@@ -79,7 +91,7 @@ impl<'a> TreeBuilder<'a> {
     /// write history, committing in the default [`MetaCommitMode`].
     pub fn new(
         blob: BlobId,
-        store: &'a MetaStore,
+        store: &'a dyn NodeStore,
         history: &'a VersionHistory,
         config: TreeConfig,
     ) -> Self {
@@ -344,24 +356,36 @@ pub struct ResolvedPiece {
 /// Reader-side tree traversal.
 #[derive(Debug)]
 pub struct TreeReader<'a> {
-    store: &'a MetaStore,
+    store: &'a dyn NodeStore,
     cache: Option<&'a crate::cache::NodeCache>,
+    read_mode: MetaReadMode,
 }
 
 impl<'a> TreeReader<'a> {
     /// Creates a reader over a store.
-    pub fn new(store: &'a MetaStore) -> Self {
-        TreeReader { store, cache: None }
+    pub fn new(store: &'a dyn NodeStore) -> Self {
+        TreeReader {
+            store,
+            cache: None,
+            read_mode: MetaReadMode::default(),
+        }
     }
 
     /// Creates a reader that consults a client-side node cache first.
     /// Cache hits are free of simulated cost (they never leave the
     /// client); misses are fetched from the store and cached.
-    pub fn with_cache(store: &'a MetaStore, cache: &'a crate::cache::NodeCache) -> Self {
+    pub fn with_cache(store: &'a dyn NodeStore, cache: &'a crate::cache::NodeCache) -> Self {
         TreeReader {
             store,
             cache: Some(cache),
+            read_mode: MetaReadMode::default(),
         }
+    }
+
+    /// Sets how traversal levels are fetched.
+    pub fn with_read_mode(mut self, mode: MetaReadMode) -> Self {
+        self.read_mode = mode;
+        self
     }
 
     fn fetch(&self, p: &Participant, key: NodeKey) -> Result<std::sync::Arc<Node>> {
@@ -374,6 +398,36 @@ impl<'a> TreeReader<'a> {
             return Ok(node);
         }
         self.store.get(p, key)
+    }
+
+    /// Fetches one traversal level: cache hits are free, all misses ship
+    /// as **one** [`NodeStore::get_batch`] list-request.
+    fn fetch_level(&self, p: &Participant, keys: &[NodeKey]) -> Result<Vec<std::sync::Arc<Node>>> {
+        let mut out: Vec<Option<std::sync::Arc<Node>>> = vec![None; keys.len()];
+        let mut miss_idx = Vec::new();
+        let mut miss_keys = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            match self.cache.and_then(|c| c.get(key)) {
+                Some(node) => out[i] = Some(node),
+                None => {
+                    miss_idx.push(i);
+                    miss_keys.push(key);
+                }
+            }
+        }
+        if !miss_keys.is_empty() {
+            for (i, fetched) in miss_idx
+                .into_iter()
+                .zip(self.store.get_batch(p, &miss_keys))
+            {
+                let node = fetched?;
+                if let Some(cache) = self.cache {
+                    cache.insert(std::sync::Arc::clone(&node));
+                }
+                out[i] = Some(node);
+            }
+        }
+        Ok(out.into_iter().map(|n| n.expect("slot filled")).collect())
     }
 
     /// Maps `extents` of the snapshot rooted at `root` onto stored
@@ -393,12 +447,78 @@ impl<'a> TreeReader<'a> {
                 let outside = extents.subtract(&inside);
                 push_holes(&mut out, &outside);
                 if !inside.is_empty() {
-                    self.walk(p, root, &inside, &mut out)?;
+                    match self.read_mode {
+                        MetaReadMode::PerNode => self.walk(p, root, &inside, &mut out)?,
+                        MetaReadMode::Batched => self.walk_levels(p, root, inside, &mut out)?,
+                    }
                 }
             }
         }
         out.sort_by_key(|piece| piece.file_range.offset);
         Ok(out)
+    }
+
+    /// Level-order traversal: every pending node of a level — tree
+    /// children *and* backlink hops alike — is fetched in a single
+    /// batched list-request, applying the E7e batching win to reads.
+    /// Output (after the final sort) is identical to [`Self::walk`].
+    fn walk_levels(
+        &self,
+        p: &Participant,
+        root: NodeKey,
+        want: ExtentList,
+        out: &mut Vec<ResolvedPiece>,
+    ) -> Result<()> {
+        let mut frontier: Vec<(NodeKey, ExtentList)> = vec![(root, want)];
+        while !frontier.is_empty() {
+            let keys: Vec<NodeKey> = frontier.iter().map(|(key, _)| *key).collect();
+            let nodes = self.fetch_level(p, &keys)?;
+            let mut next = Vec::new();
+            for (node, (key, want)) in nodes.into_iter().zip(frontier) {
+                self.visit(&node, key, &want, out, &mut next);
+            }
+            frontier = next;
+        }
+        Ok(())
+    }
+
+    /// Resolves one fetched node against its wanted extents, emitting
+    /// pieces/holes and queueing children or backlinks for the next
+    /// level.
+    fn visit(
+        &self,
+        node: &Node,
+        key: NodeKey,
+        want: &ExtentList,
+        out: &mut Vec<ResolvedPiece>,
+        next: &mut Vec<(NodeKey, ExtentList)>,
+    ) {
+        debug_assert!(!want.is_empty());
+        match &node.body {
+            NodeBody::Inner { left, right } => {
+                let mid = key.range.offset + key.range.len / 2;
+                let (lo, hi) = key.range.split_at(mid);
+                for (half, link) in [(lo, left), (hi, right)] {
+                    let sub = want.clip(half);
+                    if sub.is_empty() {
+                        continue;
+                    }
+                    match link {
+                        Some(child) => next.push((*child, sub)),
+                        None => push_holes(out, &sub),
+                    }
+                }
+            }
+            NodeBody::Leaf { entries, backlink } => {
+                let remaining = resolve_leaf(entries, want, out);
+                if !remaining.is_empty() {
+                    match backlink {
+                        Some(older) => next.push((*older, remaining)),
+                        None => push_holes(out, &remaining),
+                    }
+                }
+            }
+        }
     }
 
     fn walk(
@@ -426,25 +546,7 @@ impl<'a> TreeReader<'a> {
                 }
             }
             NodeBody::Leaf { entries, backlink } => {
-                let mut remaining = want.clone();
-                for e in entries {
-                    let hit = remaining.clip(e.file_range);
-                    for &r in &hit {
-                        let clipped = e.clip(r).expect("hit ranges intersect the entry");
-                        out.push(ResolvedPiece {
-                            file_range: clipped.file_range,
-                            source: Some(PieceSource {
-                                chunk: clipped.chunk,
-                                chunk_offset: clipped.chunk_offset,
-                                homes: clipped.homes,
-                            }),
-                        });
-                    }
-                    remaining = remaining.subtract(&hit);
-                    if remaining.is_empty() {
-                        break;
-                    }
-                }
+                let remaining = resolve_leaf(entries, want, out);
                 if !remaining.is_empty() {
                     match backlink {
                         Some(older) => self.walk(p, *older, &remaining, out)?,
@@ -516,6 +618,36 @@ impl<'a> TreeReader<'a> {
     }
 }
 
+/// Overlays one leaf's entries onto `want`, emitting resolved pieces;
+/// returns the extents the leaf did not cover (to be satisfied by the
+/// backlink chain or read as holes).
+fn resolve_leaf(
+    entries: &[LeafEntry],
+    want: &ExtentList,
+    out: &mut Vec<ResolvedPiece>,
+) -> ExtentList {
+    let mut remaining = want.clone();
+    for e in entries {
+        let hit = remaining.clip(e.file_range);
+        for &r in &hit {
+            let clipped = e.clip(r).expect("hit ranges intersect the entry");
+            out.push(ResolvedPiece {
+                file_range: clipped.file_range,
+                source: Some(PieceSource {
+                    chunk: clipped.chunk,
+                    chunk_offset: clipped.chunk_offset,
+                    homes: clipped.homes,
+                }),
+            });
+        }
+        remaining = remaining.subtract(&hit);
+        if remaining.is_empty() {
+            break;
+        }
+    }
+    remaining
+}
+
 fn push_holes(out: &mut Vec<ResolvedPiece>, holes: &ExtentList) {
     for &r in holes {
         out.push(ResolvedPiece {
@@ -529,6 +661,7 @@ fn push_holes(out: &mut Vec<ResolvedPiece>, holes: &ExtentList) {
 mod tests {
     use super::*;
     use crate::history::WriteSummary;
+    use crate::store::MetaStore;
     use atomio_simgrid::clock::run_actors;
     use atomio_simgrid::CostModel;
     use std::sync::Arc;
@@ -953,6 +1086,61 @@ mod tests {
             let pieces = fx.resolve(p, root, &[(0, 64)]);
             assert!(pieces.iter().all(|pc| pc.source.is_none()));
         });
+    }
+
+    #[test]
+    fn read_modes_resolve_identically() {
+        let fx = Fixture::new();
+        run_actors(1, |_, p| {
+            fx.write(p, &[(0, 256)]); // v1: full 4 leaves
+            fx.write(p, &[(16, 16)]); // v2: partial leaf with backlink
+            let (_, root3) = fx.write(p, &[(128, 32), (300, 20)]); // v3: expansion
+            for pairs in [
+                vec![(0u64, 512u64)],
+                vec![(0, 16), (40, 100), (290, 40)],
+                vec![(8, 4)],
+            ] {
+                let ext = ExtentList::from_pairs(pairs.iter().copied());
+                let batched = TreeReader::new(&fx.store)
+                    .resolve(p, Some(root3), &ext)
+                    .unwrap();
+                let per_node = TreeReader::new(&fx.store)
+                    .with_read_mode(MetaReadMode::PerNode)
+                    .resolve(p, Some(root3), &ext)
+                    .unwrap();
+                assert_eq!(batched, per_node, "extents {pairs:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn batched_reads_beat_per_node_reads() {
+        let build = || {
+            let fx = Fixture {
+                store: MetaStore::new(4, CostModel::grid5000()),
+                history: VersionHistory::new(),
+                config: TreeConfig::new(LEAF),
+                next_chunk: std::sync::atomic::AtomicU64::new(0),
+            };
+            let (roots, _) = run_actors(1, |_, p| fx.write(p, &[(0, LEAF * 16)]));
+            (fx, roots[0].1)
+        };
+        let time_mode = |mode: MetaReadMode| {
+            let (fx, root) = build();
+            let (_, total) = run_actors(1, move |_, p| {
+                TreeReader::new(&fx.store)
+                    .with_read_mode(mode)
+                    .resolve(p, Some(root), &ExtentList::from_pairs([(0u64, LEAF * 16)]))
+                    .unwrap();
+            });
+            total
+        };
+        let per_node = time_mode(MetaReadMode::PerNode);
+        let batched = time_mode(MetaReadMode::Batched);
+        assert!(
+            batched < per_node,
+            "batched resolve ({batched:?}) should beat per-node ({per_node:?})"
+        );
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod store;
 
 pub use integrity::{chunk_checksum, ScrubReport};
 pub use manager::{AllocationStrategy, GetRequest, ProviderManager};
-pub use store::DataProvider;
+pub use store::{ChunkStore, DataProvider};

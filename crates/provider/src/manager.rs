@@ -8,7 +8,7 @@
 //! [`AllocationStrategy::LeastLoaded`] and [`AllocationStrategy::Random`]
 //! are the obvious alternatives and are compared in the E7 ablation.
 
-use crate::store::DataProvider;
+use crate::store::{ChunkStore, DataProvider};
 use atomio_simgrid::{ClientNics, CostModel, DetRng, FaultInjector, Participant, Resource};
 use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result};
 use bytes::Bytes;
@@ -41,7 +41,7 @@ pub struct GetRequest {
 /// Routes chunk operations to a fleet of data providers.
 #[derive(Debug)]
 pub struct ProviderManager {
-    providers: Vec<Arc<DataProvider>>,
+    providers: Vec<Arc<dyn ChunkStore>>,
     strategy: AllocationStrategy,
     rr_cursor: AtomicU64,
     rng: DetRng,
@@ -76,18 +76,44 @@ impl ProviderManager {
         seed: u64,
     ) -> Self {
         assert!(!costs.is_empty(), "need at least one data provider");
+        let stores = costs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cost)| {
+                Arc::new(DataProvider::new(
+                    ProviderId::new(i as u64),
+                    cost,
+                    Arc::clone(&faults),
+                )) as Arc<dyn ChunkStore>
+            })
+            .collect();
+        Self::from_stores(stores, strategy, faults, seed)
+    }
+
+    /// Builds a manager over an arbitrary fleet of chunk stores — the
+    /// seam the TCP transport plugs into: pass `RemoteProvider` handles
+    /// here and every placement, replication, and failover decision runs
+    /// unchanged over the wire.
+    ///
+    /// # Panics
+    /// Panics when `stores` is empty or when store `i` does not report
+    /// id `i` (the manager addresses the fleet by vector slot).
+    pub fn from_stores(
+        stores: Vec<Arc<dyn ChunkStore>>,
+        strategy: AllocationStrategy,
+        faults: Arc<FaultInjector>,
+        seed: u64,
+    ) -> Self {
+        assert!(!stores.is_empty(), "need at least one data provider");
+        for (i, store) in stores.iter().enumerate() {
+            assert_eq!(
+                store.id().raw(),
+                i as u64,
+                "store {i} must report id {i} (the fleet is slot-addressed)"
+            );
+        }
         ProviderManager {
-            providers: costs
-                .into_iter()
-                .enumerate()
-                .map(|(i, cost)| {
-                    Arc::new(DataProvider::new(
-                        ProviderId::new(i as u64),
-                        cost,
-                        Arc::clone(&faults),
-                    ))
-                })
-                .collect(),
+            providers: stores,
             strategy,
             rr_cursor: AtomicU64::new(0),
             rng: DetRng::new(seed),
@@ -102,14 +128,14 @@ impl ProviderManager {
     }
 
     /// Looks up a provider by id.
-    pub fn provider(&self, id: ProviderId) -> Result<&Arc<DataProvider>> {
+    pub fn provider(&self, id: ProviderId) -> Result<&Arc<dyn ChunkStore>> {
         self.providers
             .get(id.raw() as usize)
             .ok_or(Error::ProviderNotFound(id))
     }
 
     /// All providers (for accounting).
-    pub fn providers(&self) -> &[Arc<DataProvider>] {
+    pub fn providers(&self) -> &[Arc<dyn ChunkStore>] {
         &self.providers
     }
 
@@ -170,7 +196,10 @@ impl ProviderManager {
             let prov = self.provider(home)?;
             match prov.put_chunk(p, chunk, data.clone()) {
                 Ok(()) => placed.push(home),
-                Err(Error::ProviderFailed(_)) => continue,
+                // A dead home or an unreachable one (transport failure on
+                // the remote path) costs this copy only — the next home
+                // may still make quorum.
+                Err(Error::ProviderFailed(_) | Error::Transport { .. }) => continue,
                 Err(e) => return Err(e),
             }
         }
@@ -199,7 +228,15 @@ impl ProviderManager {
                 .and_then(|prov| prov.get_chunk_range(p, chunk, range))
             {
                 Ok(data) => return Ok(data),
-                Err(e @ (Error::ProviderFailed(_) | Error::ChunkNotFound { .. })) => {
+                // Retriable per-home outcomes: the replica is down, lost
+                // the chunk, or is unreachable over the transport (the
+                // typed kind — timeout vs refused vs injected loss — is
+                // preserved in `last_err` for the caller's retry policy).
+                Err(
+                    e @ (Error::ProviderFailed(_)
+                    | Error::ChunkNotFound { .. }
+                    | Error::Transport { .. }),
+                ) => {
                     last_err = e;
                 }
                 Err(e) => return Err(e),
@@ -288,7 +325,7 @@ impl ProviderManager {
                         placed.push(home);
                         latest = latest.max(done).max(inj_done);
                     }
-                    Err(Error::ProviderFailed(_)) => continue,
+                    Err(Error::ProviderFailed(_) | Error::Transport { .. }) => continue,
                     Err(e) => {
                         fatal = Some(e);
                         break;
@@ -350,7 +387,11 @@ impl ProviderManager {
                         verdict = Some(Ok(data));
                         break;
                     }
-                    Err(e @ (Error::ProviderFailed(_) | Error::ChunkNotFound { .. })) => {
+                    Err(
+                        e @ (Error::ProviderFailed(_)
+                        | Error::ChunkNotFound { .. }
+                        | Error::Transport { .. }),
+                    ) => {
                         last_err = e;
                     }
                     Err(e) => {

@@ -1,5 +1,6 @@
 //! A single data provider: one storage server holding immutable chunks.
 
+use crate::integrity::ScrubReport;
 use atomio_simgrid::{CostModel, FaultInjector, Participant, Resource, SimTime};
 use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result};
 use bytes::Bytes;
@@ -7,6 +8,76 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The chunk-storage surface the provider manager routes against.
+///
+/// [`DataProvider`] is the in-process implementation (the `Loopback`
+/// transport); `atomio-rpc`'s `RemoteProvider` speaks the same interface
+/// over a socket. Keeping the manager generic over this trait is what
+/// lets one placement/replication/failover policy drive both deployments.
+pub trait ChunkStore: Send + Sync + std::fmt::Debug {
+    /// This store's provider id (its slot in the manager's fleet).
+    fn id(&self) -> ProviderId;
+
+    /// Stores an immutable chunk, blocking the participant for the
+    /// transfer. See [`DataProvider::put_chunk`].
+    fn put_chunk(&self, p: &Participant, chunk: ChunkId, data: Bytes) -> Result<()>;
+
+    /// Reservation-based put for the pipelined transfer engine. See
+    /// [`DataProvider::put_chunk_at`].
+    fn put_chunk_at(&self, arrival: SimTime, chunk: ChunkId, data: Bytes) -> Result<SimTime>;
+
+    /// Fetches a whole chunk. See [`DataProvider::get_chunk`].
+    fn get_chunk(&self, p: &Participant, chunk: ChunkId) -> Result<Bytes>;
+
+    /// Fetches a sub-range of a chunk. See
+    /// [`DataProvider::get_chunk_range`].
+    fn get_chunk_range(&self, p: &Participant, chunk: ChunkId, range: ByteRange) -> Result<Bytes>;
+
+    /// Reservation-based ranged get. See
+    /// [`DataProvider::get_chunk_range_at`].
+    fn get_chunk_range_at(
+        &self,
+        arrival: SimTime,
+        chunk: ChunkId,
+        range: ByteRange,
+    ) -> Result<(Bytes, SimTime)>;
+
+    /// True if the chunk is present (no cost charged).
+    fn has_chunk(&self, chunk: ChunkId) -> bool;
+
+    /// Number of chunks held.
+    fn chunk_count(&self) -> usize;
+
+    /// Total payload bytes held (drives the `LeastLoaded` strategy).
+    fn bytes_stored(&self) -> u64;
+
+    /// Deletes a chunk, returning the payload bytes reclaimed.
+    fn evict_chunk(&self, chunk: ChunkId) -> u64;
+
+    /// The ingest-time checksum of a chunk, if present.
+    fn checksum_of(&self, chunk: ChunkId) -> Option<u64>;
+
+    /// Bit-rot injection hook for integrity tests.
+    fn corrupt_chunk(&self, chunk: ChunkId, byte: usize);
+
+    /// Re-reads every chunk and verifies checksums. Backends that cannot
+    /// scan in place (e.g. remote proxies) may report an empty pass.
+    fn scrub(&self, _p: &Participant) -> ScrubReport {
+        ScrubReport::default()
+    }
+
+    /// The store's disk resource, for utilization accounting. Proxy
+    /// stores expose an idle resource (zero requests) so reports skip it.
+    fn disk(&self) -> &Resource;
+
+    /// The store's NIC resource, for utilization accounting.
+    fn nic(&self) -> &Resource;
+
+    /// The cost model callers of the reservation API book their own side
+    /// of a transfer against.
+    fn cost(&self) -> &CostModel;
+}
 
 /// One simulated storage server.
 ///
@@ -241,6 +312,12 @@ impl DataProvider {
         }
     }
 
+    /// The stored payload length of a chunk, if present (no cost
+    /// charged; lets whole-chunk reads go through the range-read path).
+    pub fn chunk_len(&self, chunk: ChunkId) -> Option<u64> {
+        self.chunks.read().get(&chunk).map(|(d, _)| d.len() as u64)
+    }
+
     /// The ingest-time checksum of a chunk, if present.
     pub fn checksum_of(&self, chunk: ChunkId) -> Option<u64> {
         self.chunks.read().get(&chunk).map(|&(_, sum)| sum)
@@ -288,6 +365,77 @@ impl DataProvider {
     /// API need it to book their own side of a transfer).
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+}
+
+impl ChunkStore for DataProvider {
+    fn id(&self) -> ProviderId {
+        DataProvider::id(self)
+    }
+
+    fn put_chunk(&self, p: &Participant, chunk: ChunkId, data: Bytes) -> Result<()> {
+        DataProvider::put_chunk(self, p, chunk, data)
+    }
+
+    fn put_chunk_at(&self, arrival: SimTime, chunk: ChunkId, data: Bytes) -> Result<SimTime> {
+        DataProvider::put_chunk_at(self, arrival, chunk, data)
+    }
+
+    fn get_chunk(&self, p: &Participant, chunk: ChunkId) -> Result<Bytes> {
+        DataProvider::get_chunk(self, p, chunk)
+    }
+
+    fn get_chunk_range(&self, p: &Participant, chunk: ChunkId, range: ByteRange) -> Result<Bytes> {
+        DataProvider::get_chunk_range(self, p, chunk, range)
+    }
+
+    fn get_chunk_range_at(
+        &self,
+        arrival: SimTime,
+        chunk: ChunkId,
+        range: ByteRange,
+    ) -> Result<(Bytes, SimTime)> {
+        DataProvider::get_chunk_range_at(self, arrival, chunk, range)
+    }
+
+    fn has_chunk(&self, chunk: ChunkId) -> bool {
+        DataProvider::has_chunk(self, chunk)
+    }
+
+    fn chunk_count(&self) -> usize {
+        DataProvider::chunk_count(self)
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        DataProvider::bytes_stored(self)
+    }
+
+    fn evict_chunk(&self, chunk: ChunkId) -> u64 {
+        DataProvider::evict_chunk(self, chunk)
+    }
+
+    fn checksum_of(&self, chunk: ChunkId) -> Option<u64> {
+        DataProvider::checksum_of(self, chunk)
+    }
+
+    fn corrupt_chunk(&self, chunk: ChunkId, byte: usize) {
+        DataProvider::corrupt_chunk(self, chunk, byte)
+    }
+
+    fn scrub(&self, p: &Participant) -> ScrubReport {
+        DataProvider::scrub(self, p)
+    }
+
+    fn disk(&self) -> &Resource {
+        DataProvider::disk(self)
+    }
+
+    fn nic(&self) -> &Resource {
+        DataProvider::nic(self)
+    }
+
+    fn cost(&self) -> &CostModel {
+        DataProvider::cost(self)
     }
 }
 

@@ -1,0 +1,27 @@
+//! Hosts metadata shards and version managers behind the atomio RPC
+//! protocol.
+//!
+//! ```text
+//! atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES]
+//! ```
+//!
+//! Example: `atomio-meta-server 127.0.0.1:7421 --shards 4 --chunk-size 65536`
+
+use atomio_rpc::{serve_forever, MetaService, ServerArgs};
+use std::sync::Arc;
+
+fn main() {
+    let args = match ServerArgs::parse(std::env::args().skip(1), "--shards", 1) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES]");
+            std::process::exit(2);
+        }
+    };
+    let service = Arc::new(MetaService::new(args.count, args.chunk_size));
+    if let Err(e) = serve_forever(&args.addr, service) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

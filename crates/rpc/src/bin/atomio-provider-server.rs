@@ -1,0 +1,26 @@
+//! Hosts a fleet of data providers behind the atomio RPC protocol.
+//!
+//! ```text
+//! atomio-provider-server <listen-addr> [--providers N]
+//! ```
+//!
+//! Example: `atomio-provider-server 127.0.0.1:7420 --providers 4`
+
+use atomio_rpc::{serve_forever, ProviderService, ServerArgs};
+use std::sync::Arc;
+
+fn main() {
+    let args = match ServerArgs::parse(std::env::args().skip(1), "--providers", 1) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: atomio-provider-server <listen-addr> [--providers N]");
+            std::process::exit(2);
+        }
+    };
+    let service = Arc::new(ProviderService::new(args.count));
+    if let Err(e) = serve_forever(&args.addr, service) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,432 @@
+//! Client-side proxies: drop-in substrates speaking RPC.
+//!
+//! * [`RemoteProvider`] implements [`ChunkStore`], so a
+//!   `ProviderManager` built with `from_stores` routes chunk traffic
+//!   through a [`Transport`] instead of in-process providers.
+//! * [`RemoteMetaStore`] implements [`NodeStore`] for the tree builder
+//!   and reader.
+//! * [`RemoteVersionManager`] fronts a server-hosted version manager and
+//!   keeps a local [`VersionHistory`] mirror fed by the grant deltas, so
+//!   metadata building proceeds from local history exactly like the
+//!   in-process pipelined ticket path.
+//!
+//! Proxies carry a **zero** cost model and idle device resources: over a
+//! real transport, latency is real, so simulated device charging would
+//! double-count. Infallible interface methods (`has_chunk`, counters)
+//! degrade to neutral values on transport failure — the fallible data
+//! path is where typed [`Error::Transport`] values surface and drive the
+//! provider manager's failover.
+
+use crate::proto::{Request, Response};
+use crate::transport::{unexpected, Transport};
+use atomio_meta::{Node, NodeKey, NodeStore, VersionHistory};
+use atomio_provider::ChunkStore;
+use atomio_simgrid::clock::SimTime;
+use atomio_simgrid::{CostModel, Participant, Resource};
+use atomio_types::{ByteRange, ChunkId, Error, ExtentList, ProviderId, Result, VersionId};
+use atomio_version::{SnapshotRecord, Ticket};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// A [`ChunkStore`] whose chunks live behind a transport.
+#[derive(Debug)]
+pub struct RemoteProvider {
+    id: ProviderId,
+    transport: Arc<dyn Transport>,
+    cost: CostModel,
+    disk: Resource,
+    nic: Resource,
+}
+
+impl RemoteProvider {
+    /// Creates a proxy for provider `id` reachable over `transport`.
+    pub fn new(id: ProviderId, transport: Arc<dyn Transport>) -> Self {
+        RemoteProvider {
+            id,
+            transport,
+            cost: CostModel::zero(),
+            // Idle placeholders: utilization reports skip resources with
+            // zero requests, so remote proxies stay out of them.
+            disk: Resource::new(format!("{id}/remote-disk")),
+            nic: Resource::new(format!("{id}/remote-nic")),
+        }
+    }
+
+    fn call(&self, request: &Request, payload: &[u8]) -> Result<(Response, Bytes)> {
+        self.transport.call(request, payload)
+    }
+
+    /// Stores a batch of chunks in one frame; one completion instant per
+    /// item, in order.
+    pub fn put_chunk_batch(
+        &self,
+        arrival: SimTime,
+        items: Vec<(ChunkId, Bytes)>,
+    ) -> Result<Vec<Result<SimTime>>> {
+        let mut payload = Vec::new();
+        let lens = items
+            .iter()
+            .map(|(chunk, data)| {
+                payload.extend_from_slice(data);
+                (*chunk, data.len() as u64)
+            })
+            .collect();
+        let request = Request::PutChunkBatch {
+            provider: self.id,
+            arrival,
+            items: lens,
+        };
+        match self.call(&request, &payload)? {
+            (Response::PutBatch { results }, _) => Ok(results),
+            (other, _) => Err(unexpected("PutBatch", other)),
+        }
+    }
+
+    /// Fetches a batch of chunk ranges in one frame; one `(payload,
+    /// sent)` outcome per item, in order.
+    pub fn get_chunk_range_batch(
+        &self,
+        arrival: SimTime,
+        items: &[(ChunkId, ByteRange)],
+    ) -> Result<Vec<Result<(Bytes, SimTime)>>> {
+        let request = Request::GetChunkRangeBatch {
+            provider: self.id,
+            arrival,
+            items: items.to_vec(),
+        };
+        match self.call(&request, &[])? {
+            (Response::ChunkBatch { results }, payload) => {
+                let mut offset = 0usize;
+                let total: u64 = results
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok().map(|&(len, _)| len))
+                    .sum();
+                if total != payload.len() as u64 {
+                    return Err(Error::Transport {
+                        kind: atomio_types::TransportErrorKind::Protocol,
+                        detail: format!(
+                            "batch declares {total} payload bytes, frame carries {}",
+                            payload.len()
+                        ),
+                    });
+                }
+                Ok(results
+                    .into_iter()
+                    .map(|r| {
+                        r.map(|(len, sent)| {
+                            let data = payload.slice(offset..offset + len as usize);
+                            offset += len as usize;
+                            (data, sent)
+                        })
+                    })
+                    .collect())
+            }
+            (other, _) => Err(unexpected("ChunkBatch", other)),
+        }
+    }
+}
+
+impl ChunkStore for RemoteProvider {
+    fn id(&self) -> ProviderId {
+        self.id
+    }
+
+    fn put_chunk(&self, _p: &Participant, chunk: ChunkId, data: Bytes) -> Result<()> {
+        self.put_chunk_at(0, chunk, data).map(|_| ())
+    }
+
+    fn put_chunk_at(&self, arrival: SimTime, chunk: ChunkId, data: Bytes) -> Result<SimTime> {
+        let request = Request::PutChunk {
+            provider: self.id,
+            arrival,
+            chunk,
+        };
+        match self.call(&request, &data)? {
+            (Response::Done { done }, _) => Ok(done),
+            (other, _) => Err(unexpected("Done", other)),
+        }
+    }
+
+    fn get_chunk(&self, _p: &Participant, chunk: ChunkId) -> Result<Bytes> {
+        let request = Request::GetChunk {
+            provider: self.id,
+            arrival: 0,
+            chunk,
+        };
+        match self.call(&request, &[])? {
+            (Response::ChunkData { .. }, data) => Ok(data),
+            (other, _) => Err(unexpected("ChunkData", other)),
+        }
+    }
+
+    fn get_chunk_range(&self, _p: &Participant, chunk: ChunkId, range: ByteRange) -> Result<Bytes> {
+        self.get_chunk_range_at(0, chunk, range)
+            .map(|(data, _)| data)
+    }
+
+    fn get_chunk_range_at(
+        &self,
+        arrival: SimTime,
+        chunk: ChunkId,
+        range: ByteRange,
+    ) -> Result<(Bytes, SimTime)> {
+        let request = Request::GetChunkRange {
+            provider: self.id,
+            arrival,
+            chunk,
+            range,
+        };
+        match self.call(&request, &[])? {
+            (Response::ChunkData { sent }, data) => Ok((data, sent)),
+            (other, _) => Err(unexpected("ChunkData", other)),
+        }
+    }
+
+    fn has_chunk(&self, chunk: ChunkId) -> bool {
+        let request = Request::ProviderHasChunk {
+            provider: self.id,
+            chunk,
+        };
+        matches!(
+            self.call(&request, &[]),
+            Ok((Response::Flag { value: true }, _))
+        )
+    }
+
+    fn chunk_count(&self) -> usize {
+        let request = Request::ProviderChunkCount { provider: self.id };
+        match self.call(&request, &[]) {
+            Ok((Response::Count { value }, _)) => value as usize,
+            _ => 0,
+        }
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        let request = Request::ProviderBytesStored { provider: self.id };
+        match self.call(&request, &[]) {
+            Ok((Response::Count { value }, _)) => value,
+            _ => 0,
+        }
+    }
+
+    fn evict_chunk(&self, chunk: ChunkId) -> u64 {
+        let request = Request::ProviderEvictChunk {
+            provider: self.id,
+            chunk,
+        };
+        match self.call(&request, &[]) {
+            Ok((Response::Count { value }, _)) => value,
+            _ => 0,
+        }
+    }
+
+    fn checksum_of(&self, chunk: ChunkId) -> Option<u64> {
+        let request = Request::ProviderChecksumOf {
+            provider: self.id,
+            chunk,
+        };
+        match self.call(&request, &[]) {
+            Ok((Response::Checksum { value }, _)) => value,
+            _ => None,
+        }
+    }
+
+    fn corrupt_chunk(&self, chunk: ChunkId, byte: usize) {
+        let request = Request::ProviderCorruptChunk {
+            provider: self.id,
+            chunk,
+            byte: byte as u64,
+        };
+        let _ = self.call(&request, &[]);
+    }
+
+    fn disk(&self) -> &Resource {
+        &self.disk
+    }
+
+    fn nic(&self) -> &Resource {
+        &self.nic
+    }
+
+    fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+/// A [`NodeStore`] whose nodes live behind a transport. A transport
+/// failure on a batch fans out as one cloned error per item, so callers
+/// keep their one-outcome-per-input invariant.
+#[derive(Debug)]
+pub struct RemoteMetaStore {
+    transport: Arc<dyn Transport>,
+}
+
+impl RemoteMetaStore {
+    /// Creates a proxy over `transport`.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        RemoteMetaStore { transport }
+    }
+}
+
+impl NodeStore for RemoteMetaStore {
+    fn put_batch(&self, _p: &Participant, nodes: Vec<Node>) -> Vec<Result<()>> {
+        let n = nodes.len();
+        let request = Request::MetaPutBatch { nodes };
+        match self.transport.call(&request, &[]) {
+            Ok((Response::NodePuts { results }, _)) if results.len() == n => results,
+            Ok((other, _)) => vec![Err(unexpected("NodePuts", other)); n],
+            Err(e) => vec![Err(e); n],
+        }
+    }
+
+    fn get_batch(&self, _p: &Participant, keys: &[NodeKey]) -> Vec<Result<Arc<Node>>> {
+        let n = keys.len();
+        let request = Request::MetaGetBatch {
+            keys: keys.to_vec(),
+        };
+        match self.transport.call(&request, &[]) {
+            Ok((Response::NodeGets { results }, _)) if results.len() == n => {
+                results.into_iter().map(|r| r.map(Arc::new)).collect()
+            }
+            Ok((other, _)) => vec![Err(unexpected("NodeGets", other)); n],
+            Err(e) => vec![Err(e); n],
+        }
+    }
+
+    fn contains(&self, key: NodeKey) -> bool {
+        matches!(
+            self.transport.call(&Request::MetaContains { key }, &[]),
+            Ok((Response::Flag { value: true }, _))
+        )
+    }
+
+    fn node_count(&self) -> usize {
+        match self.transport.call(&Request::MetaNodeCount, &[]) {
+            Ok((Response::Count { value }, _)) => value as usize,
+            _ => 0,
+        }
+    }
+
+    fn evict(&self, key: NodeKey) {
+        let _ = self.transport.call(&Request::MetaEvict { key }, &[]);
+    }
+
+    fn list_keys(&self) -> Vec<NodeKey> {
+        match self.transport.call(&Request::MetaListKeys, &[]) {
+            Ok((Response::Keys { keys }, _)) => keys,
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A client handle on a server-hosted version manager.
+///
+/// Mirrors the pipelined ticket contract: every grant carries the write
+/// summaries the client has not seen, the mirror absorbs them, and the
+/// caller builds its metadata tree from the mirror — one round trip per
+/// write, exactly like the in-process `TicketMode::Pipelined` path.
+#[derive(Debug)]
+pub struct RemoteVersionManager {
+    blob: u64,
+    transport: Arc<dyn Transport>,
+    mirror: Arc<VersionHistory>,
+}
+
+impl RemoteVersionManager {
+    /// Creates a handle for `blob` over `transport` with an empty
+    /// history mirror.
+    pub fn new(blob: u64, transport: Arc<dyn Transport>) -> Self {
+        RemoteVersionManager {
+            blob,
+            transport,
+            mirror: Arc::new(VersionHistory::new()),
+        }
+    }
+
+    /// The local history mirror (feeds the tree builder).
+    pub fn history(&self) -> &Arc<VersionHistory> {
+        &self.mirror
+    }
+
+    fn grant(&self, request: Request) -> Result<(Ticket, ExtentList)> {
+        match self.transport.call(&request, &[])? {
+            (
+                Response::TicketGrant {
+                    ticket,
+                    extents,
+                    delta,
+                },
+                _,
+            ) => {
+                self.mirror.absorb(delta);
+                Ok((ticket, extents))
+            }
+            (other, _) => Err(unexpected("TicketGrant", other)),
+        }
+    }
+
+    /// Requests a write ticket for explicit extents; the mirror absorbs
+    /// the returned history delta before this returns.
+    pub fn ticket(&self, extents: &ExtentList) -> Result<(Ticket, ExtentList)> {
+        self.grant(Request::VmTicket {
+            blob: self.blob,
+            extents: extents.clone(),
+            known: self.mirror.len() as u64,
+        })
+    }
+
+    /// Requests an append ticket for `len` bytes at end-of-blob.
+    pub fn ticket_append(&self, len: u64) -> Result<(Ticket, ExtentList)> {
+        self.grant(Request::VmTicketAppend {
+            blob: self.blob,
+            len,
+            known: self.mirror.len() as u64,
+        })
+    }
+
+    /// Publishes a built snapshot.
+    pub fn publish(&self, ticket: Ticket, root: NodeKey) -> Result<()> {
+        let request = Request::VmPublish {
+            blob: self.blob,
+            ticket,
+            root,
+        };
+        match self.transport.call(&request, &[])? {
+            (Response::Unit, _) => Ok(()),
+            (other, _) => Err(unexpected("Unit", other)),
+        }
+    }
+
+    /// True once `version` is published.
+    pub fn is_published(&self, version: VersionId) -> Result<bool> {
+        let request = Request::VmIsPublished {
+            blob: self.blob,
+            version,
+        };
+        match self.transport.call(&request, &[])? {
+            (Response::Flag { value }, _) => Ok(value),
+            (other, _) => Err(unexpected("Flag", other)),
+        }
+    }
+
+    /// The latest published snapshot record.
+    pub fn latest(&self) -> Result<SnapshotRecord> {
+        let request = Request::VmLatest { blob: self.blob };
+        match self.transport.call(&request, &[])? {
+            (Response::Snapshot { record }, _) => Ok(record),
+            (other, _) => Err(unexpected("Snapshot", other)),
+        }
+    }
+
+    /// A specific published snapshot record.
+    pub fn snapshot(&self, version: VersionId) -> Result<SnapshotRecord> {
+        let request = Request::VmSnapshot {
+            blob: self.blob,
+            version,
+        };
+        match self.transport.call(&request, &[])? {
+            (Response::Snapshot { record }, _) => Ok(record),
+            (other, _) => Err(unexpected("Snapshot", other)),
+        }
+    }
+}

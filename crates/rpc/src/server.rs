@@ -1,0 +1,521 @@
+//! Server-side request dispatch and the TCP accept loop.
+//!
+//! A [`Service`] maps one decoded request to one response; the two
+//! concrete services mirror the paper's two server roles:
+//!
+//! * [`ProviderService`] hosts a fleet of [`DataProvider`]s (chunk ops).
+//! * [`MetaService`] hosts [`MetaStore`] shards plus one lazily-created
+//!   [`VersionManager`] per blob (metadata and version ops).
+//!
+//! Servers run **zero-cost** device models: a real deployment's latency
+//! comes from the real sockets, not from the simulation. The virtual
+//! `arrival` instants clients pass through the protocol therefore echo
+//! back unchanged, keeping remote and in-process bookkeeping aligned.
+//!
+//! [`RpcServer`] is the hosting shell: a nonblocking accept loop on a
+//! dedicated thread, one thread per connection, and a [`RpcServer::stop`]
+//! that also severs accepted connections so failover tests can kill a
+//! live server deterministically.
+
+use crate::proto::{Request, Response};
+use crate::wire;
+use atomio_meta::{MetaStore, TreeConfig, VersionHistory};
+use atomio_provider::DataProvider;
+use atomio_simgrid::{CostModel, FaultInjector};
+use atomio_types::{ByteRange, Error, ProviderId, Result, TransportErrorKind};
+use atomio_version::{TicketMode, VersionManager};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maps one request (plus out-of-band payload) to one response (plus
+/// out-of-band payload). Implementations never panic on bad input: every
+/// failure becomes a [`Response::Fail`].
+pub trait Service: Send + Sync + std::fmt::Debug {
+    /// Handles one request.
+    fn handle(&self, request: Request, payload: Bytes) -> (Response, Bytes);
+}
+
+fn fail(error: Error) -> (Response, Bytes) {
+    (Response::Fail { error }, Bytes::new())
+}
+
+fn ok(response: Response) -> (Response, Bytes) {
+    (response, Bytes::new())
+}
+
+fn unsupported(role: &'static str) -> (Response, Bytes) {
+    fail(Error::Unsupported(role))
+}
+
+/// Hosts a fleet of data providers behind the chunk RPCs.
+#[derive(Debug)]
+pub struct ProviderService {
+    providers: Vec<Arc<DataProvider>>,
+}
+
+impl ProviderService {
+    /// Creates `count` zero-cost providers with ids `0..count`.
+    pub fn new(count: usize) -> Self {
+        let faults = Arc::new(FaultInjector::new(0));
+        Self::from_providers(
+            (0..count)
+                .map(|i| {
+                    Arc::new(DataProvider::new(
+                        ProviderId::new(i as u64),
+                        CostModel::zero(),
+                        Arc::clone(&faults),
+                    ))
+                })
+                .collect(),
+        )
+    }
+
+    /// Hosts caller-built providers (ids must be unique; any cost model).
+    pub fn from_providers(providers: Vec<Arc<DataProvider>>) -> Self {
+        ProviderService { providers }
+    }
+
+    /// The hosted providers.
+    pub fn providers(&self) -> &[Arc<DataProvider>] {
+        &self.providers
+    }
+
+    fn provider(&self, id: ProviderId) -> Result<&Arc<DataProvider>> {
+        self.providers
+            .iter()
+            .find(|p| p.id() == id)
+            .ok_or(Error::ProviderNotFound(id))
+    }
+}
+
+impl Service for ProviderService {
+    fn handle(&self, request: Request, payload: Bytes) -> (Response, Bytes) {
+        use Request::*;
+        match request {
+            Ping => ok(Response::Pong),
+            PutChunk {
+                provider,
+                arrival,
+                chunk,
+            } => match self
+                .provider(provider)
+                .and_then(|s| s.put_chunk_at(arrival, chunk, payload))
+            {
+                Ok(done) => ok(Response::Done { done }),
+                Err(e) => fail(e),
+            },
+            PutChunkBatch {
+                provider,
+                arrival,
+                items,
+            } => {
+                let store = match self.provider(provider) {
+                    Ok(s) => s,
+                    Err(e) => return fail(e),
+                };
+                let total: u64 = items.iter().map(|&(_, len)| len).sum();
+                if total != payload.len() as u64 {
+                    return fail(Error::Transport {
+                        kind: TransportErrorKind::Protocol,
+                        detail: format!(
+                            "batch declares {total} payload bytes, frame carries {}",
+                            payload.len()
+                        ),
+                    });
+                }
+                let mut offset = 0usize;
+                let results = items
+                    .into_iter()
+                    .map(|(chunk, len)| {
+                        let data = payload.slice(offset..offset + len as usize);
+                        offset += len as usize;
+                        store.put_chunk_at(arrival, chunk, data)
+                    })
+                    .collect();
+                ok(Response::PutBatch { results })
+            }
+            GetChunk {
+                provider,
+                arrival,
+                chunk,
+            } => {
+                let outcome = self.provider(provider).and_then(|s| {
+                    let len = s
+                        .chunk_len(chunk)
+                        .ok_or(Error::ChunkNotFound { provider, chunk })?;
+                    s.get_chunk_range_at(arrival, chunk, ByteRange::new(0, len))
+                });
+                match outcome {
+                    Ok((data, sent)) => (Response::ChunkData { sent }, data),
+                    Err(e) => fail(e),
+                }
+            }
+            GetChunkRange {
+                provider,
+                arrival,
+                chunk,
+                range,
+            } => match self
+                .provider(provider)
+                .and_then(|s| s.get_chunk_range_at(arrival, chunk, range))
+            {
+                Ok((data, sent)) => (Response::ChunkData { sent }, data),
+                Err(e) => fail(e),
+            },
+            GetChunkRangeBatch {
+                provider,
+                arrival,
+                items,
+            } => {
+                let store = match self.provider(provider) {
+                    Ok(s) => s,
+                    Err(e) => return fail(e),
+                };
+                let mut out = Vec::new();
+                let results = items
+                    .into_iter()
+                    .map(|(chunk, range)| {
+                        store
+                            .get_chunk_range_at(arrival, chunk, range)
+                            .map(|(data, sent)| {
+                                let len = data.len() as u64;
+                                out.extend_from_slice(&data);
+                                (len, sent)
+                            })
+                    })
+                    .collect();
+                (Response::ChunkBatch { results }, Bytes::from(out))
+            }
+            ProviderHasChunk { provider, chunk } => match self.provider(provider) {
+                Ok(s) => ok(Response::Flag {
+                    value: s.has_chunk(chunk),
+                }),
+                Err(e) => fail(e),
+            },
+            ProviderChunkCount { provider } => match self.provider(provider) {
+                Ok(s) => ok(Response::Count {
+                    value: s.chunk_count() as u64,
+                }),
+                Err(e) => fail(e),
+            },
+            ProviderBytesStored { provider } => match self.provider(provider) {
+                Ok(s) => ok(Response::Count {
+                    value: s.bytes_stored(),
+                }),
+                Err(e) => fail(e),
+            },
+            ProviderEvictChunk { provider, chunk } => match self.provider(provider) {
+                Ok(s) => ok(Response::Count {
+                    value: s.evict_chunk(chunk),
+                }),
+                Err(e) => fail(e),
+            },
+            ProviderChecksumOf { provider, chunk } => match self.provider(provider) {
+                Ok(s) => ok(Response::Checksum {
+                    value: s.checksum_of(chunk),
+                }),
+                Err(e) => fail(e),
+            },
+            ProviderCorruptChunk {
+                provider,
+                chunk,
+                byte,
+            } => match self.provider(provider) {
+                Ok(s) => {
+                    s.corrupt_chunk(chunk, byte as usize);
+                    ok(Response::Unit)
+                }
+                Err(e) => fail(e),
+            },
+            MetaPutBatch { .. }
+            | MetaGetBatch { .. }
+            | MetaContains { .. }
+            | MetaNodeCount
+            | MetaEvict { .. }
+            | MetaListKeys
+            | VmTicket { .. }
+            | VmTicketAppend { .. }
+            | VmPublish { .. }
+            | VmIsPublished { .. }
+            | VmLatest { .. }
+            | VmSnapshot { .. } => unsupported("metadata/version op sent to a provider server"),
+        }
+    }
+}
+
+/// Hosts metadata shards plus per-blob version managers behind the
+/// metadata and version RPCs.
+#[derive(Debug)]
+pub struct MetaService {
+    store: Arc<MetaStore>,
+    chunk_size: u64,
+    vms: Mutex<HashMap<u64, Arc<VersionManager>>>,
+}
+
+impl MetaService {
+    /// Creates `shards` zero-cost metadata shards; version managers use
+    /// `chunk_size` for their tree geometry.
+    pub fn new(shards: usize, chunk_size: u64) -> Self {
+        MetaService {
+            store: Arc::new(MetaStore::new(shards, CostModel::zero())),
+            chunk_size,
+            vms: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The hosted metadata store.
+    pub fn store(&self) -> &Arc<MetaStore> {
+        &self.store
+    }
+
+    fn vm(&self, blob: u64) -> Arc<VersionManager> {
+        Arc::clone(self.vms.lock().entry(blob).or_insert_with(|| {
+            Arc::new(VersionManager::new(
+                Arc::new(VersionHistory::new()),
+                TreeConfig::new(self.chunk_size),
+                CostModel::zero(),
+                TicketMode::Pipelined,
+            ))
+        }))
+    }
+}
+
+impl Service for MetaService {
+    fn handle(&self, request: Request, _payload: Bytes) -> (Response, Bytes) {
+        use Request::*;
+        match request {
+            Ping => ok(Response::Pong),
+            MetaPutBatch { nodes } => ok(Response::NodePuts {
+                results: self.store.put_batch_local(nodes),
+            }),
+            MetaGetBatch { keys } => ok(Response::NodeGets {
+                results: self
+                    .store
+                    .get_batch_local(&keys)
+                    .into_iter()
+                    .map(|r| r.map(|node| (*node).clone()))
+                    .collect(),
+            }),
+            MetaContains { key } => ok(Response::Flag {
+                value: self.store.contains(key),
+            }),
+            MetaNodeCount => ok(Response::Count {
+                value: self.store.node_count() as u64,
+            }),
+            MetaEvict { key } => {
+                self.store.evict(key);
+                ok(Response::Unit)
+            }
+            MetaListKeys => ok(Response::Keys {
+                keys: self.store.list_keys(),
+            }),
+            VmTicket {
+                blob,
+                extents,
+                known,
+            } => match self.vm(blob).ticket_local(&extents, known as usize) {
+                Ok((ticket, extents, delta)) => ok(Response::TicketGrant {
+                    ticket,
+                    extents,
+                    delta,
+                }),
+                Err(e) => fail(e),
+            },
+            VmTicketAppend { blob, len, known } => {
+                match self.vm(blob).ticket_append_local(len, known as usize) {
+                    Ok((ticket, extents, delta)) => ok(Response::TicketGrant {
+                        ticket,
+                        extents,
+                        delta,
+                    }),
+                    Err(e) => fail(e),
+                }
+            }
+            VmPublish { blob, ticket, root } => match self.vm(blob).publish_local(ticket, root) {
+                Ok(()) => ok(Response::Unit),
+                Err(e) => fail(e),
+            },
+            VmIsPublished { blob, version } => ok(Response::Flag {
+                value: self.vm(blob).is_published(version),
+            }),
+            VmLatest { blob } => ok(Response::Snapshot {
+                record: self.vm(blob).latest_local(),
+            }),
+            VmSnapshot { blob, version } => match self.vm(blob).snapshot_local(version) {
+                Ok(record) => ok(Response::Snapshot { record }),
+                Err(e) => fail(e),
+            },
+            PutChunk { .. }
+            | PutChunkBatch { .. }
+            | GetChunk { .. }
+            | GetChunkRange { .. }
+            | GetChunkRangeBatch { .. }
+            | ProviderHasChunk { .. }
+            | ProviderChunkCount { .. }
+            | ProviderBytesStored { .. }
+            | ProviderEvictChunk { .. }
+            | ProviderChecksumOf { .. }
+            | ProviderCorruptChunk { .. } => unsupported("chunk op sent to a metadata server"),
+        }
+    }
+}
+
+/// A running TCP server hosting one [`Service`].
+#[derive(Debug)]
+pub struct RpcServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl RpcServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections; one thread per connection.
+    pub fn start(addr: impl ToSocketAddrs, service: Arc<dyn Service>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_nodelay(true);
+                            // Connection threads block on frame reads;
+                            // stop() severs the socket to wake them.
+                            let _ = stream.set_nonblocking(false);
+                            if let Ok(clone) = stream.try_clone() {
+                                conns.lock().push(clone);
+                            }
+                            let service = Arc::clone(&service);
+                            std::thread::spawn(move || serve_connection(stream, service));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(RpcServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, severs every accepted connection, and joins the
+    /// accept loop. In-flight calls on severed connections surface
+    /// connection-reset transport errors at their clients — exactly the
+    /// failure the provider manager's failover policy handles.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, service: Arc<dyn Service>) {
+    loop {
+        let (header, payload, _) = match wire::read_frame(&mut stream) {
+            Ok(frame) => frame,
+            // EOF, peer reset, or a malformed frame: drop the connection.
+            // (After a framing error nothing on the stream can be
+            // trusted, so closing is the only safe recovery.)
+            Err(_) => return,
+        };
+        let (response, out) = match Request::from_value(&header) {
+            Ok(request) => service.handle(request, payload),
+            Err(e) => fail(Error::Transport {
+                kind: TransportErrorKind::Protocol,
+                detail: format!("undecodable request: {e}"),
+            }),
+        };
+        if wire::write_frame(&mut stream, &response.to_value(), &out).is_err() {
+            return;
+        }
+    }
+}
+
+/// Everything a server binary needs from one `--flag value` style
+/// argument list: kept here so both binaries share the parsing and the
+/// unit tests cover it.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ServerArgs {
+    /// Listen address, e.g. `127.0.0.1:7420`.
+    pub addr: String,
+    /// `--providers N` / `--shards N` style count (role-specific).
+    pub count: usize,
+    /// `--chunk-size BYTES` (meta server only; ignored by providers).
+    pub chunk_size: u64,
+}
+
+impl ServerArgs {
+    /// Parses `<addr> [--COUNT_FLAG n] [--chunk-size bytes]`.
+    pub fn parse(
+        args: impl IntoIterator<Item = String>,
+        count_flag: &str,
+        default_count: usize,
+    ) -> std::result::Result<Self, String> {
+        let mut args = args.into_iter();
+        let addr = args.next().ok_or("missing listen address")?;
+        let mut parsed = ServerArgs {
+            addr,
+            count: default_count,
+            chunk_size: 64 * 1024,
+        };
+        while let Some(flag) = args.next() {
+            let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            if flag == count_flag {
+                parsed.count = value.parse().map_err(|_| format!("bad {flag}: {value}"))?;
+            } else if flag == "--chunk-size" {
+                parsed.chunk_size = value.parse().map_err(|_| format!("bad {flag}: {value}"))?;
+            } else {
+                return Err(format!("unknown flag {flag}"));
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+/// Runs a service on `addr` until the process is killed (binary entry
+/// point; blocks forever).
+pub fn serve_forever(addr: &str, service: Arc<dyn Service>) -> io::Result<()> {
+    let server = RpcServer::start(addr, service)?;
+    eprintln!("listening on {}", server.local_addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,274 @@
+//! Frame format and the binary [`Value`] codec.
+//!
+//! Every RPC message is one frame:
+//!
+//! ```text
+//! +-------------+--------------+------------------+------------------+
+//! | header_len  | payload_len  | header bytes     | payload bytes    |
+//! | u32 BE      | u32 BE       | (Value, binary)  | (raw, untyped)   |
+//! +-------------+--------------+------------------+------------------+
+//! ```
+//!
+//! The header is a [`Value`] tree (the request or response, see
+//! [`crate::proto`]) in the binary encoding below. Chunk payloads travel
+//! **out of band** in the payload section: the value model has no bytes
+//! variant, and copying megabytes through a structured tree would be
+//! wasteful anyway.
+//!
+//! ## Binary `Value` encoding
+//!
+//! One tag byte per node, little-endian fixed-width scalars,
+//! `u32`-length-prefixed strings and containers:
+//!
+//! | tag | variant | body                                     |
+//! |-----|---------|------------------------------------------|
+//! | 0   | Null    | —                                        |
+//! | 1   | Bool    | u8 (0/1)                                 |
+//! | 2   | UInt    | u64 LE                                   |
+//! | 3   | Int     | i64 LE                                   |
+//! | 4   | Float   | f64 LE bits                              |
+//! | 5   | Str     | u32 LE len + UTF-8 bytes                 |
+//! | 6   | Array   | u32 LE count + encoded items             |
+//! | 7   | Object  | u32 LE count + (Str key, value) pairs    |
+
+use bytes::Bytes;
+use serde::Value;
+use std::io::{self, Read, Write};
+
+/// Upper bound on an encoded header (a request/response tree).
+pub const MAX_HEADER_BYTES: u32 = 16 << 20;
+/// Upper bound on a frame payload (chunk data).
+pub const MAX_PAYLOAD_BYTES: u32 = 256 << 20;
+
+/// Encodes a value tree into `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::UInt(n) => {
+            out.push(2);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::Int(n) => {
+            out.push(3);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(4);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(5);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(6);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Object(fields) => {
+            out.push(7);
+            out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+            for (key, val) in fields {
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+/// Decodes one value tree from `buf` (must consume it exactly).
+pub fn decode_value(buf: &[u8]) -> io::Result<Value> {
+    let mut cursor = Cursor { buf, pos: 0 };
+    let v = cursor.value()?;
+    if cursor.pos != buf.len() {
+        return Err(malformed("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+fn malformed(detail: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed frame: {detail}"),
+    )
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| malformed("truncated"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed("invalid utf-8"))
+    }
+
+    fn value(&mut self) -> io::Result<Value> {
+        match self.take(1)?[0] {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(self.take(1)?[0] != 0)),
+            2 => Ok(Value::UInt(self.u64()?)),
+            3 => Ok(Value::Int(self.u64()? as i64)),
+            4 => Ok(Value::Float(f64::from_bits(self.u64()?))),
+            5 => Ok(Value::Str(self.string()?)),
+            6 => {
+                let count = self.u32()? as usize;
+                if count > self.buf.len() - self.pos {
+                    return Err(malformed("array count exceeds frame"));
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(self.value()?);
+                }
+                Ok(Value::Array(items))
+            }
+            7 => {
+                let count = self.u32()? as usize;
+                if count > self.buf.len() - self.pos {
+                    return Err(malformed("object count exceeds frame"));
+                }
+                let mut fields = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = self.string()?;
+                    let val = self.value()?;
+                    fields.push((key, val));
+                }
+                Ok(Value::Object(fields))
+            }
+            tag => Err(malformed(&format!("unknown value tag {tag}"))),
+        }
+    }
+}
+
+/// Writes one frame. Returns the number of bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, header: &Value, payload: &[u8]) -> io::Result<u64> {
+    let mut head = Vec::new();
+    encode_value(header, &mut head);
+    if head.len() as u64 > MAX_HEADER_BYTES as u64 {
+        return Err(malformed("header too large"));
+    }
+    if payload.len() as u64 > MAX_PAYLOAD_BYTES as u64 {
+        return Err(malformed("payload too large"));
+    }
+    w.write_all(&(head.len() as u32).to_be_bytes())?;
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(8 + head.len() as u64 + payload.len() as u64)
+}
+
+/// Reads one frame. Returns `(header, payload, bytes_read)`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(Value, Bytes, u64)> {
+    let mut lens = [0u8; 8];
+    r.read_exact(&mut lens)?;
+    let head_len = u32::from_be_bytes(lens[..4].try_into().unwrap());
+    let payload_len = u32::from_be_bytes(lens[4..].try_into().unwrap());
+    if head_len > MAX_HEADER_BYTES {
+        return Err(malformed("header length exceeds limit"));
+    }
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(malformed("payload length exceeds limit"));
+    }
+    let mut head = vec![0u8; head_len as usize];
+    r.read_exact(&mut head)?;
+    let mut payload = vec![0u8; payload_len as usize];
+    r.read_exact(&mut payload)?;
+    let header = decode_value(&head)?;
+    Ok((
+        header,
+        Bytes::from(payload),
+        8 + head_len as u64 + payload_len as u64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let mut buf = Vec::new();
+        encode_value(v, &mut buf);
+        assert_eq!(&decode_value(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::UInt(0));
+        roundtrip(&Value::UInt(u64::MAX));
+        roundtrip(&Value::Int(-42));
+        roundtrip(&Value::Float(3.5));
+        roundtrip(&Value::Str(String::new()));
+        roundtrip(&Value::Str("héllo".into()));
+        roundtrip(&Value::Array(vec![Value::UInt(1), Value::Null]));
+        roundtrip(&Value::Object(vec![
+            ("a".into(), Value::UInt(7)),
+            (
+                "nested".into(),
+                Value::Object(vec![("b".into(), Value::Array(vec![]))]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let header = Value::Object(vec![("t".into(), Value::Str("Ping".into()))]);
+        let payload = b"raw chunk bytes";
+        let mut wire = Vec::new();
+        let wrote = write_frame(&mut wire, &header, payload).unwrap();
+        assert_eq!(wrote as usize, wire.len());
+        let (back, body, read) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(back, header);
+        assert_eq!(body.as_ref(), payload);
+        assert_eq!(read, wrote);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_panicked() {
+        // Truncated value.
+        assert!(decode_value(&[5, 10, 0, 0, 0, b'a']).is_err());
+        // Unknown tag.
+        assert!(decode_value(&[9]).is_err());
+        // Trailing garbage.
+        assert!(decode_value(&[0, 0]).is_err());
+        // Absurd container count.
+        assert!(decode_value(&[6, 255, 255, 255, 255]).is_err());
+        // Oversized declared header length.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+}

@@ -5,6 +5,7 @@
 //! services, the baseline file system, and the MPI-I/O layer.
 
 use crate::ids::{BlobId, ChunkId, ProviderId, VersionId};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Convenience alias used across the workspace.
@@ -54,8 +55,56 @@ pub enum Error {
     Unsupported(&'static str),
     /// Replication could not reach the requested number of replicas.
     InsufficientReplicas { wanted: usize, placed: usize },
+    /// A transport-level failure talking to a remote service. The kind
+    /// distinguishes causes so retry policy can branch (a timeout is worth
+    /// retrying on the same endpoint; connection-refused is not).
+    Transport {
+        kind: TransportErrorKind,
+        detail: String,
+    },
     /// Generic internal invariant violation; carries a description.
     Internal(String),
+}
+
+/// Why a transport operation failed (see [`Error::Transport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportErrorKind {
+    /// A read or write deadline elapsed with the peer still silent.
+    Timeout,
+    /// The peer actively refused the connection (nothing listening).
+    ConnectionRefused,
+    /// The connection dropped mid-exchange (peer died or link lost).
+    ConnectionReset,
+    /// The peer spoke, but the bytes did not decode as a valid frame.
+    Protocol,
+}
+
+impl TransportErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            TransportErrorKind::Timeout => "timeout",
+            TransportErrorKind::ConnectionRefused => "connection-refused",
+            TransportErrorKind::ConnectionReset => "connection-reset",
+            TransportErrorKind::Protocol => "protocol",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "timeout" => TransportErrorKind::Timeout,
+            "connection-refused" => TransportErrorKind::ConnectionRefused,
+            "connection-reset" => TransportErrorKind::ConnectionReset,
+            "protocol" => TransportErrorKind::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// A small hint identifying which client held a contended resource.
@@ -98,12 +147,173 @@ impl fmt::Display for Error {
             Error::InsufficientReplicas { wanted, placed } => {
                 write!(f, "placed {placed} of {wanted} replicas")
             }
+            Error::Transport { kind, detail } => {
+                write!(f, "transport failure ({kind}): {detail}")
+            }
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------
+// Wire encoding. Errors cross the RPC boundary, so the whole enum gets a
+// tagged-object encoding by hand (the vendored derive handles only
+// named-field structs).
+// ---------------------------------------------------------------------
+
+fn tagged(tag: &str, mut fields: Vec<(String, Value)>) -> Value {
+    let mut obj = vec![("t".to_string(), Value::Str(tag.to_string()))];
+    obj.append(&mut fields);
+    Value::Object(obj)
+}
+
+impl Serialize for Error {
+    fn to_value(&self) -> Value {
+        match self {
+            Error::BlobNotFound(b) => tagged("BlobNotFound", vec![("blob".into(), b.to_value())]),
+            Error::VersionNotFound { blob, version } => tagged(
+                "VersionNotFound",
+                vec![
+                    ("blob".into(), blob.to_value()),
+                    ("version".into(), version.to_value()),
+                ],
+            ),
+            Error::ChunkNotFound { provider, chunk } => tagged(
+                "ChunkNotFound",
+                vec![
+                    ("provider".into(), provider.to_value()),
+                    ("chunk".into(), chunk.to_value()),
+                ],
+            ),
+            Error::ProviderNotFound(p) => {
+                tagged("ProviderNotFound", vec![("provider".into(), p.to_value())])
+            }
+            Error::ProviderFailed(p) => {
+                tagged("ProviderFailed", vec![("provider".into(), p.to_value())])
+            }
+            Error::OutOfBounds {
+                requested_end,
+                snapshot_size,
+            } => tagged(
+                "OutOfBounds",
+                vec![
+                    ("requested_end".into(), requested_end.to_value()),
+                    ("snapshot_size".into(), snapshot_size.to_value()),
+                ],
+            ),
+            Error::BufferSizeMismatch { expected, actual } => tagged(
+                "BufferSizeMismatch",
+                vec![
+                    ("expected".into(), expected.to_value()),
+                    ("actual".into(), actual.to_value()),
+                ],
+            ),
+            Error::EmptyAccess => tagged("EmptyAccess", vec![]),
+            Error::LockTimeout { holder_hint } => tagged(
+                "LockTimeout",
+                vec![("holder".into(), holder_hint.map(|h| h.0).to_value())],
+            ),
+            Error::MetadataNodeMissing(id) => {
+                tagged("MetadataNodeMissing", vec![("id".into(), id.to_value())])
+            }
+            Error::InvalidMode(m) => tagged(
+                "InvalidMode",
+                vec![("mode".into(), Value::Str((*m).to_string()))],
+            ),
+            Error::InvalidDatatype(msg) => {
+                tagged("InvalidDatatype", vec![("msg".into(), msg.to_value())])
+            }
+            Error::CollectiveMismatch(msg) => {
+                tagged("CollectiveMismatch", vec![("msg".into(), msg.to_value())])
+            }
+            Error::Unsupported(what) => tagged(
+                "Unsupported",
+                vec![("what".into(), Value::Str((*what).to_string()))],
+            ),
+            Error::InsufficientReplicas { wanted, placed } => tagged(
+                "InsufficientReplicas",
+                vec![
+                    ("wanted".into(), wanted.to_value()),
+                    ("placed".into(), placed.to_value()),
+                ],
+            ),
+            Error::Transport { kind, detail } => tagged(
+                "Transport",
+                vec![
+                    ("kind".into(), Value::Str(kind.as_str().to_string())),
+                    ("detail".into(), detail.to_value()),
+                ],
+            ),
+            Error::Internal(msg) => tagged("Internal", vec![("msg".into(), msg.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Error {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let tag = match v.get("t") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => return Err(DeError::expected("tagged error object", v)),
+        };
+        let field = |name: &str| v.get_or_null(name);
+        Ok(match tag {
+            "BlobNotFound" => Error::BlobNotFound(BlobId::from_value(field("blob"))?),
+            "VersionNotFound" => Error::VersionNotFound {
+                blob: BlobId::from_value(field("blob"))?,
+                version: VersionId::from_value(field("version"))?,
+            },
+            "ChunkNotFound" => Error::ChunkNotFound {
+                provider: ProviderId::from_value(field("provider"))?,
+                chunk: ChunkId::from_value(field("chunk"))?,
+            },
+            "ProviderNotFound" => {
+                Error::ProviderNotFound(ProviderId::from_value(field("provider"))?)
+            }
+            "ProviderFailed" => Error::ProviderFailed(ProviderId::from_value(field("provider"))?),
+            "OutOfBounds" => Error::OutOfBounds {
+                requested_end: u64::from_value(field("requested_end"))?,
+                snapshot_size: u64::from_value(field("snapshot_size"))?,
+            },
+            "BufferSizeMismatch" => Error::BufferSizeMismatch {
+                expected: u64::from_value(field("expected"))?,
+                actual: u64::from_value(field("actual"))?,
+            },
+            "EmptyAccess" => Error::EmptyAccess,
+            "LockTimeout" => Error::LockTimeout {
+                holder_hint: Option::<u64>::from_value(field("holder"))?.map(ClientHint),
+            },
+            "MetadataNodeMissing" => Error::MetadataNodeMissing(u64::from_value(field("id"))?),
+            // `&'static str` payloads cannot round-trip through the wire;
+            // decode them into the closest owning variant.
+            "InvalidMode" => Error::Internal(format!(
+                "remote InvalidMode: {}",
+                String::from_value(field("mode"))?
+            )),
+            "InvalidDatatype" => Error::InvalidDatatype(String::from_value(field("msg"))?),
+            "CollectiveMismatch" => Error::CollectiveMismatch(String::from_value(field("msg"))?),
+            "Unsupported" => Error::Internal(format!(
+                "remote Unsupported: {}",
+                String::from_value(field("what"))?
+            )),
+            "InsufficientReplicas" => Error::InsufficientReplicas {
+                wanted: usize::from_value(field("wanted"))?,
+                placed: usize::from_value(field("placed"))?,
+            },
+            "Transport" => Error::Transport {
+                kind: {
+                    let s = String::from_value(field("kind"))?;
+                    TransportErrorKind::from_str(&s)
+                        .ok_or_else(|| DeError::new(format!("unknown transport kind {s:?}")))?
+                },
+                detail: String::from_value(field("detail"))?,
+            },
+            "Internal" => Error::Internal(String::from_value(field("msg"))?),
+            other => return Err(DeError::new(format!("unknown error tag {other:?}"))),
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -136,6 +346,69 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::EmptyAccess);
+    }
+
+    #[test]
+    fn errors_roundtrip_through_wire_encoding() {
+        let samples = vec![
+            Error::BlobNotFound(BlobId::new(7)),
+            Error::VersionNotFound {
+                blob: BlobId::new(1),
+                version: VersionId::new(5),
+            },
+            Error::ChunkNotFound {
+                provider: ProviderId::new(2),
+                chunk: ChunkId::new(9),
+            },
+            Error::ProviderNotFound(ProviderId::new(3)),
+            Error::ProviderFailed(ProviderId::new(4)),
+            Error::OutOfBounds {
+                requested_end: 10,
+                snapshot_size: 4,
+            },
+            Error::BufferSizeMismatch {
+                expected: 8,
+                actual: 6,
+            },
+            Error::EmptyAccess,
+            Error::LockTimeout {
+                holder_hint: Some(ClientHint(3)),
+            },
+            Error::LockTimeout { holder_hint: None },
+            Error::MetadataNodeMissing(0xDEAD),
+            Error::InvalidDatatype("bad".into()),
+            Error::CollectiveMismatch("skew".into()),
+            Error::InsufficientReplicas {
+                wanted: 3,
+                placed: 1,
+            },
+            Error::Transport {
+                kind: TransportErrorKind::Timeout,
+                detail: "read deadline".into(),
+            },
+            Error::Internal("boom".into()),
+        ];
+        for e in samples {
+            let back = Error::from_value(&e.to_value()).unwrap();
+            assert_eq!(back, e, "roundtrip of {e:?}");
+        }
+        // `&'static str` variants decode into owning stand-ins.
+        let e = Error::Unsupported("resize");
+        let back = Error::from_value(&e.to_value()).unwrap();
+        assert!(matches!(back, Error::Internal(ref m) if m.contains("resize")));
+    }
+
+    #[test]
+    fn transport_kind_display_and_parse() {
+        for kind in [
+            TransportErrorKind::Timeout,
+            TransportErrorKind::ConnectionRefused,
+            TransportErrorKind::ConnectionReset,
+            TransportErrorKind::Protocol,
+        ] {
+            assert_eq!(TransportErrorKind::from_str(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(TransportErrorKind::from_str("gremlins"), None);
     }
 
     #[test]

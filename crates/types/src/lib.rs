@@ -22,7 +22,7 @@ pub mod range;
 pub mod stamp;
 
 pub use chunk::{ChunkGeometry, ChunkKey, ChunkSpan};
-pub use error::{Error, Result};
+pub use error::{Error, Result, TransportErrorKind};
 pub use extent::ExtentList;
 pub use ids::{BlobId, ChunkId, ClientId, NodeId, ProviderId, VersionId};
 pub use range::ByteRange;

@@ -5,11 +5,12 @@ use atomio_meta::{NodeKey, TreeConfig, VersionHistory};
 use atomio_simgrid::{CostModel, Participant, Resource};
 use atomio_types::{Error, ExtentList, Result, VersionId};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A published snapshot: what a reader needs to run a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SnapshotRecord {
     /// The snapshot's version.
     pub version: VersionId,
@@ -23,7 +24,7 @@ pub struct SnapshotRecord {
 }
 
 /// A write ticket: permission to build and publish one snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Ticket {
     /// Version assigned to the write.
     pub version: VersionId,
@@ -135,48 +136,55 @@ impl VersionManager {
         p.sleep(self.cost.rpc_round_trip());
         self.cpu.serve(p, self.cost.meta_op);
         loop {
-            {
-                let mut st = self.state.lock();
-                let can_issue = match self.mode {
-                    TicketMode::Pipelined => true,
-                    TicketMode::SerializedBuild => st.next == st.published,
-                };
-                if can_issue {
-                    let v = VersionId::new(st.next + 1);
-                    st.next += 1;
-                    let prev_size = st.ticket_sizes.last().copied().unwrap_or(0);
-                    let extents = match shape {
-                        TicketShape::Explicit(e) => e.clone(),
-                        TicketShape::Append(len) => {
-                            ExtentList::single(atomio_types::ByteRange::new(prev_size, len))
-                        }
-                    };
-                    let prev_cap = self
-                        .history
-                        .capacity_of(v.predecessor().unwrap_or_default());
-                    let capacity = self
-                        .config
-                        .capacity_for(extents.covering_range().end())
-                        .max(prev_cap);
-                    let size = prev_size.max(extents.covering_range().end());
-                    st.ticket_sizes.push(size);
-                    self.history.append(WriteSummary {
-                        version: v,
-                        extents: Arc::new(extents.clone()),
-                        capacity,
-                    });
-                    return Ok((
-                        Ticket {
-                            version: v,
-                            capacity,
-                            size,
-                        },
-                        extents,
-                    ));
-                }
+            if let Some(issued) = self.try_issue(&shape) {
+                return Ok(issued);
             }
             p.sleep_ns(atomio_simgrid::clock::POLL_INTERVAL_NS);
         }
+    }
+
+    /// One lock-held ticket-issue attempt; `None` when the mode gates
+    /// issuance behind publication progress.
+    fn try_issue(&self, shape: &TicketShape<'_>) -> Option<(Ticket, ExtentList)> {
+        let mut st = self.state.lock();
+        let can_issue = match self.mode {
+            TicketMode::Pipelined => true,
+            TicketMode::SerializedBuild => st.next == st.published,
+        };
+        if !can_issue {
+            return None;
+        }
+        let v = VersionId::new(st.next + 1);
+        st.next += 1;
+        let prev_size = st.ticket_sizes.last().copied().unwrap_or(0);
+        let extents = match shape {
+            TicketShape::Explicit(e) => (*e).clone(),
+            TicketShape::Append(len) => {
+                ExtentList::single(atomio_types::ByteRange::new(prev_size, *len))
+            }
+        };
+        let prev_cap = self
+            .history
+            .capacity_of(v.predecessor().unwrap_or_default());
+        let capacity = self
+            .config
+            .capacity_for(extents.covering_range().end())
+            .max(prev_cap);
+        let size = prev_size.max(extents.covering_range().end());
+        st.ticket_sizes.push(size);
+        self.history.append(WriteSummary {
+            version: v,
+            extents: Arc::new(extents.clone()),
+            capacity,
+        });
+        Some((
+            Ticket {
+                version: v,
+                capacity,
+                size,
+            },
+            extents,
+        ))
     }
 
     /// Reports the completed tree build of `ticket`'s version. The
@@ -185,6 +193,12 @@ impl VersionManager {
     pub fn publish(&self, p: &Participant, ticket: Ticket, root: NodeKey) -> Result<()> {
         p.sleep(self.cost.rpc_round_trip());
         self.cpu.serve(p, self.cost.meta_op);
+        self.publish_local(ticket, root)
+    }
+
+    /// [`Self::publish`] without simulated cost — the server-side half of
+    /// a remote publish (the wire itself is the cost there).
+    pub fn publish_local(&self, ticket: Ticket, root: NodeKey) -> Result<()> {
         let mut st = self.state.lock();
         let v = ticket.version.raw();
         if v == 0 || v > st.next {
@@ -234,6 +248,12 @@ impl VersionManager {
     pub fn latest(&self, p: &Participant) -> SnapshotRecord {
         p.sleep(self.cost.rpc_round_trip());
         self.cpu.serve(p, self.cost.meta_op);
+        self.latest_local()
+    }
+
+    /// [`Self::latest`] without simulated cost (server-side half of a
+    /// remote query).
+    pub fn latest_local(&self) -> SnapshotRecord {
         let st = self.state.lock();
         st.snapshots.last().copied().unwrap_or(SnapshotRecord {
             version: VersionId::INITIAL,
@@ -247,6 +267,12 @@ impl VersionManager {
     pub fn snapshot(&self, p: &Participant, version: VersionId) -> Result<SnapshotRecord> {
         p.sleep(self.cost.rpc_round_trip());
         self.cpu.serve(p, self.cost.meta_op);
+        self.snapshot_local(version)
+    }
+
+    /// [`Self::snapshot`] without simulated cost (server-side half of a
+    /// remote query).
+    pub fn snapshot_local(&self, version: VersionId) -> Result<SnapshotRecord> {
         if version.is_initial() {
             return Ok(SnapshotRecord {
                 version,
@@ -265,6 +291,48 @@ impl VersionManager {
             })
     }
 
+    /// Participant-free ticket issue for network servers: spins on the
+    /// wall clock instead of virtual time when [`TicketMode`] gates
+    /// issuance. Returns the ticket, the assigned extents, and the
+    /// history delta since the caller's `known` row count (so a remote
+    /// client can mirror the write-summary history).
+    pub fn ticket_local(
+        &self,
+        extents: &ExtentList,
+        known: usize,
+    ) -> Result<(Ticket, ExtentList, Vec<WriteSummary>)> {
+        if extents.is_empty() {
+            return Err(Error::EmptyAccess);
+        }
+        self.ticket_local_inner(TicketShape::Explicit(extents), known)
+    }
+
+    /// Participant-free append-ticket issue (see [`Self::ticket_local`]).
+    pub fn ticket_append_local(
+        &self,
+        len: u64,
+        known: usize,
+    ) -> Result<(Ticket, ExtentList, Vec<WriteSummary>)> {
+        if len == 0 {
+            return Err(Error::EmptyAccess);
+        }
+        self.ticket_local_inner(TicketShape::Append(len), known)
+    }
+
+    fn ticket_local_inner(
+        &self,
+        shape: TicketShape<'_>,
+        known: usize,
+    ) -> Result<(Ticket, ExtentList, Vec<WriteSummary>)> {
+        loop {
+            if let Some((ticket, extents)) = self.try_issue(&shape) {
+                let delta = self.history.summaries_since(known);
+                return Ok((ticket, extents, delta));
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
     /// Publication statistics for the harness.
     pub fn stats(&self) -> PublicationStats {
         let st = self.state.lock();
@@ -277,7 +345,7 @@ impl VersionManager {
 }
 
 /// Counters describing the publication pipeline's state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PublicationStats {
     /// Tickets issued so far.
     pub issued: u64,

@@ -5,6 +5,9 @@
 #   3. lints (warnings are errors, workspace-wide)
 #
 # Usage: scripts/verify.sh
+#   VERIFY_TCP=1 scripts/verify.sh   # also build the RPC server binaries
+#                                    # and run the localhost-TCP
+#                                    # transport-equivalence suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,5 +22,13 @@ cargo fmt --check
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --offline -- -D warnings
+
+if [[ "${VERIFY_TCP:-0}" == "1" ]]; then
+    echo "== transport-tcp: build server binaries =="
+    cargo build --release --offline -p atomio-rpc --bins
+
+    echo "== transport-tcp: loopback/TCP equivalence (localhost sockets) =="
+    cargo test -q --offline --test transport_equivalence
+fi
 
 echo "verify: all gates passed"

@@ -12,6 +12,7 @@
 //! * [`meta`] — copy-on-write segment-tree metadata (shadowing).
 //! * [`version`] — version manager (tickets, ordered publication).
 //! * [`core`] — the versioning blob store client (the paper's contribution).
+//! * [`rpc`] — wire protocol, transports, and server/client proxies.
 //! * [`pfs`] — the locking-based baseline parallel file system.
 //! * [`mpiio`] — MPI-I/O layer (datatypes, views, atomic mode, ADIO drivers).
 //! * [`workloads`] — workload generators and the atomicity verifier.
@@ -21,6 +22,7 @@ pub use atomio_meta as meta;
 pub use atomio_mpiio as mpiio;
 pub use atomio_pfs as pfs;
 pub use atomio_provider as provider;
+pub use atomio_rpc as rpc;
 pub use atomio_simgrid as simgrid;
 pub use atomio_types as types;
 pub use atomio_version as version;

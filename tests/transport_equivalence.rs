@@ -1,0 +1,208 @@
+//! Transport equivalence: the same atomic-write workload must produce
+//! identical observable state whether the store runs over the in-process
+//! `Loopback` transport or real localhost TCP sockets.
+//!
+//! The remote deployment spawns the RPC servers **in process** (same API
+//! the `atomio-provider-server` / `atomio-meta-server` binaries wrap) on
+//! ephemeral ports, assembles `RemoteProvider` / `RemoteMetaStore`
+//! proxies over `TcpTransport`, and funnels them into
+//! `Store::with_substrates` — the exact seam a real multi-host
+//! deployment uses. Compared observables: read-back bytes, version
+//! numbers, and the full metadata node-key set.
+
+use atomio::core::{ReadVersion, Store, StoreConfig, TransportMode};
+use atomio::meta::NodeKey;
+use atomio::provider::{ChunkStore, DataProvider, ProviderManager};
+use atomio::rpc::{
+    MetaService, ProviderService, RemoteMetaStore, RemoteProvider, RpcServer, TcpTransport,
+    Transport,
+};
+use atomio::simgrid::clock::run_actors_on;
+use atomio::simgrid::{CostModel, FaultInjector, SimClock};
+use atomio::types::{ByteRange, ChunkId, Error, ExtentList, ProviderId, VersionId};
+use bytes::Bytes;
+use std::sync::Arc;
+
+const CHUNK: u64 = 16 * 1024;
+const FILE: u64 = 128 * 1024;
+const SEED: u64 = 0x7C9;
+
+fn base_config(providers: usize) -> StoreConfig {
+    StoreConfig::default()
+        .with_zero_cost()
+        .with_chunk_size(CHUNK)
+        .with_data_providers(providers)
+        .with_meta_shards(2)
+        .with_replication(2, 1)
+        .with_seed(SEED)
+}
+
+/// A remote store plus the live servers backing it. One provider server
+/// per data provider, so the failover test can kill an exact replica set.
+struct RemoteDeployment {
+    provider_servers: Vec<RpcServer>,
+    _meta_server: RpcServer,
+    store: Store,
+}
+
+fn remote_store(providers: usize) -> RemoteDeployment {
+    let config = base_config(providers).with_transport_mode(TransportMode::Tcp);
+
+    let mut provider_servers = Vec::new();
+    let mut stores: Vec<Arc<dyn atomio::provider::ChunkStore>> = Vec::new();
+    for i in 0..providers {
+        let hosted = Arc::new(DataProvider::new(
+            ProviderId::new(i as u64),
+            CostModel::zero(),
+            Arc::new(FaultInjector::new(0)),
+        ));
+        let server = RpcServer::start(
+            "127.0.0.1:0",
+            Arc::new(ProviderService::from_providers(vec![hosted])),
+        )
+        .expect("bind provider server");
+        let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new(server.local_addr()));
+        stores.push(Arc::new(RemoteProvider::new(
+            ProviderId::new(i as u64),
+            transport,
+        )));
+        provider_servers.push(server);
+    }
+
+    let meta_server = RpcServer::start(
+        "127.0.0.1:0",
+        Arc::new(MetaService::new(config.meta_shards, CHUNK)),
+    )
+    .expect("bind meta server");
+    let meta_transport: Arc<dyn Transport> = Arc::new(TcpTransport::new(meta_server.local_addr()));
+
+    let manager = Arc::new(ProviderManager::from_stores(
+        stores,
+        config.allocation,
+        Arc::new(FaultInjector::new(config.seed ^ 0xFA17)),
+        config.seed,
+    ));
+    let meta = Arc::new(RemoteMetaStore::new(meta_transport));
+    let store = Store::with_substrates(config, manager, meta);
+
+    RemoteDeployment {
+        provider_servers,
+        _meta_server: meta_server,
+        store,
+    }
+}
+
+/// A deterministic single-writer history: overlapping extents, partial
+/// chunks, a hole, and a self-overlapping list.
+fn apply_history(blob: &atomio::core::Blob, p: &atomio::simgrid::Participant) {
+    let w = |pairs: &[(u64, u64)], fill: u8| {
+        let ext = ExtentList::from_pairs(pairs.iter().copied());
+        let payload = Bytes::from(vec![fill; ext.total_len() as usize]);
+        blob.write_list(p, &ext, payload).unwrap();
+    };
+    w(&[(0, 64 * 1024)], 0x11);
+    w(&[(10_000, 5_000), (40_000, 12_345)], 0x22);
+    w(&[(3_000, 1), (8_191, 2), (16_384, 4_096)], 0x33);
+    w(&[(96 * 1024, 8 * 1024)], 0x44);
+    w(&[(0, 30_000), (20_000, 30_000)], 0x55);
+}
+
+fn sorted_keys(keys: Vec<NodeKey>) -> Vec<NodeKey> {
+    let mut keys = keys;
+    keys.sort_by_key(|k| (k.blob, k.version, k.range.offset, k.range.len));
+    keys
+}
+
+/// Runs the workload on one store and returns the observables.
+fn observe(store: &Store) -> (VersionId, Vec<u8>, Vec<NodeKey>, usize) {
+    let blob = store.create_blob();
+    let clock = SimClock::new();
+    // The history writes up to byte 104 KiB (96 KiB + 8 KiB tail).
+    let full = ExtentList::single(ByteRange::new(0, 104 * 1024));
+    let blob_ref = &blob;
+    let full_ref = &full;
+    let mut out = run_actors_on(&clock, 1, move |_, p| {
+        apply_history(blob_ref, p);
+        let latest = blob_ref.latest(p);
+        (
+            latest.version,
+            blob_ref
+                .read_list(p, ReadVersion::Latest, full_ref)
+                .unwrap(),
+        )
+    });
+    let (version, bytes) = out.pop().unwrap();
+    (
+        version,
+        bytes,
+        sorted_keys(store.meta().list_keys()),
+        store.meta().node_count(),
+    )
+}
+
+#[test]
+fn loopback_and_tcp_produce_identical_state() {
+    let loopback = Store::new(base_config(4));
+    let remote = remote_store(4);
+
+    let (v_loop, bytes_loop, keys_loop, count_loop) = observe(&loopback);
+    let (v_tcp, bytes_tcp, keys_tcp, count_tcp) = observe(&remote.store);
+
+    assert_eq!(v_loop, v_tcp, "same version sequence");
+    assert_eq!(bytes_loop, bytes_tcp, "bit-identical stored bytes");
+    assert_eq!(keys_loop, keys_tcp, "identical metadata node sets");
+    assert_eq!(count_loop, count_tcp);
+    assert_eq!(v_loop, VersionId::new(5));
+    drop(remote);
+}
+
+#[test]
+fn replicated_reads_survive_a_killed_server() {
+    // Two providers, one per server, replication 2: every chunk lives on
+    // both, so any single server death leaves a full copy.
+    let mut remote = remote_store(2);
+    let blob = remote.store.create_blob();
+    let clock = SimClock::new();
+    let extents = ExtentList::single(ByteRange::new(0, FILE));
+
+    let blob_ref = &blob;
+    let ext_ref = &extents;
+    run_actors_on(&clock, 1, move |_, p| {
+        let payload = Bytes::from(vec![0xAB; FILE as usize]);
+        blob_ref.write_list(p, ext_ref, payload).unwrap();
+        let back = blob_ref.read_list(p, ReadVersion::Latest, ext_ref).unwrap();
+        assert!(back.iter().all(|&b| b == 0xAB), "pre-kill read intact");
+    });
+
+    // Kill provider server 1: its connections sever, its port closes.
+    remote.provider_servers[1].stop();
+
+    let blob_ref = &blob;
+    let ext_ref = &extents;
+    run_actors_on(&clock, 1, move |_, p| {
+        let back = blob_ref.read_list(p, ReadVersion::Latest, ext_ref).unwrap();
+        assert!(
+            back.iter().all(|&b| b == 0xAB),
+            "reads fail over to the surviving replica"
+        );
+    });
+
+    // The dead endpoint surfaces a *typed* transport error — the signal
+    // the failover policy branches on.
+    let dead: Arc<dyn Transport> =
+        Arc::new(TcpTransport::new(remote.provider_servers[1].local_addr()));
+    let proxy = RemoteProvider::new(ProviderId::new(1), dead);
+    let err = proxy
+        .get_chunk_range_at(0, ChunkId::new(0), ByteRange::new(0, 1))
+        .unwrap_err();
+    match err {
+        Error::Transport { kind, .. } => {
+            use atomio::types::TransportErrorKind::*;
+            assert!(matches!(
+                kind,
+                ConnectionRefused | ConnectionReset | Timeout
+            ));
+        }
+        other => panic!("expected Error::Transport, got {other:?}"),
+    }
+}
