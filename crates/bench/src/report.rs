@@ -54,7 +54,12 @@ pub struct StatEntry {
 }
 
 /// A complete experiment result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (not derived) so the
+/// `stats` section is omitted when empty: reports that never collect
+/// counters keep their committed JSON byte-identical across schema
+/// additions.
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Experiment id ("E1", ...).
     pub id: String,
@@ -72,6 +77,37 @@ pub struct ExperimentReport {
     /// Named counters from a representative run (empty when not
     /// collected) — e.g. wire-transport message/byte/retry totals.
     pub stats: Vec<StatEntry>,
+}
+
+impl Serialize for ExperimentReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_owned(), self.id.to_value()),
+            ("title".to_owned(), self.title.to_value()),
+            ("x_label".to_owned(), self.x_label.to_value()),
+            ("rows".to_owned(), self.rows.to_value()),
+            ("notes".to_owned(), self.notes.to_value()),
+            ("resources".to_owned(), self.resources.to_value()),
+        ];
+        if !self.stats.is_empty() {
+            fields.push(("stats".to_owned(), self.stats.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for ExperimentReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(ExperimentReport {
+            id: Deserialize::from_value(v.get_or_null("id"))?,
+            title: Deserialize::from_value(v.get_or_null("title"))?,
+            x_label: Deserialize::from_value(v.get_or_null("x_label"))?,
+            rows: Deserialize::from_value(v.get_or_null("rows"))?,
+            notes: Deserialize::from_value(v.get_or_null("notes"))?,
+            resources: Deserialize::from_value(v.get_or_null("resources"))?,
+            stats: Deserialize::from_value(v.get_or_null("stats"))?,
+        })
+    }
 }
 
 impl ExperimentReport {

@@ -15,10 +15,11 @@ pub enum TransportMode {
     Loopback,
     /// Real sockets: services are hosted by the `atomio-provider-server`
     /// and `atomio-meta-server` binaries and reached through the
-    /// `atomio-rpc` TCP transport. [`crate::Store::new`] cannot assemble
-    /// this mode by itself (it has no addresses to dial); build the
-    /// remote handles with `atomio-rpc` and pass them to
-    /// [`crate::Store::with_substrates`].
+    /// `atomio-rpc` socket transports (multiplexed `RpcMode::Mux` by
+    /// default; per-call as the ablation arm). [`crate::Store::new`]
+    /// cannot assemble this mode by itself (it has no addresses to
+    /// dial); `dial` the remote handles with `atomio-rpc` and pass them
+    /// to [`crate::Store::with_substrates`].
     Tcp,
 }
 

@@ -3,6 +3,9 @@
 //!
 //! ```text
 //! atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES]
+//!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
+//!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
+//!     [--pool-conns N] [--mux-streams-per-conn N]
 //! ```
 //!
 //! Example: `atomio-meta-server 127.0.0.1:7421 --shards 4 --chunk-size 65536`
@@ -15,12 +18,17 @@ fn main() {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES]");
+            eprintln!(
+                "usage: atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES] \
+                 [--workers N] [--read-timeout-ms N] [--write-timeout-ms N] \
+                 [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N] \
+                 [--pool-conns N] [--mux-streams-per-conn N]"
+            );
             std::process::exit(2);
         }
     };
     let service = Arc::new(MetaService::new(args.count, args.chunk_size));
-    if let Err(e) = serve_forever(&args.addr, service) {
+    if let Err(e) = serve_forever(&args.addr, service, args.cfg) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! atomio-provider-server <listen-addr> [--providers N]
+//!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
+//!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
+//!     [--pool-conns N] [--mux-streams-per-conn N]
 //! ```
 //!
-//! Example: `atomio-provider-server 127.0.0.1:7420 --providers 4`
+//! Example: `atomio-provider-server 127.0.0.1:7420 --providers 4 --workers 8`
 
 use atomio_rpc::{serve_forever, ProviderService, ServerArgs};
 use std::sync::Arc;
@@ -14,12 +17,17 @@ fn main() {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: atomio-provider-server <listen-addr> [--providers N]");
+            eprintln!(
+                "usage: atomio-provider-server <listen-addr> [--providers N] \
+                 [--workers N] [--read-timeout-ms N] [--write-timeout-ms N] \
+                 [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N] \
+                 [--pool-conns N] [--mux-streams-per-conn N]"
+            );
             std::process::exit(2);
         }
     };
     let service = Arc::new(ProviderService::new(args.count));
-    if let Err(e) = serve_forever(&args.addr, service) {
+    if let Err(e) = serve_forever(&args.addr, service, args.cfg) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -6,23 +6,31 @@
 //! [`NodeStore`](atomio_meta::NodeStore) for tree metadata. This crate
 //! supplies the other side of those seams:
 //!
-//! * [`proto`] — the request/response vocabulary, one tagged enum each.
-//! * [`wire`] — length-prefixed framing and a compact binary encoding of
-//!   the serde value model; chunk payloads travel out of band.
+//! * [`proto`] — the request/response vocabulary, one tagged enum each,
+//!   plus the negotiated [`proto::PROTOCOL_VERSION`].
+//! * [`wire`] — versioned, request-id-tagged, length-prefixed framing
+//!   and a compact binary encoding of the serde value model; chunk
+//!   payloads travel out of band.
 //! * [`transport`] — how frames move: [`Loopback`] runs the full codec
 //!   in process (the default deployment; zero behavioral drift from the
-//!   pre-RPC stack), [`TcpTransport`] speaks real `std::net` sockets
-//!   with timeouts and bounded connect retry.
+//!   pre-RPC stack); [`TcpTransport`] speaks real `std::net` sockets
+//!   with strict per-call framing (the [`RpcMode::PerCall`] ablation
+//!   arm); [`MuxTransport`] multiplexes concurrent callers over a pool
+//!   of persistent connections, demultiplexing responses by request id
+//!   (the socket default, [`RpcMode::Mux`]). All three share the
+//!   serde-able [`RpcConfig`] tuning knobs and report identical byte
+//!   counters for identical workloads.
 //! * [`server`] — [`RpcServer`] hosting a [`ProviderService`] or
-//!   [`MetaService`]; the `atomio-provider-server` and
-//!   `atomio-meta-server` binaries are thin wrappers over these.
+//!   [`MetaService`] with per-connection reader threads feeding bounded
+//!   worker pools; the `atomio-provider-server` and `atomio-meta-server`
+//!   binaries are thin wrappers over these.
 //! * [`client`] — [`RemoteProvider`], [`RemoteMetaStore`], and
 //!   [`RemoteVersionManager`]: drop-in proxies implementing the
 //!   workspace seams over any [`Transport`].
 //!
 //! Assembling a socket-backed store is three lines per substrate:
-//! build `TcpTransport`s at the server addresses, wrap them in the
-//! remote proxies, and hand those to `ProviderManager::from_stores` and
+//! [`dial`] the server addresses, wrap the transports in the remote
+//! proxies, and hand those to `ProviderManager::from_stores` and
 //! `Store::with_substrates`. Everything above the seams — atomic write
 //! pipelines, versioned reads, failover, scrub — runs unchanged.
 
@@ -35,9 +43,11 @@ pub mod transport;
 pub mod wire;
 
 pub use client::{RemoteMetaStore, RemoteProvider, RemoteVersionManager};
-pub use proto::{Request, Response};
+pub use proto::{Request, Response, PROTOCOL_VERSION};
 pub use server::{serve_forever, MetaService, ProviderService, RpcServer, ServerArgs, Service};
-pub use transport::{counters, Loopback, TcpConfig, TcpTransport, Transport};
+pub use transport::{
+    counters, dial, Loopback, MuxTransport, RpcConfig, RpcMode, TcpTransport, Transport,
+};
 
 #[cfg(test)]
 mod tests {
@@ -232,10 +242,10 @@ mod tests {
             l.local_addr().unwrap()
         };
         let metrics = atomio_simgrid::Metrics::new();
-        let cfg = TcpConfig {
+        let cfg = RpcConfig {
             connect_retries: 2,
             backoff: std::time::Duration::from_millis(1),
-            ..TcpConfig::default()
+            ..RpcConfig::default()
         };
         let transport = TcpTransport::with_config(dead, cfg).with_metrics(metrics.clone());
         let err = transport.call(&Request::Ping, &[]).unwrap_err();
@@ -249,5 +259,176 @@ mod tests {
         let counters: std::collections::HashMap<_, _> =
             metrics.counter_snapshot().into_iter().collect();
         assert_eq!(counters["rpc.retries"], 2);
+    }
+
+    #[test]
+    fn mux_transport_round_trips_and_counts() {
+        let mut server =
+            RpcServer::start("127.0.0.1:0", Arc::new(ProviderService::new(1))).unwrap();
+        let metrics = atomio_simgrid::Metrics::new();
+        let mux = MuxTransport::new(server.local_addr()).with_metrics(metrics.clone());
+        assert_eq!(mux.pool_size(), RpcConfig::default().pool_conns);
+        let transport: Arc<dyn Transport> = Arc::new(mux);
+        let provider = RemoteProvider::new(ProviderId::new(0), Arc::clone(&transport));
+
+        let chunk = ChunkId::new(1);
+        provider
+            .put_chunk_at(0, chunk, Bytes::from_static(b"over the mux"))
+            .unwrap();
+        let (data, _) = provider
+            .get_chunk_range_at(0, chunk, ByteRange::new(9, 3))
+            .unwrap();
+        assert_eq!(data.as_ref(), b"mux");
+
+        let counters: std::collections::HashMap<_, _> =
+            metrics.counter_snapshot().into_iter().collect();
+        assert_eq!(counters["rpc.messages"], 2);
+        assert!(counters["rpc.bytes_tx"] > 0);
+        assert!(counters["rpc.bytes_rx"] > 0);
+        // First-fit keeps sequential calls on one pool member: one dial.
+        assert_eq!(counters["rpc.pool_conns"], 1);
+        assert!(counters["rpc.inflight_peak"] >= 1);
+
+        server.stop();
+    }
+
+    #[test]
+    fn mux_concurrent_callers_share_one_transport() {
+        let mut server =
+            RpcServer::start("127.0.0.1:0", Arc::new(ProviderService::new(1))).unwrap();
+        let metrics = atomio_simgrid::Metrics::new();
+        let transport: Arc<dyn Transport> =
+            Arc::new(MuxTransport::new(server.local_addr()).with_metrics(metrics.clone()));
+
+        std::thread::scope(|s| {
+            for t in 0u64..16 {
+                let transport = Arc::clone(&transport);
+                s.spawn(move || {
+                    let provider = RemoteProvider::new(ProviderId::new(0), transport);
+                    for i in 0..8 {
+                        let chunk = ChunkId::new(t * 100 + i);
+                        let body = format!("thread {t} chunk {i}");
+                        provider
+                            .put_chunk_at(0, chunk, Bytes::from(body.clone().into_bytes()))
+                            .unwrap();
+                        let (data, _) = provider
+                            .get_chunk_range_at(0, chunk, ByteRange::new(0, body.len() as u64))
+                            .unwrap();
+                        assert_eq!(data.as_ref(), body.as_bytes());
+                    }
+                });
+            }
+        });
+
+        let counters: std::collections::HashMap<_, _> =
+            metrics.counter_snapshot().into_iter().collect();
+        assert_eq!(counters["rpc.messages"], 16 * 8 * 2);
+        // First-fit engages pool members as concurrency demands (how
+        // many depends on scheduling) and never dials past the pool.
+        let dialed = counters["rpc.pool_conns"];
+        assert!(
+            (1..=4).contains(&dialed),
+            "expected 1..=4 pool members dialed, got {dialed}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn mux_version_mismatch_is_typed() {
+        use std::io::{Read as _, Write as _};
+        // A fake peer that answers any frame with a v9 prefix.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Consume the whole request frame (prefix declares the rest)
+            // so the client's write completes before the bogus reply.
+            let mut prefix = [0u8; 17];
+            s.read_exact(&mut prefix).unwrap();
+            let head = u32::from_be_bytes(prefix[9..13].try_into().unwrap()) as usize;
+            let body = u32::from_be_bytes(prefix[13..17].try_into().unwrap()) as usize;
+            let mut rest = vec![0u8; head + body];
+            s.read_exact(&mut rest).unwrap();
+            let mut junk = [0u8; 17];
+            junk[0] = 9;
+            s.write_all(&junk).unwrap();
+            // Hold the socket open until the client has seen the frame.
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        });
+
+        let transport = MuxTransport::new(addr);
+        let err = transport.call(&Request::Ping, &[]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Transport {
+                    kind: TransportErrorKind::VersionMismatch,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        peer.join().unwrap();
+    }
+
+    #[test]
+    fn server_args_parse_rpc_config_flags() {
+        let args = ServerArgs::parse(
+            [
+                "127.0.0.1:7420",
+                "--providers",
+                "4",
+                "--workers",
+                "8",
+                "--pool-conns",
+                "2",
+                "--read-timeout-ms",
+                "500",
+                "--write-timeout-ms",
+                "250",
+                "--connect-timeout-ms",
+                "100",
+                "--connect-retries",
+                "5",
+                "--backoff-ms",
+                "7",
+            ]
+            .map(String::from),
+            "--providers",
+            1,
+        )
+        .unwrap();
+        assert_eq!(args.count, 4);
+        assert_eq!(args.cfg.server_workers, 8);
+        assert_eq!(args.cfg.pool_conns, 2);
+        assert_eq!(args.cfg.read_timeout, std::time::Duration::from_millis(500));
+        assert_eq!(
+            args.cfg.write_timeout,
+            std::time::Duration::from_millis(250)
+        );
+        assert_eq!(
+            args.cfg.connect_timeout,
+            std::time::Duration::from_millis(100)
+        );
+        assert_eq!(args.cfg.connect_retries, 5);
+        assert_eq!(args.cfg.backoff, std::time::Duration::from_millis(7));
+        assert!(ServerArgs::parse(
+            ["127.0.0.1:7420", "--bogus", "1"].map(String::from),
+            "--providers",
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rpc_config_roundtrips_through_serde() {
+        use serde::{Deserialize as _, Serialize as _};
+        let cfg = RpcConfig {
+            pool_conns: 7,
+            server_workers: 3,
+            ..RpcConfig::default()
+        };
+        let back = RpcConfig::from_value(&cfg.to_value()).unwrap();
+        assert_eq!(back, cfg);
     }
 }

@@ -13,6 +13,22 @@ use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result, VersionId};
 use atomio_version::{SnapshotRecord, Ticket};
 use serde::{DeError, Deserialize, Serialize, Value};
 
+/// Version tag carried by every frame (see [`crate::wire`]).
+///
+/// * **v1** — length-prefixed frames with strict one-call-per-round-trip
+///   framing; no frame could be attributed to a call, so connections
+///   were single-flight by construction.
+/// * **v2** — adds a `request_id` to the frame prefix so responses can
+///   be demultiplexed out of order on a shared connection (the mux
+///   transport and the concurrent server dispatcher need it), and this
+///   leading version byte so skewed peers are rejected with a typed
+///   `TransportErrorKind::VersionMismatch` error instead of decoding
+///   garbage.
+///
+/// Peers must match exactly: the frame reader rejects any other value
+/// before decoding a single header byte.
+pub const PROTOCOL_VERSION: u8 = 2;
+
 /// One RPC request. Data-provider ops carry the target provider id so a
 /// single server process can host a whole fleet; `arrival` carries the
 /// client's virtual-time booking instant through to the server's

@@ -13,11 +13,22 @@
 //! back unchanged, keeping remote and in-process bookkeeping aligned.
 //!
 //! [`RpcServer`] is the hosting shell: a nonblocking accept loop on a
-//! dedicated thread, one thread per connection, and a [`RpcServer::stop`]
-//! that also severs accepted connections so failover tests can kill a
-//! live server deterministically.
+//! dedicated thread, one handler per connection, and a
+//! [`RpcServer::stop`] that also severs accepted connections so failover
+//! tests can kill a live server deterministically.
+//!
+//! Each connection is served by a reader thread feeding one bounded
+//! dispatch pool shared by all connections
+//! ([`crate::RpcConfig::server_workers`], default 4): requests from one
+//! multiplexed client dispatch concurrently, and responses are written
+//! back in **completion** order, tagged with the request id the client
+//! sent — the id, not arrival order, is what routes a response to its
+//! caller. Readers hand workers whole *batches* of buffered frames, so
+//! a backlogged connection pays one dispatch handoff and one response
+//! write per burst rather than per request.
 
 use crate::proto::{Request, Response};
+use crate::transport::RpcConfig;
 use crate::wire;
 use atomio_meta::{MetaStore, TreeConfig, VersionHistory};
 use atomio_provider::DataProvider;
@@ -26,12 +37,12 @@ use atomio_types::{ByteRange, Error, ProviderId, Result, TransportErrorKind};
 use atomio_version::{TicketMode, VersionManager};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -378,14 +389,41 @@ pub struct RpcServer {
 }
 
 impl RpcServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections; one thread per connection.
+    /// Binds `addr` with default tuning; see [`RpcServer::start_with_config`].
     pub fn start(addr: impl ToSocketAddrs, service: Arc<dyn Service>) -> io::Result<Self> {
+        Self::start_with_config(addr, service, RpcConfig::default())
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections. Each connection gets a reader thread; a
+    /// single bounded pool of `cfg.server_workers` dispatch workers is
+    /// shared by every connection, so requests multiplexed over one
+    /// socket execute concurrently without a thread explosion per
+    /// connection.
+    pub fn start_with_config(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn Service>,
+        cfg: RpcConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // One bounded dispatch pool shared by every connection: readers
+        // feed request batches through this channel, workers execute and
+        // write responses back to the batch's own connection. The pool
+        // exits when the last sender (accept loop + per-connection
+        // readers) is gone.
+        let workers = cfg.server_workers.max(1);
+        let (job_tx, job_rx) = mpsc::sync_channel::<DispatchJob>(workers * 2);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        for _ in 0..workers {
+            let job_rx = Arc::clone(&job_rx);
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || dispatch_worker(job_rx, service));
+        }
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
@@ -401,8 +439,8 @@ impl RpcServer {
                             if let Ok(clone) = stream.try_clone() {
                                 conns.lock().push(clone);
                             }
-                            let service = Arc::clone(&service);
-                            std::thread::spawn(move || serve_connection(stream, service));
+                            let job_tx = job_tx.clone();
+                            std::thread::spawn(move || serve_connection(stream, job_tx, cfg));
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(5));
@@ -447,26 +485,146 @@ impl Drop for RpcServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, service: Arc<dyn Service>) {
+/// Largest number of request frames handed to one dispatch worker at a
+/// time. Batches only form when a pipelining client has a backlog of
+/// fully-buffered frames (see [`buffered_frame_ready`]); a strict
+/// per-call client always produces batches of one.
+const MAX_DISPATCH_BATCH: usize = 16;
+
+/// True when the reader's buffer already holds one complete frame, so
+/// decoding it cannot block. (If the head of the buffer is garbage the
+/// declared lengths are garbage too; the worst case is a `false` here
+/// and the next blocking `read_frame` reports the framing error.)
+fn buffered_frame_ready(reader: &std::io::BufReader<&mut TcpStream>) -> bool {
+    let b = reader.buffer();
+    let prefix = wire::FRAME_PREFIX_BYTES as usize;
+    if b.len() < prefix {
+        return false;
+    }
+    let head_len = u32::from_be_bytes(b[9..13].try_into().unwrap()) as usize;
+    let payload_len = u32::from_be_bytes(b[13..17].try_into().unwrap()) as usize;
+    b.len() >= prefix + head_len + payload_len
+}
+
+/// One unit of dispatch work: the connection's write half plus a batch
+/// of decoded request frames read back-to-back from it.
+type DispatchJob = (Arc<Mutex<TcpStream>>, Vec<(u64, Value, Bytes)>);
+
+/// A member of the server's shared dispatch pool: executes request
+/// batches from any connection and writes each batch's responses —
+/// tagged with the request ids — back to that batch's connection with a
+/// single write. Responses leave in completion order; clients match
+/// them by id. A dead connection only gets severed; the worker lives on
+/// to serve the other connections.
+fn dispatch_worker(rx: Arc<Mutex<mpsc::Receiver<DispatchJob>>>, service: Arc<dyn Service>) {
     loop {
-        let (header, payload, _) = match wire::read_frame(&mut stream) {
-            Ok(frame) => frame,
-            // EOF, peer reset, or a malformed frame: drop the connection.
-            // (After a framing error nothing on the stream can be
-            // trusted, so closing is the only safe recovery.)
-            Err(_) => return,
-        };
-        let (response, out) = match Request::from_value(&header) {
-            Ok(request) => service.handle(request, payload),
-            Err(e) => fail(Error::Transport {
-                kind: TransportErrorKind::Protocol,
-                detail: format!("undecodable request: {e}"),
-            }),
-        };
-        if wire::write_frame(&mut stream, &response.to_value(), &out).is_err() {
+        // Take the receiver lock only to pull one job; holding it
+        // across `handle` would serialize the pool.
+        let job = rx.lock().recv();
+        let Ok((writer, batch)) = job else {
+            // Every sender hung up: the server stopped, drain is done.
             return;
+        };
+        // Encode every response of the batch into one buffer and put it
+        // on the wire with a single write.
+        let mut frames = Vec::new();
+        let mut poisoned = false;
+        for (id, header, payload) in batch {
+            let (response, out) = match Request::from_value(&header) {
+                Ok(request) => service.handle(request, payload),
+                Err(e) => fail(Error::Transport {
+                    kind: TransportErrorKind::Protocol,
+                    detail: format!("undecodable request: {e}"),
+                }),
+            };
+            if wire::write_frame(&mut frames, id, &response.to_value(), &out).is_err() {
+                // Oversized response — nothing sane to send back.
+                poisoned = true;
+                break;
+            }
+        }
+        let mut w = writer.lock();
+        if poisoned || io::Write::write_all(&mut *w, &frames).is_err() {
+            // Writes are dead: sever the socket so the connection's
+            // reader (blocked in read_frame) exits too.
+            let _ = w.shutdown(std::net::Shutdown::Both);
         }
     }
+}
+
+/// Serves one connection: a reader loop on this thread feeds the
+/// server's shared dispatch pool over a capacity-limited channel
+/// (backpressure when every worker is busy).
+///
+/// The reader hands workers *batches*: after one blocking read it drains
+/// whatever whole frames already sit in its buffer, so a backlogged
+/// pipelining client pays one worker wakeup and one response-write
+/// syscall per burst instead of per request.
+fn serve_connection(mut stream: TcpStream, jobs: mpsc::SyncSender<DispatchJob>, cfg: RpcConfig) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+
+    // Buffered: pipelining clients send request frames back-to-back,
+    // so one read syscall frequently yields several frames.
+    let mut reader = std::io::BufReader::with_capacity(128 * 1024, &mut stream);
+    'serve: loop {
+        let mut burst = Vec::new();
+        let mut read_dead = false;
+        loop {
+            match wire::read_frame(&mut reader) {
+                Ok((id, header, payload, _)) => burst.push((id, header, payload)),
+                // EOF, peer reset, a malformed frame, or a version
+                // mismatch: drop the connection. (After a framing error
+                // nothing on the stream can be trusted, so closing is
+                // the only safe recovery.) Dispatch what already decoded.
+                Err(_) => {
+                    read_dead = true;
+                    break;
+                }
+            }
+            if burst.len() >= MAX_DISPATCH_BATCH || !buffered_frame_ready(&reader) {
+                break;
+            }
+        }
+        if dispatch_burst(&jobs, &writer, burst).is_err() {
+            break;
+        }
+        if read_dead {
+            break 'serve;
+        }
+    }
+}
+
+/// Hands one burst of requests to the dispatch pool. While the pool has
+/// room each request becomes its own job, so independent requests
+/// overlap across workers — what matters when service time (device
+/// waits) dominates. Once the channel is full the remainder goes down
+/// as a single batched job: under CPU saturation the work serializes
+/// anyway, and one handoff per burst beats one per request.
+fn dispatch_burst(
+    jobs: &mpsc::SyncSender<DispatchJob>,
+    writer: &Arc<Mutex<TcpStream>>,
+    burst: Vec<(u64, Value, Bytes)>,
+) -> std::result::Result<(), ()> {
+    let mut overflow = Vec::new();
+    for request in burst {
+        if !overflow.is_empty() {
+            overflow.push(request);
+            continue;
+        }
+        match jobs.try_send((Arc::clone(writer), vec![request])) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full((_, batch))) => overflow = batch,
+            Err(mpsc::TrySendError::Disconnected(_)) => return Err(()),
+        }
+    }
+    if !overflow.is_empty() && jobs.send((Arc::clone(writer), overflow)).is_err() {
+        return Err(());
+    }
+    Ok(())
 }
 
 /// Everything a server binary needs from one `--flag value` style
@@ -480,10 +638,18 @@ pub struct ServerArgs {
     pub count: usize,
     /// `--chunk-size BYTES` (meta server only; ignored by providers).
     pub chunk_size: u64,
+    /// Transport/dispatcher tuning assembled from the `--workers`,
+    /// `--read-timeout-ms`, `--write-timeout-ms`, and `--backoff-ms`
+    /// style flags (defaults from [`RpcConfig::default`]).
+    pub cfg: RpcConfig,
 }
 
 impl ServerArgs {
-    /// Parses `<addr> [--COUNT_FLAG n] [--chunk-size bytes]`.
+    /// Parses `<addr> [--COUNT_FLAG n] [--chunk-size bytes]` plus the
+    /// shared [`RpcConfig`] flags: `--workers n`, `--pool-conns n`,
+    /// `--mux-streams-per-conn n`, `--connect-timeout-ms n`,
+    /// `--read-timeout-ms n`, `--write-timeout-ms n`,
+    /// `--connect-retries n`, `--backoff-ms n`.
     pub fn parse(
         args: impl IntoIterator<Item = String>,
         count_flag: &str,
@@ -495,13 +661,32 @@ impl ServerArgs {
             addr,
             count: default_count,
             chunk_size: 64 * 1024,
+            cfg: RpcConfig::default(),
         };
         while let Some(flag) = args.next() {
             let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            let bad = || format!("bad {flag}: {value}");
+            let ms = || value.parse().map(Duration::from_millis).map_err(|_| bad());
             if flag == count_flag {
-                parsed.count = value.parse().map_err(|_| format!("bad {flag}: {value}"))?;
+                parsed.count = value.parse().map_err(|_| bad())?;
             } else if flag == "--chunk-size" {
-                parsed.chunk_size = value.parse().map_err(|_| format!("bad {flag}: {value}"))?;
+                parsed.chunk_size = value.parse().map_err(|_| bad())?;
+            } else if flag == "--workers" {
+                parsed.cfg.server_workers = value.parse().map_err(|_| bad())?;
+            } else if flag == "--pool-conns" {
+                parsed.cfg.pool_conns = value.parse().map_err(|_| bad())?;
+            } else if flag == "--mux-streams-per-conn" {
+                parsed.cfg.mux_streams_per_conn = value.parse().map_err(|_| bad())?;
+            } else if flag == "--connect-retries" {
+                parsed.cfg.connect_retries = value.parse().map_err(|_| bad())?;
+            } else if flag == "--connect-timeout-ms" {
+                parsed.cfg.connect_timeout = ms()?;
+            } else if flag == "--read-timeout-ms" {
+                parsed.cfg.read_timeout = ms()?;
+            } else if flag == "--write-timeout-ms" {
+                parsed.cfg.write_timeout = ms()?;
+            } else if flag == "--backoff-ms" {
+                parsed.cfg.backoff = ms()?;
             } else {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -512,8 +697,8 @@ impl ServerArgs {
 
 /// Runs a service on `addr` until the process is killed (binary entry
 /// point; blocks forever).
-pub fn serve_forever(addr: &str, service: Arc<dyn Service>) -> io::Result<()> {
-    let server = RpcServer::start(addr, service)?;
+pub fn serve_forever(addr: &str, service: Arc<dyn Service>, cfg: RpcConfig) -> io::Result<()> {
+    let server = RpcServer::start_with_config(addr, service, cfg)?;
     eprintln!("listening on {}", server.local_addr());
     loop {
         std::thread::sleep(Duration::from_secs(3600));

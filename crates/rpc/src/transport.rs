@@ -1,17 +1,30 @@
 //! Pluggable client-side transports.
 //!
 //! A [`Transport`] moves one encoded request to a service and brings the
-//! response back. Two implementations:
+//! response back. Three implementations:
 //!
 //! * [`Loopback`] — in-process: the frame is encoded and decoded through
 //!   the full wire codec, then handed to the [`Service`] directly. No
 //!   sockets, no real latency — the default deployment, and the one every
 //!   committed benchmark result was produced on.
-//! * [`TcpTransport`] — real `std::net` sockets with per-call framing,
-//!   read/write timeouts, and bounded connect retry with doubling
-//!   backoff. Mid-call failures are **not** silently retried (the ops are
-//!   not all idempotent); they surface as typed [`Error::Transport`]
-//!   values so the provider manager's failover policy decides.
+//! * [`TcpTransport`] — real `std::net` sockets with strict per-call
+//!   framing: one connection, one request in flight, guarded by a mutex.
+//!   Kept as the [`RpcMode::PerCall`] ablation arm — it is exactly the
+//!   head-of-line blocking the mux transport removes.
+//! * [`MuxTransport`] — a pool of persistent connections per endpoint
+//!   ([`RpcConfig::pool_conns`], default 4). Writers enqueue encoded
+//!   frames on a pool member; one reader thread per connection
+//!   demultiplexes responses by request id into per-call wakeups, so
+//!   any number of concurrent callers share the pool with no
+//!   head-of-line blocking. The default for socket deployments
+//!   ([`RpcMode::Mux`]).
+//!
+//! Mid-call failures are **not** silently retried (the ops are not all
+//! idempotent); they surface as typed [`Error::Transport`] values so the
+//! provider manager's failover policy decides. On the mux transport a
+//! connection failure fails only the calls in flight on that connection;
+//! the surviving pool members are unaffected and the dead slot redials
+//! on next use.
 
 use crate::proto::{Request, Response};
 use crate::server::Service;
@@ -21,10 +34,12 @@ use atomio_types::{Error, Result, TransportErrorKind};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Moves one request/payload pair to a service, returns its response.
 pub trait Transport: Send + Sync + std::fmt::Debug {
@@ -36,14 +51,28 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
 pub mod counters {
     /// Round trips performed.
     pub const MESSAGES: &str = "rpc.messages";
-    /// Bytes put on the wire (requests).
+    /// Bytes put on the wire (request frames, payloads included).
     pub const BYTES_TX: &str = "rpc.bytes_tx";
-    /// Bytes read off the wire (responses).
+    /// Bytes read off the wire (response frames, payloads included).
     pub const BYTES_RX: &str = "rpc.bytes_rx";
     /// Connect attempts beyond the first.
     pub const RETRIES: &str = "rpc.retries";
+    /// Peak concurrent in-flight calls on one mux transport
+    /// (high-watermark, not a running sum).
+    pub const INFLIGHT_PEAK: &str = "rpc.inflight_peak";
+    /// Pool connections dialed by mux transports (redials after a
+    /// severed connection count again).
+    pub const POOL_CONNS: &str = "rpc.pool_conns";
+    /// Nanoseconds callers spent queued behind a mux pool writer before
+    /// their frame hit the socket.
+    pub const MUX_QUEUE_TIME: &str = "rpc.mux_queue_time";
 }
 
+/// Counts one round trip. Every transport funnels through this with the
+/// byte totals returned by the frame codec — request and response frames
+/// both include their out-of-band payload bytes — so [`Loopback`],
+/// [`TcpTransport`], and [`MuxTransport`] report identical totals for
+/// identical workloads (pinned by `tests/transport_equivalence.rs`).
 fn record(metrics: &Option<Metrics>, tx: u64, rx: u64) {
     if let Some(m) = metrics {
         m.counter(counters::MESSAGES).inc();
@@ -52,14 +81,112 @@ fn record(metrics: &Option<Metrics>, tx: u64, rx: u64) {
     }
 }
 
+/// Tuning knobs for the socket transports and the server-side
+/// dispatcher, shared by [`TcpTransport`] and [`MuxTransport`] and
+/// plumbed through the server binaries' CLI flags. Serde-able so a
+/// deployment can ship it inside a config file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RpcConfig {
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-call response deadline: the socket read timeout for the
+    /// per-call transport, the completion-wait deadline for mux calls.
+    pub read_timeout: Duration,
+    /// Socket write timeout (clients and server response writers).
+    pub write_timeout: Duration,
+    /// Connect attempts beyond the first before giving up.
+    pub connect_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff: Duration,
+    /// Mux pool size: persistent connections per endpoint.
+    pub pool_conns: usize,
+    /// Concurrent streams a mux pool member carries before the next
+    /// call engages the next pool slot. First-fit with this cap keeps
+    /// traffic concentrated (big write/dispatch bursts) at low
+    /// concurrency and spreads across the pool as callers grow.
+    pub mux_streams_per_conn: usize,
+    /// Size of the server's shared dispatch worker pool.
+    pub server_workers: usize,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            connect_retries: 3,
+            backoff: Duration::from_millis(10),
+            pool_conns: 4,
+            mux_streams_per_conn: 8,
+            server_workers: 4,
+        }
+    }
+}
+
+/// Which socket transport strategy a deployment uses (the E7g ablation
+/// knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RpcMode {
+    /// One connection per transport handle, strict one-call-per-round-trip
+    /// framing: concurrent calls on a shared handle serialize behind a
+    /// mutex. The pre-mux behavior, kept as the ablation baseline.
+    PerCall,
+    /// Multiplexed pool: [`RpcConfig::pool_conns`] persistent
+    /// connections, request-id demultiplexing, concurrent callers share
+    /// the pool with no head-of-line blocking. The default for socket
+    /// deployments.
+    #[default]
+    Mux,
+}
+
+/// Builds the socket transport for `addr` in the given mode, publishing
+/// per-RPC counters into `metrics` when provided.
+pub fn dial(
+    addr: SocketAddr,
+    mode: RpcMode,
+    cfg: RpcConfig,
+    metrics: Option<Metrics>,
+) -> Arc<dyn Transport> {
+    match mode {
+        RpcMode::PerCall => {
+            let t = TcpTransport::with_config(addr, cfg);
+            Arc::new(match metrics {
+                Some(m) => t.with_metrics(m),
+                None => t,
+            })
+        }
+        RpcMode::Mux => {
+            let t = MuxTransport::with_config(addr, cfg);
+            Arc::new(match metrics {
+                Some(m) => t.with_metrics(m),
+                None => t,
+            })
+        }
+    }
+}
+
 /// In-process transport that still exercises the full wire codec: every
 /// call encodes the request to bytes, decodes it back, dispatches to the
 /// service, and round-trips the response the same way. Anything that
-/// works over [`Loopback`] is wire-representable by construction.
-#[derive(Debug, Clone)]
+/// works over [`Loopback`] is wire-representable by construction, and
+/// the byte counters it publishes match the socket transports exactly
+/// (request ids are fixed-width, so the totals are id-independent).
+#[derive(Debug)]
 pub struct Loopback {
     service: Arc<dyn Service>,
     metrics: Option<Metrics>,
+    next_id: AtomicU64,
+}
+
+impl Clone for Loopback {
+    fn clone(&self) -> Self {
+        Loopback {
+            service: Arc::clone(&self.service),
+            metrics: self.metrics.clone(),
+            next_id: AtomicU64::new(self.next_id.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Loopback {
@@ -68,6 +195,7 @@ impl Loopback {
         Loopback {
             service,
             metrics: None,
+            next_id: AtomicU64::new(0),
         }
     }
 
@@ -80,22 +208,23 @@ impl Loopback {
 
 impl Transport for Loopback {
     fn call(&self, request: &Request, payload: &[u8]) -> Result<(Response, Bytes)> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         // Encode → decode the request through the real codec.
         let mut frame = Vec::new();
-        let tx = wire::write_frame(&mut frame, &request.to_value(), payload)
+        let tx = wire::write_frame(&mut frame, id, &request.to_value(), payload)
             .map_err(|e| protocol_error("encode request", &e))?;
-        let (header, body, _) = wire::read_frame(&mut frame.as_slice())
+        let (id_back, header, body, _) = wire::read_frame(&mut frame.as_slice())
             .map_err(|e| protocol_error("decode request", &e))?;
         let request = Request::from_value(&header)
             .map_err(|e| protocol_error("parse request", &io::Error::other(e.to_string())))?;
 
         let (response, out) = self.service.handle(request, body);
 
-        // And the response back out the same way.
+        // And the response back out the same way, tagged with the same id.
         let mut frame = Vec::new();
-        let rx = wire::write_frame(&mut frame, &response.to_value(), &out)
+        let rx = wire::write_frame(&mut frame, id_back, &response.to_value(), &out)
             .map_err(|e| protocol_error("encode response", &e))?;
-        let (header, body, _) = wire::read_frame(&mut frame.as_slice())
+        let (_, header, body, _) = wire::read_frame(&mut frame.as_slice())
             .map_err(|e| protocol_error("decode response", &e))?;
         let response = Response::from_value(&header)
             .map_err(|e| protocol_error("parse response", &io::Error::other(e.to_string())))?;
@@ -104,58 +233,69 @@ impl Transport for Loopback {
     }
 }
 
-/// Tuning knobs for [`TcpTransport`].
-#[derive(Debug, Clone, Copy)]
-pub struct TcpConfig {
-    /// Per-attempt connect timeout.
-    pub connect_timeout: Duration,
-    /// Socket read timeout (one frame must arrive within this).
-    pub read_timeout: Duration,
-    /// Socket write timeout.
-    pub write_timeout: Duration,
-    /// Connect attempts beyond the first before giving up.
-    pub connect_retries: u32,
-    /// First retry backoff; doubles per attempt.
-    pub backoff: Duration,
-}
-
-impl Default for TcpConfig {
-    fn default() -> Self {
-        TcpConfig {
-            connect_timeout: Duration::from_millis(250),
-            read_timeout: Duration::from_secs(2),
-            write_timeout: Duration::from_secs(2),
-            connect_retries: 3,
-            backoff: Duration::from_millis(10),
+/// Dials `addr` with bounded retry and doubling backoff; on success the
+/// stream has `TCP_NODELAY` set. Connect attempts beyond the first are
+/// counted on [`counters::RETRIES`].
+fn dial_socket(addr: SocketAddr, cfg: &RpcConfig, metrics: &Option<Metrics>) -> Result<TcpStream> {
+    let mut backoff = cfg.backoff;
+    let mut last = None;
+    for attempt in 0..=cfg.connect_retries {
+        if attempt > 0 {
+            if let Some(m) = metrics {
+                m.counter(counters::RETRIES).inc();
+            }
+            std::thread::sleep(backoff);
+            backoff *= 2;
+        }
+        match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+            Ok(stream) => {
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| transport_error("configure socket", &e))?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
         }
     }
+    let e = last.expect("at least one connect attempt");
+    Err(transport_error(
+        &format!(
+            "connect to {addr} failed after {} attempts",
+            cfg.connect_retries + 1
+        ),
+        &e,
+    ))
 }
 
-/// A framed RPC connection to one server over real TCP.
+/// A framed RPC connection to one server over real TCP with strict
+/// per-call framing.
 ///
 /// One stream per transport, guarded by a mutex: calls on the same handle
-/// serialize (clients that want parallelism hold one transport per
-/// actor). A failed call drops the connection; the next call redials.
+/// serialize — exactly the head-of-line blocking [`MuxTransport`]
+/// removes, kept as the [`RpcMode::PerCall`] ablation arm. A failed call
+/// drops the connection; the next call redials.
 #[derive(Debug)]
 pub struct TcpTransport {
     addr: SocketAddr,
-    cfg: TcpConfig,
+    cfg: RpcConfig,
     conn: Mutex<Option<TcpStream>>,
+    next_id: AtomicU64,
     metrics: Option<Metrics>,
 }
 
 impl TcpTransport {
     /// Creates a lazy connection to `addr` (dialed on first call).
     pub fn new(addr: SocketAddr) -> Self {
-        Self::with_config(addr, TcpConfig::default())
+        Self::with_config(addr, RpcConfig::default())
     }
 
     /// Creates a lazy connection with explicit tuning.
-    pub fn with_config(addr: SocketAddr, cfg: TcpConfig) -> Self {
+    pub fn with_config(addr: SocketAddr, cfg: RpcConfig) -> Self {
         TcpTransport {
             addr,
             cfg,
             conn: Mutex::new(None),
+            next_id: AtomicU64::new(0),
             metrics: None,
         }
     }
@@ -172,42 +312,18 @@ impl TcpTransport {
     }
 
     fn connect(&self) -> Result<TcpStream> {
-        let mut backoff = self.cfg.backoff;
-        let mut last = None;
-        for attempt in 0..=self.cfg.connect_retries {
-            if attempt > 0 {
-                if let Some(m) = &self.metrics {
-                    m.counter(counters::RETRIES).inc();
-                }
-                std::thread::sleep(backoff);
-                backoff *= 2;
-            }
-            match TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout) {
-                Ok(stream) => {
-                    stream
-                        .set_nodelay(true)
-                        .and_then(|()| stream.set_read_timeout(Some(self.cfg.read_timeout)))
-                        .and_then(|()| stream.set_write_timeout(Some(self.cfg.write_timeout)))
-                        .map_err(|e| transport_error("configure socket", &e))?;
-                    return Ok(stream);
-                }
-                Err(e) => last = Some(e),
-            }
-        }
-        let e = last.expect("at least one connect attempt");
-        Err(transport_error(
-            &format!(
-                "connect to {} failed after {} attempts",
-                self.addr,
-                self.cfg.connect_retries + 1
-            ),
-            &e,
-        ))
+        let stream = dial_socket(self.addr, &self.cfg, &self.metrics)?;
+        stream
+            .set_read_timeout(Some(self.cfg.read_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.cfg.write_timeout)))
+            .map_err(|e| transport_error("configure socket", &e))?;
+        Ok(stream)
     }
 }
 
 impl Transport for TcpTransport {
     fn call(&self, request: &Request, payload: &[u8]) -> Result<(Response, Bytes)> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let mut guard = self.conn.lock();
         if guard.is_none() {
             *guard = Some(self.connect()?);
@@ -215,8 +331,14 @@ impl Transport for TcpTransport {
         let stream = guard.as_mut().expect("connection established above");
 
         let round_trip = (|| -> io::Result<(Response, Bytes, u64, u64)> {
-            let tx = wire::write_frame(stream, &request.to_value(), payload)?;
-            let (header, body, rx) = wire::read_frame(stream)?;
+            let tx = wire::write_frame(stream, id, &request.to_value(), payload)?;
+            let (id_back, header, body, rx) = wire::read_frame(stream)?;
+            if id_back != id {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for request {id_back} on a call awaiting {id}"),
+                ));
+            }
             let response = Response::from_value(&header)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
             Ok((response, body, tx, rx))
@@ -236,6 +358,337 @@ impl Transport for TcpTransport {
     }
 }
 
+/// The slot one in-flight mux call waits on. `std` primitives rather
+/// than `parking_lot` because the waiter needs a timed wait.
+#[derive(Debug, Default)]
+struct CallSlot {
+    /// `(response, body, response frame bytes)` or the typed failure.
+    outcome: std::sync::Mutex<Option<Result<(Response, Bytes, u64)>>>,
+    ready: std::sync::Condvar,
+}
+
+impl CallSlot {
+    fn fill(&self, outcome: Result<(Response, Bytes, u64)>) {
+        let mut guard = self.outcome.lock().expect("call slot poisoned");
+        *guard = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// One pool member: a socket with a group-commit write queue and a
+/// reader thread that routes response frames to [`CallSlot`]s by id.
+#[derive(Debug)]
+struct MuxConn {
+    /// Shutdown handle (severs both halves; reader and writers wake).
+    stream: TcpStream,
+    /// Write half, held by the current flush leader.
+    writer: Mutex<TcpStream>,
+    /// Encoded frames awaiting flush (each append is one whole frame).
+    wqueue: Mutex<Vec<u8>>,
+    /// In-flight calls by request id.
+    pending: Mutex<HashMap<u64, Arc<CallSlot>>>,
+    /// Set once the connection failed; the pool slot redials on next use.
+    dead: AtomicBool,
+}
+
+impl MuxConn {
+    /// Marks the connection dead and fails every in-flight call with
+    /// `error`. Calls on other pool members are unaffected.
+    fn poison(&self, error: &Error) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        for (_, slot) in self.pending.lock().drain() {
+            slot.fill(Err(error.clone()));
+        }
+    }
+
+    /// Group-commit transmit: appends one encoded frame to the queue,
+    /// then whoever wins the writer lock flushes the whole queue in a
+    /// single write. Under concurrency most callers only enqueue —
+    /// one leader's syscall carries a burst of frames.
+    ///
+    /// `Ok(())` means the frame is flushed or a current leader is
+    /// obligated to flush it: a leader drains until the queue is empty,
+    /// and after bouncing off `try_lock` the releaser re-checks, so a
+    /// frame enqueued in the race window is never stranded.
+    fn enqueue_and_flush(&self, frame: &[u8]) -> io::Result<()> {
+        self.wqueue.lock().extend_from_slice(frame);
+        loop {
+            let Some(mut w) = self.writer.try_lock() else {
+                return Ok(());
+            };
+            let batch = std::mem::take(&mut *self.wqueue.lock());
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let result = io::Write::write_all(&mut *w, &batch);
+            drop(w);
+            result?;
+            // Loop: a frame may have been enqueued while we held the
+            // lock, and its caller bounced off try_lock relying on us.
+        }
+    }
+}
+
+/// Demultiplexes response frames into the pending calls' slots until the
+/// connection dies; a connection failure fails exactly the calls in
+/// flight on this socket.
+fn mux_reader_loop(stream: TcpStream, conn: Arc<MuxConn>, addr: SocketAddr) {
+    // Buffered: with several calls in flight, response frames arrive
+    // back-to-back and one read syscall drains many of them.
+    let mut stream = std::io::BufReader::with_capacity(128 * 1024, stream);
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok((id, header, body, rx)) => {
+                // A missing entry is a call that timed out and left; the
+                // late response is dropped on the floor.
+                if let Some(slot) = conn.pending.lock().remove(&id) {
+                    let outcome = match Response::from_value(&header) {
+                        Ok(response) => Ok((response, body, rx)),
+                        // The frame was well-formed, only the header did
+                        // not parse as a response: fail this call, keep
+                        // the connection (framing is intact).
+                        Err(e) => Err(Error::Transport {
+                            kind: TransportErrorKind::Protocol,
+                            detail: format!("rpc to {addr}: undecodable response: {e}"),
+                        }),
+                    };
+                    slot.fill(outcome);
+                }
+            }
+            Err(e) => {
+                conn.poison(&transport_error(&format!("rpc to {addr}"), &e));
+                return;
+            }
+        }
+    }
+}
+
+/// A multiplexed transport: a pool of persistent connections to one
+/// endpoint, shared by any number of concurrent callers.
+///
+/// Each call reserves a pool member — first-fit under a per-member
+/// stream cap ([`RpcConfig::mux_streams_per_conn`]), so traffic stays
+/// concentrated in large bursts until concurrency actually needs more
+/// sockets — registers a wakeup slot under a fresh request id, enqueues
+/// its frame on that member's write queue, and sleeps until the
+/// member's reader thread delivers the response matching its id: M
+/// callers keep up to M requests in flight over at most N sockets with
+/// no head-of-line blocking. Responses are matched by id, never by
+/// arrival order: ordering is guaranteed **per id only**.
+///
+/// A connection failure fails exactly the calls in flight on that
+/// socket (typed [`Error::Transport`], feeding the provider manager's
+/// failover); the slot redials on next use and the surviving pool
+/// members never notice.
+#[derive(Debug)]
+pub struct MuxTransport {
+    addr: SocketAddr,
+    cfg: RpcConfig,
+    metrics: Option<Metrics>,
+    /// Pool slots, each lazily holding a live connection.
+    slots: Vec<Mutex<Option<Arc<MuxConn>>>>,
+    /// Calls currently in flight per slot (drives first-fit selection).
+    slot_inflight: Vec<AtomicU64>,
+    next_slot: AtomicUsize,
+    next_id: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl MuxTransport {
+    /// Creates a lazy pool for `addr` (members dial on first use).
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_config(addr, RpcConfig::default())
+    }
+
+    /// Creates a lazy pool with explicit tuning.
+    pub fn with_config(addr: SocketAddr, cfg: RpcConfig) -> Self {
+        let pool = cfg.pool_conns.max(1);
+        MuxTransport {
+            addr,
+            cfg,
+            metrics: None,
+            slots: (0..pool).map(|_| Mutex::new(None)).collect(),
+            slot_inflight: (0..pool).map(|_| AtomicU64::new(0)).collect(),
+            next_slot: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes per-RPC counters into `metrics`.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The server address this transport dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of pool slots.
+    pub fn pool_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Test hook: severs pool connection `i`'s socket if it is dialed.
+    /// In-flight calls on that member fail with a typed transport error;
+    /// the slot redials on next use.
+    pub fn sever_conn(&self, i: usize) {
+        if let Some(conn) = self.slots[i].lock().as_ref() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Reserves a pool slot for one call: first-fit over the slots,
+    /// skipping members already carrying
+    /// [`RpcConfig::mux_streams_per_conn`] streams. Concentrating calls
+    /// on the lowest busy slot keeps write/dispatch bursts large (one
+    /// syscall carries many frames) while extra members soak up higher
+    /// concurrency. Reservation is a `fetch_add` so two racing callers
+    /// can never both squeeze under a slot's cap. When every member is
+    /// saturated, calls overflow round-robin across the whole pool.
+    fn reserve_slot(&self) -> usize {
+        let cap = self.cfg.mux_streams_per_conn.max(1) as u64;
+        for (i, streams) in self.slot_inflight.iter().enumerate() {
+            if streams.fetch_add(1, Ordering::AcqRel) < cap {
+                return i;
+            }
+            streams.fetch_sub(1, Ordering::AcqRel);
+        }
+        let i = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slot_inflight[i].fetch_add(1, Ordering::AcqRel);
+        i
+    }
+
+    /// Returns the live connection in slot `i`, dialing if the slot is
+    /// empty or its previous tenant died.
+    fn conn_at(&self, i: usize) -> Result<Arc<MuxConn>> {
+        let mut slot = self.slots[i].lock();
+        if let Some(conn) = slot.as_ref() {
+            if !conn.dead.load(Ordering::Acquire) {
+                return Ok(Arc::clone(conn));
+            }
+        }
+        let stream = dial_socket(self.addr, &self.cfg, &self.metrics)?;
+        // No socket read timeout: the reader blocks on the shared stream
+        // indefinitely (per-call deadlines live in the waiters), but
+        // writes must not wedge the whole pool member.
+        stream
+            .set_write_timeout(Some(self.cfg.write_timeout))
+            .map_err(|e| transport_error("configure socket", &e))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| transport_error("clone socket", &e))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| transport_error("clone socket", &e))?;
+        let conn = Arc::new(MuxConn {
+            stream,
+            writer: Mutex::new(writer),
+            wqueue: Mutex::new(Vec::new()),
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+        });
+        let addr = self.addr;
+        let reader_conn = Arc::clone(&conn);
+        std::thread::spawn(move || mux_reader_loop(reader, reader_conn, addr));
+        if let Some(m) = &self.metrics {
+            m.counter(counters::POOL_CONNS).inc();
+        }
+        *slot = Some(Arc::clone(&conn));
+        Ok(conn)
+    }
+}
+
+impl Transport for MuxTransport {
+    fn call(&self, request: &Request, payload: &[u8]) -> Result<(Response, Bytes)> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot_idx = self.reserve_slot();
+        let conn = match self.conn_at(slot_idx) {
+            Ok(conn) => conn,
+            Err(e) => {
+                self.slot_inflight[slot_idx].fetch_sub(1, Ordering::AcqRel);
+                return Err(e);
+            }
+        };
+
+        let call = Arc::new(CallSlot::default());
+        conn.pending.lock().insert(id, Arc::clone(&call));
+        let depth = self.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(m) = &self.metrics {
+            m.counter(counters::INFLIGHT_PEAK).record_peak(depth);
+        }
+        // Every exit below must release the in-flight slot exactly once.
+        let release = |this: &Self| {
+            this.inflight.fetch_sub(1, Ordering::Relaxed);
+            this.slot_inflight[slot_idx].fetch_sub(1, Ordering::AcqRel);
+        };
+
+        // Encode off-lock, then enqueue on the pool member's write queue
+        // (the flush leader puts a whole burst on the wire at once).
+        let enqueued = Instant::now();
+        let mut frame = Vec::with_capacity(64 + payload.len());
+        let wrote = wire::write_frame(&mut frame, id, &request.to_value(), payload)
+            .and_then(|tx| conn.enqueue_and_flush(&frame).map(|()| tx));
+        if let Some(m) = &self.metrics {
+            m.counter(counters::MUX_QUEUE_TIME)
+                .add(enqueued.elapsed().as_nanos() as u64);
+        }
+        let tx = match wrote {
+            Ok(tx) => tx,
+            Err(e) => {
+                // The reader may have poisoned the connection first (its
+                // shutdown is what interrupted this write) and already
+                // failed this call with the root cause — e.g. a version
+                // mismatch. Prefer that over the secondary write error.
+                if let Some(result) = call.outcome.lock().expect("call slot poisoned").take() {
+                    release(self);
+                    return result.map(|(response, body, _)| (response, body));
+                }
+                conn.pending.lock().remove(&id);
+                let error = transport_error(&format!("rpc to {}", self.addr), &e);
+                // A half-written frame poisons the stream for everyone
+                // behind it: fail the whole connection, not just us.
+                conn.poison(&error);
+                release(self);
+                return Err(error);
+            }
+        };
+
+        // Sleep until the reader delivers our id (or the deadline hits).
+        let deadline = Instant::now() + self.cfg.read_timeout;
+        let mut outcome = call.outcome.lock().expect("call slot poisoned");
+        loop {
+            if let Some(result) = outcome.take() {
+                release(self);
+                return result.map(|(response, body, rx)| {
+                    record(&self.metrics, tx, rx);
+                    (response, body)
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                conn.pending.lock().remove(&id);
+                release(self);
+                return Err(Error::Transport {
+                    kind: TransportErrorKind::Timeout,
+                    detail: format!(
+                        "rpc to {} timed out after {:?} (request {id})",
+                        self.addr, self.cfg.read_timeout
+                    ),
+                });
+            }
+            let (guard, _) = call
+                .ready
+                .wait_timeout(outcome, deadline - now)
+                .expect("call slot poisoned");
+            outcome = guard;
+        }
+    }
+}
+
 fn kind_of(e: &io::Error) -> TransportErrorKind {
     use io::ErrorKind::*;
     match e.kind() {
@@ -244,6 +697,9 @@ fn kind_of(e: &io::Error) -> TransportErrorKind {
         ConnectionReset | ConnectionAborted | BrokenPipe | UnexpectedEof | NotConnected => {
             TransportErrorKind::ConnectionReset
         }
+        // The frame reader flags a peer speaking another protocol
+        // version with Unsupported (see `wire`).
+        Unsupported => TransportErrorKind::VersionMismatch,
         _ => TransportErrorKind::Protocol,
     }
 }

@@ -1,13 +1,21 @@
 //! Frame format and the binary [`Value`] codec.
 //!
-//! Every RPC message is one frame:
+//! Every RPC message is one frame (protocol v2):
 //!
 //! ```text
-//! +-------------+--------------+------------------+------------------+
-//! | header_len  | payload_len  | header bytes     | payload bytes    |
-//! | u32 BE      | u32 BE       | (Value, binary)  | (raw, untyped)   |
-//! +-------------+--------------+------------------+------------------+
+//! +---------+-------------+-------------+--------------+------------------+------------------+
+//! | version | request_id  | header_len  | payload_len  | header bytes     | payload bytes    |
+//! | u8      | u64 BE      | u32 BE      | u32 BE       | (Value, binary)  | (raw, untyped)   |
+//! +---------+-------------+-------------+--------------+------------------+------------------+
 //! ```
+//!
+//! The leading byte is [`crate::proto::PROTOCOL_VERSION`]; a frame
+//! carrying any other value is rejected before a single header byte is
+//! decoded, so mismatched peers fail with a typed version error instead
+//! of garbage. The `request_id` tags the call so responses can be
+//! demultiplexed out of order on a shared connection: a server answers
+//! with the id of the request it is answering, and ordering is
+//! guaranteed **per id**, never per connection.
 //!
 //! The header is a [`Value`] tree (the request or response, see
 //! [`crate::proto`]) in the binary encoding below. Chunk payloads travel
@@ -31,6 +39,7 @@
 //! | 6   | Array   | u32 LE count + encoded items             |
 //! | 7   | Object  | u32 LE count + (Str key, value) pairs    |
 
+use crate::proto::PROTOCOL_VERSION;
 use bytes::Bytes;
 use serde::Value;
 use std::io::{self, Read, Write};
@@ -39,6 +48,8 @@ use std::io::{self, Read, Write};
 pub const MAX_HEADER_BYTES: u32 = 16 << 20;
 /// Upper bound on a frame payload (chunk data).
 pub const MAX_PAYLOAD_BYTES: u32 = 256 << 20;
+/// Fixed frame prefix: version (1) + request id (8) + two lengths (4+4).
+pub const FRAME_PREFIX_BYTES: u64 = 17;
 
 /// Encodes a value tree into `out`.
 pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
@@ -169,30 +180,71 @@ impl Cursor<'_> {
     }
 }
 
-/// Writes one frame. Returns the number of bytes put on the wire.
-pub fn write_frame(w: &mut impl Write, header: &Value, payload: &[u8]) -> io::Result<u64> {
-    let mut head = Vec::new();
-    encode_value(header, &mut head);
-    if head.len() as u64 > MAX_HEADER_BYTES as u64 {
-        return Err(malformed("header too large"));
-    }
+/// The error a frame from a peer speaking a different protocol version
+/// produces. Mapped to `TransportErrorKind::VersionMismatch` by the
+/// transports ([`io::ErrorKind::Unsupported`] marks it).
+fn version_mismatch(peer: u8) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        format!(
+            "protocol version mismatch: peer speaks v{peer}, this build speaks v{PROTOCOL_VERSION}"
+        ),
+    )
+}
+
+/// Payloads up to this size are coalesced into the prefix+header buffer
+/// so the whole frame leaves in ONE `write` call — with `TCP_NODELAY`
+/// every write is a packet, and per-syscall cost dominates small frames.
+/// Larger payloads are written separately to avoid the copy.
+const COALESCE_PAYLOAD_BYTES: usize = 256 * 1024;
+
+/// Writes one frame tagged with `request_id`. Returns the number of
+/// bytes put on the wire. Small frames are emitted in a single `write`
+/// call (see [`COALESCE_PAYLOAD_BYTES`]).
+pub fn write_frame(
+    w: &mut impl Write,
+    request_id: u64,
+    header: &Value,
+    payload: &[u8],
+) -> io::Result<u64> {
     if payload.len() as u64 > MAX_PAYLOAD_BYTES as u64 {
         return Err(malformed("payload too large"));
     }
-    w.write_all(&(head.len() as u32).to_be_bytes())?;
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(&head)?;
-    w.write_all(payload)?;
+    let coalesce = payload.len() <= COALESCE_PAYLOAD_BYTES;
+    let mut buf = Vec::with_capacity(
+        FRAME_PREFIX_BYTES as usize + 128 + if coalesce { payload.len() } else { 0 },
+    );
+    buf.push(PROTOCOL_VERSION);
+    buf.extend_from_slice(&request_id.to_be_bytes());
+    buf.extend_from_slice(&[0u8; 8]); // head_len + payload_len, patched below
+    encode_value(header, &mut buf);
+    let head_len = buf.len() - FRAME_PREFIX_BYTES as usize;
+    if head_len as u64 > MAX_HEADER_BYTES as u64 {
+        return Err(malformed("header too large"));
+    }
+    buf[9..13].copy_from_slice(&(head_len as u32).to_be_bytes());
+    buf[13..17].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    if coalesce {
+        buf.extend_from_slice(payload);
+        w.write_all(&buf)?;
+    } else {
+        w.write_all(&buf)?;
+        w.write_all(payload)?;
+    }
     w.flush()?;
-    Ok(8 + head.len() as u64 + payload.len() as u64)
+    Ok(FRAME_PREFIX_BYTES + head_len as u64 + payload.len() as u64)
 }
 
-/// Reads one frame. Returns `(header, payload, bytes_read)`.
-pub fn read_frame(r: &mut impl Read) -> io::Result<(Value, Bytes, u64)> {
-    let mut lens = [0u8; 8];
-    r.read_exact(&mut lens)?;
-    let head_len = u32::from_be_bytes(lens[..4].try_into().unwrap());
-    let payload_len = u32::from_be_bytes(lens[4..].try_into().unwrap());
+/// Reads one frame. Returns `(request_id, header, payload, bytes_read)`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u64, Value, Bytes, u64)> {
+    let mut prefix = [0u8; FRAME_PREFIX_BYTES as usize];
+    r.read_exact(&mut prefix)?;
+    if prefix[0] != PROTOCOL_VERSION {
+        return Err(version_mismatch(prefix[0]));
+    }
+    let request_id = u64::from_be_bytes(prefix[1..9].try_into().unwrap());
+    let head_len = u32::from_be_bytes(prefix[9..13].try_into().unwrap());
+    let payload_len = u32::from_be_bytes(prefix[13..].try_into().unwrap());
     if head_len > MAX_HEADER_BYTES {
         return Err(malformed("header length exceeds limit"));
     }
@@ -205,9 +257,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<(Value, Bytes, u64)> {
     r.read_exact(&mut payload)?;
     let header = decode_value(&head)?;
     Ok((
+        request_id,
         header,
         Bytes::from(payload),
-        8 + head_len as u64 + payload_len as u64,
+        FRAME_PREFIX_BYTES + head_len as u64 + payload_len as u64,
     ))
 }
 
@@ -247,9 +300,11 @@ mod tests {
         let header = Value::Object(vec![("t".into(), Value::Str("Ping".into()))]);
         let payload = b"raw chunk bytes";
         let mut wire = Vec::new();
-        let wrote = write_frame(&mut wire, &header, payload).unwrap();
+        let wrote = write_frame(&mut wire, 0xDEAD_BEEF, &header, payload).unwrap();
         assert_eq!(wrote as usize, wire.len());
-        let (back, body, read) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(wire[0], PROTOCOL_VERSION);
+        let (id, back, body, read) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF);
         assert_eq!(back, header);
         assert_eq!(body.as_ref(), payload);
         assert_eq!(read, wrote);
@@ -266,9 +321,21 @@ mod tests {
         // Absurd container count.
         assert!(decode_value(&[6, 255, 255, 255, 255]).is_err());
         // Oversized declared header length.
-        let mut wire = Vec::new();
+        let mut wire = vec![PROTOCOL_VERSION];
+        wire.extend_from_slice(&0u64.to_be_bytes());
         wire.extend_from_slice(&u32::MAX.to_be_bytes());
         wire.extend_from_slice(&0u32.to_be_bytes());
         assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_before_decoding() {
+        // A v1-era frame (no version byte: the first byte is the high
+        // byte of a big-endian header length, i.e. not the version tag).
+        let mut old = vec![0u8; FRAME_PREFIX_BYTES as usize];
+        old[0] = 1; // pretend peer speaks protocol v1
+        let err = read_frame(&mut old.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        assert!(err.to_string().contains("protocol version mismatch"));
     }
 }

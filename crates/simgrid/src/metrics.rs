@@ -24,6 +24,14 @@ impl Counter {
         self.add(1);
     }
 
+    /// Raises the counter to at least `v` — for high-watermark counters
+    /// (e.g. peak in-flight RPC depth) that track a maximum rather than
+    /// a running sum.
+    #[inline]
+    pub fn record_peak(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
@@ -284,6 +292,16 @@ mod tests {
         let snap = m.value_snapshot();
         assert_eq!(snap[0], ("depth".to_owned(), 21, 3, 16));
         assert!(m.report().contains("depth"));
+    }
+
+    #[test]
+    fn record_peak_is_a_high_watermark() {
+        let c = Counter::default();
+        c.record_peak(5);
+        c.record_peak(3);
+        assert_eq!(c.get(), 5);
+        c.record_peak(9);
+        assert_eq!(c.get(), 9);
     }
 
     #[test]

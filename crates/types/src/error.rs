@@ -78,6 +78,10 @@ pub enum TransportErrorKind {
     ConnectionReset,
     /// The peer spoke, but the bytes did not decode as a valid frame.
     Protocol,
+    /// The peer speaks a different protocol version; the frame was
+    /// rejected before decoding. Retrying cannot help until one side is
+    /// upgraded, so failover should drop the endpoint entirely.
+    VersionMismatch,
 }
 
 impl TransportErrorKind {
@@ -87,6 +91,7 @@ impl TransportErrorKind {
             TransportErrorKind::ConnectionRefused => "connection-refused",
             TransportErrorKind::ConnectionReset => "connection-reset",
             TransportErrorKind::Protocol => "protocol",
+            TransportErrorKind::VersionMismatch => "version-mismatch",
         }
     }
 
@@ -96,6 +101,7 @@ impl TransportErrorKind {
             "connection-refused" => TransportErrorKind::ConnectionRefused,
             "connection-reset" => TransportErrorKind::ConnectionReset,
             "protocol" => TransportErrorKind::Protocol,
+            "version-mismatch" => TransportErrorKind::VersionMismatch,
             _ => return None,
         })
     }
@@ -405,6 +411,7 @@ mod tests {
             TransportErrorKind::ConnectionRefused,
             TransportErrorKind::ConnectionReset,
             TransportErrorKind::Protocol,
+            TransportErrorKind::VersionMismatch,
         ] {
             assert_eq!(TransportErrorKind::from_str(&kind.to_string()), Some(kind));
         }

@@ -27,8 +27,11 @@ if [[ "${VERIFY_TCP:-0}" == "1" ]]; then
     echo "== transport-tcp: build server binaries =="
     cargo build --release --offline -p atomio-rpc --bins
 
-    echo "== transport-tcp: loopback/TCP equivalence (localhost sockets) =="
+    echo "== transport-tcp: loopback/TCP equivalence + mux stress/fault (localhost sockets) =="
     cargo test -q --offline --test transport_equivalence
+
+    echo "== transport-tcp: rpc unit suite under thread contention =="
+    cargo test -q --offline -p atomio-rpc -- --test-threads=16
 fi
 
 echo "verify: all gates passed"

@@ -1,27 +1,34 @@
 //! Transport equivalence: the same atomic-write workload must produce
 //! identical observable state whether the store runs over the in-process
-//! `Loopback` transport or real localhost TCP sockets.
+//! `Loopback` transport or real localhost TCP sockets — per-call or
+//! multiplexed.
 //!
 //! The remote deployment spawns the RPC servers **in process** (same API
 //! the `atomio-provider-server` / `atomio-meta-server` binaries wrap) on
 //! ephemeral ports, assembles `RemoteProvider` / `RemoteMetaStore`
-//! proxies over `TcpTransport`, and funnels them into
+//! proxies over the socket transports, and funnels them into
 //! `Store::with_substrates` — the exact seam a real multi-host
 //! deployment uses. Compared observables: read-back bytes, version
-//! numbers, and the full metadata node-key set.
+//! numbers, the full metadata node-key set, and the `rpc.*` byte
+//! counters (all three transports must account identical wire totals
+//! for identical workloads).
 
 use atomio::core::{ReadVersion, Store, StoreConfig, TransportMode};
-use atomio::meta::NodeKey;
+use atomio::meta::{LeafEntry, Node, NodeBody, NodeKey};
 use atomio::provider::{ChunkStore, DataProvider, ProviderManager};
 use atomio::rpc::{
-    MetaService, ProviderService, RemoteMetaStore, RemoteProvider, RpcServer, TcpTransport,
+    dial, Loopback, MetaService, MuxTransport, ProviderService, RemoteMetaStore, RemoteProvider,
+    RemoteVersionManager, Request, Response, RpcConfig, RpcMode, RpcServer, Service, TcpTransport,
     Transport,
 };
 use atomio::simgrid::clock::run_actors_on;
-use atomio::simgrid::{CostModel, FaultInjector, SimClock};
-use atomio::types::{ByteRange, ChunkId, Error, ExtentList, ProviderId, VersionId};
+use atomio::simgrid::{CostModel, FaultInjector, Metrics, SimClock};
+use atomio::types::{
+    BlobId, ByteRange, ChunkId, Error, ExtentList, ProviderId, TransportErrorKind, VersionId,
+};
 use bytes::Bytes;
 use std::sync::Arc;
+use std::time::Duration;
 
 const CHUNK: u64 = 16 * 1024;
 const FILE: u64 = 128 * 1024;
@@ -46,6 +53,14 @@ struct RemoteDeployment {
 }
 
 fn remote_store(providers: usize) -> RemoteDeployment {
+    remote_store_with(providers, RpcMode::PerCall, None)
+}
+
+fn remote_store_with(
+    providers: usize,
+    mode: RpcMode,
+    metrics: Option<Metrics>,
+) -> RemoteDeployment {
     let config = base_config(providers).with_transport_mode(TransportMode::Tcp);
 
     let mut provider_servers = Vec::new();
@@ -61,7 +76,12 @@ fn remote_store(providers: usize) -> RemoteDeployment {
             Arc::new(ProviderService::from_providers(vec![hosted])),
         )
         .expect("bind provider server");
-        let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new(server.local_addr()));
+        let transport = dial(
+            server.local_addr(),
+            mode,
+            RpcConfig::default(),
+            metrics.clone(),
+        );
         stores.push(Arc::new(RemoteProvider::new(
             ProviderId::new(i as u64),
             transport,
@@ -74,7 +94,12 @@ fn remote_store(providers: usize) -> RemoteDeployment {
         Arc::new(MetaService::new(config.meta_shards, CHUNK)),
     )
     .expect("bind meta server");
-    let meta_transport: Arc<dyn Transport> = Arc::new(TcpTransport::new(meta_server.local_addr()));
+    let meta_transport = dial(
+        meta_server.local_addr(),
+        mode,
+        RpcConfig::default(),
+        metrics,
+    );
 
     let manager = Arc::new(ProviderManager::from_stores(
         stores,
@@ -90,6 +115,42 @@ fn remote_store(providers: usize) -> RemoteDeployment {
         _meta_server: meta_server,
         store,
     }
+}
+
+/// The same topology as [`remote_store_with`] over in-process `Loopback`
+/// transports: one hosted provider service per data provider plus one
+/// meta service, all publishing into one metrics registry. The baseline
+/// for the byte-counter parity check.
+fn loopback_rpc_store(providers: usize, metrics: Metrics) -> Store {
+    let config = base_config(providers);
+    let mut stores: Vec<Arc<dyn atomio::provider::ChunkStore>> = Vec::new();
+    for i in 0..providers {
+        let hosted = Arc::new(DataProvider::new(
+            ProviderId::new(i as u64),
+            CostModel::zero(),
+            Arc::new(FaultInjector::new(0)),
+        ));
+        let transport: Arc<dyn Transport> = Arc::new(
+            Loopback::new(Arc::new(ProviderService::from_providers(vec![hosted])))
+                .with_metrics(metrics.clone()),
+        );
+        stores.push(Arc::new(RemoteProvider::new(
+            ProviderId::new(i as u64),
+            transport,
+        )));
+    }
+    let meta_transport: Arc<dyn Transport> = Arc::new(
+        Loopback::new(Arc::new(MetaService::new(config.meta_shards, CHUNK)))
+            .with_metrics(metrics.clone()),
+    );
+    let manager = Arc::new(ProviderManager::from_stores(
+        stores,
+        config.allocation,
+        Arc::new(FaultInjector::new(config.seed ^ 0xFA17)),
+        config.seed,
+    ));
+    let meta = Arc::new(RemoteMetaStore::new(meta_transport));
+    Store::with_substrates(config, manager, meta)
 }
 
 /// A deterministic single-writer history: overlapping extents, partial
@@ -205,4 +266,312 @@ fn replicated_reads_survive_a_killed_server() {
         }
         other => panic!("expected Error::Transport, got {other:?}"),
     }
+}
+
+#[test]
+fn loopback_and_mux_produce_identical_state() {
+    let loopback = Store::new(base_config(4));
+    let remote = remote_store_with(4, RpcMode::Mux, None);
+
+    let (v_loop, bytes_loop, keys_loop, count_loop) = observe(&loopback);
+    let (v_mux, bytes_mux, keys_mux, count_mux) = observe(&remote.store);
+
+    assert_eq!(v_loop, v_mux, "same version sequence");
+    assert_eq!(bytes_loop, bytes_mux, "bit-identical stored bytes");
+    assert_eq!(keys_loop, keys_mux, "identical metadata node sets");
+    assert_eq!(count_loop, count_mux);
+    assert_eq!(v_loop, VersionId::new(5));
+    drop(remote);
+}
+
+/// Pulls the `rpc.*` accounting counters every transport must agree on.
+fn wire_totals(metrics: &Metrics) -> (u64, u64, u64) {
+    (
+        metrics.counter("rpc.messages").get(),
+        metrics.counter("rpc.bytes_tx").get(),
+        metrics.counter("rpc.bytes_rx").get(),
+    )
+}
+
+#[test]
+fn transports_report_identical_byte_counters() {
+    let m_loop = Metrics::new();
+    let m_tcp = Metrics::new();
+    let m_mux = Metrics::new();
+
+    let loopback = loopback_rpc_store(4, m_loop.clone());
+    let tcp = remote_store_with(4, RpcMode::PerCall, Some(m_tcp.clone()));
+    let mux = remote_store_with(4, RpcMode::Mux, Some(m_mux.clone()));
+
+    let state_loop = observe(&loopback);
+    let state_tcp = observe(&tcp.store);
+    let state_mux = observe(&mux.store);
+    assert_eq!(state_loop, state_tcp);
+    assert_eq!(state_loop, state_mux);
+
+    let totals_loop = wire_totals(&m_loop);
+    assert!(totals_loop.0 > 0, "workload produced RPC traffic");
+    assert_eq!(
+        totals_loop,
+        wire_totals(&m_tcp),
+        "per-call TCP must account the same messages and bytes as Loopback"
+    );
+    assert_eq!(
+        totals_loop,
+        wire_totals(&m_mux),
+        "mux must account the same messages and bytes as Loopback"
+    );
+    assert_eq!(m_loop.counter("rpc.retries").get(), 0);
+    assert_eq!(m_tcp.counter("rpc.retries").get(), 0);
+    assert_eq!(m_mux.counter("rpc.retries").get(), 0);
+}
+
+/// One service hosting both roles, so a single `MuxTransport` endpoint
+/// can carry interleaved provider **and** metadata/version traffic (the
+/// mux stress workload below).
+#[derive(Debug)]
+struct DualService {
+    provider: ProviderService,
+    meta: MetaService,
+}
+
+impl Service for DualService {
+    fn handle(&self, request: Request, payload: Bytes) -> (Response, Bytes) {
+        use Request::*;
+        let chunk_op = matches!(
+            request,
+            PutChunk { .. }
+                | PutChunkBatch { .. }
+                | GetChunk { .. }
+                | GetChunkRange { .. }
+                | GetChunkRangeBatch { .. }
+                | ProviderHasChunk { .. }
+                | ProviderChunkCount { .. }
+                | ProviderBytesStored { .. }
+                | ProviderEvictChunk { .. }
+                | ProviderChecksumOf { .. }
+                | ProviderCorruptChunk { .. }
+        );
+        if chunk_op {
+            self.provider.handle(request, payload)
+        } else {
+            self.meta.handle(request, payload)
+        }
+    }
+}
+
+fn dual_service() -> Arc<DualService> {
+    Arc::new(DualService {
+        provider: ProviderService::new(1),
+        meta: MetaService::new(2, CHUNK),
+    })
+}
+
+const STRESS_THREADS: u64 = 16;
+const STRESS_OPS: u64 = 6;
+
+fn stress_chunk(t: u64, i: u64) -> (ChunkId, Vec<u8>) {
+    (
+        ChunkId::new(t * 1000 + i),
+        vec![(t * 31 + i) as u8; 1024 + i as usize * 17],
+    )
+}
+
+fn stress_node(t: u64, i: u64) -> Node {
+    let key = NodeKey::new(
+        BlobId::new(t + 1),
+        VersionId::new(i + 1),
+        ByteRange::new(i * 64, 64),
+    );
+    Node {
+        key,
+        body: NodeBody::Leaf {
+            entries: vec![LeafEntry {
+                file_range: ByteRange::new(i * 64, 64),
+                chunk: stress_chunk(t, i).0,
+                chunk_offset: 0,
+                homes: vec![ProviderId::new(0)],
+            }],
+            backlink: None,
+        },
+    }
+}
+
+/// 16 threads issue interleaved provider + metadata + version calls
+/// through ONE shared transport, then the final state is read out
+/// single-threaded: node-key set, node count, per-blob latest version,
+/// and every chunk's bytes.
+fn mux_stress_state(
+    transport: &Arc<dyn Transport>,
+) -> (Vec<NodeKey>, usize, Vec<VersionId>, Vec<Vec<u8>>) {
+    std::thread::scope(|s| {
+        for t in 0..STRESS_THREADS {
+            let transport = Arc::clone(transport);
+            s.spawn(move || {
+                let provider = RemoteProvider::new(ProviderId::new(0), Arc::clone(&transport));
+                let vm = RemoteVersionManager::new(t + 1, Arc::clone(&transport));
+                for i in 0..STRESS_OPS {
+                    let (chunk, body) = stress_chunk(t, i);
+                    provider
+                        .put_chunk_at(0, chunk, Bytes::from(body.clone()))
+                        .unwrap();
+                    let (back, _) = provider
+                        .get_chunk_range_at(0, chunk, ByteRange::new(0, body.len() as u64))
+                        .unwrap();
+                    assert_eq!(back.as_ref(), &body[..], "thread {t} op {i} chunk echo");
+
+                    let node = stress_node(t, i);
+                    let key = node.key;
+                    match transport
+                        .call(
+                            &Request::MetaPutBatch {
+                                nodes: vec![node.clone()],
+                            },
+                            &[],
+                        )
+                        .unwrap()
+                    {
+                        (Response::NodePuts { results }, _) => {
+                            assert!(results.iter().all(|r| r.is_ok()))
+                        }
+                        (other, _) => panic!("expected NodePuts, got {other:?}"),
+                    }
+                    match transport
+                        .call(&Request::MetaGetBatch { keys: vec![key] }, &[])
+                        .unwrap()
+                    {
+                        (Response::NodeGets { results }, _) => {
+                            assert_eq!(results[0].as_ref().unwrap(), &node)
+                        }
+                        (other, _) => panic!("expected NodeGets, got {other:?}"),
+                    }
+
+                    let (ticket, _) = vm.ticket_append(64).unwrap();
+                    vm.publish(ticket, key).unwrap();
+                }
+                assert_eq!(vm.latest().unwrap().version, VersionId::new(STRESS_OPS));
+            });
+        }
+    });
+
+    let keys = match transport.call(&Request::MetaListKeys, &[]).unwrap() {
+        (Response::Keys { keys }, _) => sorted_keys(keys),
+        (other, _) => panic!("expected Keys, got {other:?}"),
+    };
+    let count = match transport.call(&Request::MetaNodeCount, &[]).unwrap() {
+        (Response::Count { value }, _) => value as usize,
+        (other, _) => panic!("expected Count, got {other:?}"),
+    };
+    let provider = RemoteProvider::new(ProviderId::new(0), Arc::clone(transport));
+    let mut latest = Vec::new();
+    let mut chunks = Vec::new();
+    for t in 0..STRESS_THREADS {
+        latest.push(
+            RemoteVersionManager::new(t + 1, Arc::clone(transport))
+                .latest()
+                .unwrap()
+                .version,
+        );
+        for i in 0..STRESS_OPS {
+            let (chunk, body) = stress_chunk(t, i);
+            let (data, _) = provider
+                .get_chunk_range_at(0, chunk, ByteRange::new(0, body.len() as u64))
+                .unwrap();
+            chunks.push(data.to_vec());
+        }
+    }
+    (keys, count, latest, chunks)
+}
+
+#[test]
+fn mux_stress_matches_loopback_bit_for_bit() {
+    let m_loop = Metrics::new();
+    let m_mux = Metrics::new();
+
+    let loopback: Arc<dyn Transport> =
+        Arc::new(Loopback::new(dual_service()).with_metrics(m_loop.clone()));
+    let state_loop = mux_stress_state(&loopback);
+
+    let mut server = RpcServer::start("127.0.0.1:0", dual_service()).expect("bind dual server");
+    let mux: Arc<dyn Transport> =
+        Arc::new(MuxTransport::new(server.local_addr()).with_metrics(m_mux.clone()));
+    let state_mux = mux_stress_state(&mux);
+
+    assert_eq!(state_loop.0, state_mux.0, "identical node-key sets");
+    assert_eq!(state_loop.1, state_mux.1, "identical node counts");
+    assert_eq!(state_loop.2, state_mux.2, "identical version sequences");
+    assert_eq!(state_loop.3, state_mux.3, "bit-identical chunk bytes");
+
+    // And the byte accounting agrees even under 16-way interleaving.
+    assert_eq!(wire_totals(&m_loop), wire_totals(&m_mux));
+    assert!(
+        m_mux.counter("rpc.inflight_peak").get() >= 2,
+        "stress actually ran concurrent in-flight calls"
+    );
+    server.stop();
+}
+
+/// A service that answers slowly, so the fault test can guarantee calls
+/// are in flight when a pool connection is severed.
+#[derive(Debug)]
+struct SlowPing;
+
+impl Service for SlowPing {
+    fn handle(&self, _request: Request, _payload: Bytes) -> (Response, Bytes) {
+        std::thread::sleep(Duration::from_millis(120));
+        (Response::Pong, Bytes::new())
+    }
+}
+
+#[test]
+fn killing_one_pool_connection_fails_only_inflight_calls() {
+    let mut server = RpcServer::start("127.0.0.1:0", Arc::new(SlowPing)).expect("bind server");
+    // One stream per pool member: the four concurrent calls are forced
+    // onto four distinct connections (slot reservation is atomic, so
+    // racing callers can never share a capped slot).
+    let cfg = RpcConfig {
+        mux_streams_per_conn: 1,
+        ..RpcConfig::default()
+    };
+    let mux = Arc::new(MuxTransport::with_config(server.local_addr(), cfg));
+    assert_eq!(mux.pool_size(), 4);
+
+    // First-fit under the 1-stream cap: the first four concurrent calls
+    // land on pool slots 0..3, one in-flight call per connection.
+    let results: Vec<Result<(Response, Bytes), Error>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let mux = Arc::clone(&mux);
+                s.spawn(move || mux.call(&Request::Ping, &[]))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(40)); // all four in flight
+        mux.sever_conn(0);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let failed: Vec<&Error> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    assert_eq!(
+        failed.len(),
+        1,
+        "exactly the severed member's in-flight call fails: {results:?}"
+    );
+    assert!(
+        matches!(
+            failed[0],
+            Error::Transport {
+                kind: TransportErrorKind::ConnectionReset | TransportErrorKind::Timeout,
+                ..
+            }
+        ),
+        "typed transport error, got {:?}",
+        failed[0]
+    );
+
+    // The dead slot redials transparently: sequential calls first-fit
+    // onto slot 0 — the severed member — and every one succeeds.
+    for _ in 0..5 {
+        mux.call(&Request::Ping, &[]).unwrap();
+    }
+    server.stop();
 }
