@@ -578,4 +578,118 @@ fn main() {
     }
     println!("{}", mux.render_table());
     mux.save_json(atomio_bench::report::results_dir()).ok();
+
+    // --- Version-manager placement: in-process vs. remote service ---------
+    // E7h: cost of promoting the version manager to the third deployable
+    // service. N concurrent writers hammer ONE version manager with the
+    // full commit round — append-ticket grant, then publication — either
+    // as direct in-process calls (the Loopback deployment) or through
+    // `RemoteVersionManager` proxies speaking the mux transport to a
+    // `VersionService` on localhost TCP (the `atomio-version-server`
+    // deployment). Like E7g this arm runs in wall-clock time on real
+    // sockets: the in-process/remote *ratio* — the grant-latency price
+    // of distribution, paid once per write regardless of its size — is
+    // the result.
+    let mut vm_place = ExperimentReport::new(
+        "E7h",
+        "ablation: in-process vs. remote version manager (ticket+publish rounds, wall clock)",
+        "writers",
+    );
+    vm_place.note(
+        "throughput column = ticket-grant + publish rounds per second aggregated over all \
+         writers (wall clock); in-process = direct VersionManager calls, remote = \
+         RemoteVersionManager over a 4-connection mux pool to a VersionService on \
+         localhost TCP; all writers share one version manager (one blob)",
+    );
+    const VM_OPS_PER_WRITER: u64 = 256;
+    let vm_root = |version: atomio_types::VersionId, capacity: u64| {
+        atomio_meta::NodeKey::new(
+            atomio_types::BlobId::new(1),
+            version,
+            atomio_types::ByteRange::new(0, capacity),
+        )
+    };
+    for &writers in &[1usize, 2, 4, 8, 16] {
+        let rounds = writers as u64 * VM_OPS_PER_WRITER;
+
+        // In-process arm: the same participant-free entry points the
+        // server dispatches to, minus the server.
+        let vm = Arc::new(atomio_version::VersionManager::new(
+            Arc::new(atomio_meta::VersionHistory::new()),
+            atomio_meta::TreeConfig::new(XFER_CHUNK),
+            atomio_simgrid::CostModel::zero(),
+            TicketMode::Pipelined,
+        ));
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..writers {
+                let vm = Arc::clone(&vm);
+                scope.spawn(move || {
+                    for _ in 0..VM_OPS_PER_WRITER {
+                        let known = vm.history().len();
+                        let (ticket, _, _) = vm.ticket_append_local(64, known).expect("E7h ticket");
+                        vm.publish_local(ticket, vm_root(ticket.version, ticket.capacity))
+                            .expect("E7h publish");
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        vm_place.push(Row {
+            x: writers as u64,
+            backend: "in-process".into(),
+            throughput_mib_s: rounds as f64 / elapsed.as_secs_f64(),
+            elapsed_s: elapsed.as_secs_f64(),
+            bytes: rounds * 64,
+            atomic_ok: None,
+        });
+
+        // Remote arm: the third service behind real sockets.
+        let mut server = RpcServer::start_with_config(
+            "127.0.0.1:0",
+            Arc::new(atomio_rpc::VersionService::new(XFER_CHUNK)),
+            RpcConfig::default(),
+        )
+        .expect("bind E7h version server");
+        let transport = dial(
+            server.local_addr(),
+            RpcMode::Mux,
+            RpcConfig::default(),
+            None,
+        );
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..writers {
+                let transport = Arc::clone(&transport);
+                scope.spawn(move || {
+                    let vm = atomio_rpc::RemoteVersionManager::new(1, transport);
+                    for _ in 0..VM_OPS_PER_WRITER {
+                        let (ticket, _) = vm.ticket_append(64).expect("E7h remote ticket");
+                        vm.publish(ticket, vm_root(ticket.version, ticket.capacity))
+                            .expect("E7h remote publish");
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        server.stop();
+        vm_place.push(Row {
+            x: writers as u64,
+            backend: "remote".into(),
+            throughput_mib_s: rounds as f64 / elapsed.as_secs_f64(),
+            elapsed_s: elapsed.as_secs_f64(),
+            bytes: rounds * 64,
+            atomic_ok: None,
+        });
+        eprintln!("  ... vm placement {writers} writers done");
+    }
+    for x in vm_place.xs() {
+        if let Some(s) = vm_place.speedup_at(x, "in-process", "remote") {
+            vm_place.note(format!(
+                "remote grant-round slowdown at {x:>2} writers: {s:.2}x"
+            ));
+        }
+    }
+    println!("{}", vm_place.render_table());
+    vm_place.save_json(atomio_bench::report::results_dir()).ok();
 }

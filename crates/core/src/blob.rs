@@ -24,7 +24,7 @@ use atomio_provider::{GetRequest, ProviderManager};
 use atomio_simgrid::{Metrics, Participant};
 use atomio_types::ids::IdAllocator;
 use atomio_types::{BlobId, ByteRange, ChunkGeometry, Error, ExtentList, Result, VersionId};
-use atomio_version::{SnapshotRecord, VersionManager};
+use atomio_version::{SnapshotRecord, VersionOracle};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -45,7 +45,7 @@ struct BlobInner {
     providers: Arc<ProviderManager>,
     meta: Arc<dyn NodeStore>,
     history: Arc<VersionHistory>,
-    vm: Arc<VersionManager>,
+    vm: Arc<dyn VersionOracle>,
     chunk_ids: Arc<IdAllocator>,
     config: crate::StoreConfig,
     metrics: Metrics,
@@ -67,14 +67,17 @@ impl Blob {
         geometry: ChunkGeometry,
         providers: Arc<ProviderManager>,
         meta: Arc<dyn NodeStore>,
-        history: Arc<VersionHistory>,
-        vm: Arc<VersionManager>,
+        vm: Arc<dyn VersionOracle>,
         chunk_ids: Arc<IdAllocator>,
         config: crate::StoreConfig,
         metrics: Metrics,
     ) -> Self {
         let node_cache =
             (config.meta_cache_nodes > 0).then(|| NodeCache::new(config.meta_cache_nodes));
+        // The tree builder and `changed_extents` read summaries from the
+        // same history the oracle appends grants to — for a remote
+        // oracle that is its client-side mirror.
+        let history = Arc::clone(vm.history());
         Blob {
             inner: Arc::new(BlobInner {
                 id,
@@ -96,8 +99,11 @@ impl Blob {
         self.inner.id
     }
 
-    /// The blob's version manager (exposed for experiments and GC).
-    pub fn version_manager(&self) -> &Arc<VersionManager> {
+    /// The blob's version oracle (exposed for experiments and GC): the
+    /// in-process [`atomio_version::VersionManager`] in a Loopback
+    /// deployment, a remote proxy when the version manager runs as its
+    /// own service.
+    pub fn version_manager(&self) -> &Arc<dyn VersionOracle> {
         &self.inner.vm
     }
 
@@ -106,8 +112,9 @@ impl Blob {
         self.inner.geometry
     }
 
-    /// The latest published snapshot record.
-    pub fn latest(&self, p: &Participant) -> SnapshotRecord {
+    /// The latest published snapshot record. Fallible because a remote
+    /// version oracle can surface a typed transport error.
+    pub fn latest(&self, p: &Participant) -> Result<SnapshotRecord> {
         self.inner.vm.latest(p)
     }
 
@@ -296,7 +303,7 @@ impl Blob {
         // 4. Publish and wait for visibility.
         let publish_start = p.now();
         inner.vm.publish(p, ticket, root)?;
-        inner.vm.wait_published(p, ticket.version);
+        inner.vm.wait_published(p, ticket.version)?;
         inner
             .metrics
             .time_stat("core.publish_wait_time")
@@ -329,7 +336,7 @@ impl Blob {
             return Err(Error::EmptyAccess);
         }
         let snap = match version {
-            ReadVersion::Latest => inner.vm.latest(p),
+            ReadVersion::Latest => inner.vm.latest(p)?,
             ReadVersion::At(v) => inner.vm.snapshot(p, v)?,
         };
         if extents.covering_range().end() > snap.size {
@@ -495,7 +502,7 @@ impl Blob {
         .with_metrics(inner.metrics.clone());
         let root = builder.build_update(p, ticket.version, ticket.capacity, &entries)?;
         inner.vm.publish(p, ticket, root)?;
-        inner.vm.wait_published(p, ticket.version);
+        inner.vm.wait_published(p, ticket.version)?;
         Ok(ticket.version)
     }
 

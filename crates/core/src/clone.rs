@@ -93,14 +93,14 @@ mod tests {
         run_actors(1, |_, p| {
             blob.write(p, 0, Bytes::from_static(b"original state!!"))
                 .unwrap();
-            let v1 = blob.latest(p).version;
+            let v1 = blob.latest(p).unwrap().version;
             // Source keeps evolving after the clone point.
             blob.write(p, 0, Bytes::from_static(b"mutated")).unwrap();
 
             let clone = s.clone_blob(p, &blob, v1).unwrap();
             assert_ne!(clone.id(), blob.id());
             assert_eq!(clone.read(p, 0, 16).unwrap(), b"original state!!");
-            assert_eq!(clone.latest(p).version, VersionId::new(1));
+            assert_eq!(clone.latest(p).unwrap().version, VersionId::new(1));
         });
     }
 
@@ -110,7 +110,9 @@ mod tests {
         let blob = s.create_blob();
         run_actors(1, |_, p| {
             blob.write(p, 0, Bytes::from_static(b"AAAABBBB")).unwrap();
-            let clone = s.clone_blob(p, &blob, blob.latest(p).version).unwrap();
+            let clone = s
+                .clone_blob(p, &blob, blob.latest(p).unwrap().version)
+                .unwrap();
 
             blob.write(p, 0, Bytes::from_static(b"XXXX")).unwrap();
             clone.write(p, 4, Bytes::from_static(b"YYYY")).unwrap();
@@ -132,7 +134,9 @@ mod tests {
                 .iter()
                 .map(|pr| pr.bytes_stored())
                 .sum();
-            let clone = s.clone_blob(p, &blob, blob.latest(p).version).unwrap();
+            let clone = s
+                .clone_blob(p, &blob, blob.latest(p).unwrap().version)
+                .unwrap();
             let after: u64 = s
                 .providers()
                 .providers()
@@ -152,7 +156,9 @@ mod tests {
             blob.write(p, 0, Bytes::from(vec![1u8; 128])).unwrap();
             blob.write(p, 32, Bytes::from(vec![2u8; 16])).unwrap();
             blob.write(p, 100, Bytes::from(vec![3u8; 8])).unwrap();
-            let clone = s.clone_blob(p, &blob, blob.latest(p).version).unwrap();
+            let clone = s
+                .clone_blob(p, &blob, blob.latest(p).unwrap().version)
+                .unwrap();
             let got = clone.read(p, 0, 128).unwrap();
             let mut want = vec![1u8; 128];
             want[32..48].fill(2);
@@ -169,7 +175,9 @@ mod tests {
             let ext = ExtentList::from_pairs([(0u64, 16u64), (200, 16)]);
             blob.write_list(p, &ext, Bytes::from(vec![9u8; 32]))
                 .unwrap();
-            let clone = s.clone_blob(p, &blob, blob.latest(p).version).unwrap();
+            let clone = s
+                .clone_blob(p, &blob, blob.latest(p).unwrap().version)
+                .unwrap();
             assert_eq!(clone.read(p, 100, 16).unwrap(), vec![0u8; 16]);
             assert_eq!(clone.read(p, 200, 16).unwrap(), vec![9u8; 16]);
         });
@@ -181,7 +189,7 @@ mod tests {
         let blob = s.create_blob();
         run_actors(1, |_, p| {
             let clone = s.clone_blob(p, &blob, VersionId::INITIAL).unwrap();
-            assert_eq!(clone.latest(p).size, 0);
+            assert_eq!(clone.latest(p).unwrap().size, 0);
         });
     }
 

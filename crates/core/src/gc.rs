@@ -35,7 +35,7 @@ pub struct GcReport {
 /// retained versions are untouched.
 pub fn collect_below(p: &Participant, blob: &Blob, keep_from: VersionId) -> Result<GcReport> {
     let vm = blob.version_manager();
-    let latest = vm.latest(p).version;
+    let latest = vm.latest(p)?.version;
     let keep_from = keep_from.min(latest); // never retire the latest snapshot
     let reader = TreeReader::new(blob.meta_store().as_ref());
 

@@ -49,4 +49,4 @@ pub mod store;
 
 pub use blob::{Blob, ReadVersion};
 pub use config::{MetaCommitMode, MetaReadMode, StoreConfig, TransferMode, TransportMode};
-pub use store::Store;
+pub use store::{Store, VersionOracleFactory};

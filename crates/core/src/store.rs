@@ -8,16 +8,20 @@ use atomio_provider::ProviderManager;
 use atomio_simgrid::{CostModel, FaultInjector, Metrics};
 use atomio_types::ids::IdAllocator;
 use atomio_types::{BlobId, ChunkGeometry};
-use atomio_version::VersionManager;
+use atomio_version::{VersionManager, VersionOracle};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Builds the version oracle for each new blob: the seam through which
+/// the version manager becomes a third independently deployable service
+/// (see [`Store::with_version_oracles`]).
+pub type VersionOracleFactory = Arc<dyn Fn(BlobId) -> Arc<dyn VersionOracle> + Send + Sync>;
+
 /// One deployment of the versioning storage service.
 ///
 /// Shared infrastructure (providers, metadata shards, fault plane) is
-/// store-wide; each blob gets its own version manager and write history.
-#[derive(Debug)]
+/// store-wide; each blob gets its own version oracle and write history.
 pub struct Store {
     config: StoreConfig,
     providers: Arc<ProviderManager>,
@@ -28,6 +32,18 @@ pub struct Store {
     blob_ids: IdAllocator,
     blobs: RwLock<HashMap<BlobId, Blob>>,
     namespace: Namespace,
+    oracles: VersionOracleFactory,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("config", &self.config)
+            .field("providers", &self.providers)
+            .field("meta", &self.meta)
+            .field("blobs", &self.blobs.read().len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Store {
@@ -82,6 +98,17 @@ impl Store {
         meta: Arc<dyn NodeStore>,
     ) -> Self {
         let faults = Arc::clone(providers.faults());
+        // Default oracle factory: one in-process version manager per
+        // blob, exactly the pre-RPC behavior. A remote deployment swaps
+        // this out with `with_version_oracles`.
+        let oracles: VersionOracleFactory = Arc::new(move |_blob| {
+            Arc::new(VersionManager::new(
+                Arc::new(VersionHistory::new()),
+                TreeConfig::new(config.chunk_size),
+                config.cost,
+                config.ticket_mode,
+            )) as Arc<dyn VersionOracle>
+        });
         Store {
             providers,
             meta,
@@ -92,25 +119,33 @@ impl Store {
             blobs: RwLock::new(HashMap::new()),
             namespace: Namespace::new(),
             config,
+            oracles,
         }
+    }
+
+    /// Replaces the per-blob version-oracle factory — the third leg of
+    /// the RPC seam. Pass a closure returning
+    /// `atomio_rpc::RemoteVersionManager` handles dialed at an
+    /// `atomio-version-server` and every blob created afterwards runs
+    /// its ticket/publish/snapshot traffic over that transport; the
+    /// data and metadata paths are untouched.
+    pub fn with_version_oracles(
+        mut self,
+        factory: impl Fn(BlobId) -> Arc<dyn VersionOracle> + Send + Sync + 'static,
+    ) -> Self {
+        self.oracles = Arc::new(factory);
+        self
     }
 
     /// Creates a new blob (one shared file) and returns its handle.
     pub fn create_blob(&self) -> Blob {
         let id = self.blob_ids.next_blob();
-        let history = Arc::new(VersionHistory::new());
-        let vm = Arc::new(VersionManager::new(
-            Arc::clone(&history),
-            TreeConfig::new(self.config.chunk_size),
-            self.config.cost,
-            self.config.ticket_mode,
-        ));
+        let vm = (self.oracles)(id);
         let blob = Blob::assemble(
             id,
             ChunkGeometry::new(self.config.chunk_size),
             Arc::clone(&self.providers),
             Arc::clone(&self.meta),
-            history,
             vm,
             Arc::clone(&self.chunk_ids),
             self.config,
@@ -172,7 +207,7 @@ impl Store {
         let reader = TreeReader::new(self.meta.as_ref());
         let blobs: Vec<Blob> = self.blobs.read().values().cloned().collect();
         for blob in &blobs {
-            let latest = blob.version_manager().latest(p).version;
+            let latest = blob.version_manager().latest(p)?.version;
             let mut v = VersionId::new(1);
             while v <= latest {
                 if let Ok(snap) = blob.version_manager().snapshot(p, v) {

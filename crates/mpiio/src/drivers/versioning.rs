@@ -52,7 +52,7 @@ impl AdioDriver for VersioningDriver {
     ) -> Result<Vec<u8>> {
         // MPI semantics: reading past EOF yields no data; we zero-fill
         // the tail so callers get a full-size buffer.
-        let size = self.blob.latest(p).size;
+        let size = self.blob.latest(p)?.size;
         let inside = extents.clip(atomio_types::ByteRange::new(0, size));
         if inside.is_empty() {
             return Ok(vec![0u8; extents.total_len() as usize]);
@@ -76,7 +76,7 @@ impl AdioDriver for VersioningDriver {
     }
 
     fn file_size(&self, p: &Participant) -> u64 {
-        self.blob.latest(p).size
+        self.blob.latest(p).map(|s| s.size).unwrap_or(0)
     }
 
     fn name(&self) -> &'static str {

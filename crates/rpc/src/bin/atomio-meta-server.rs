@@ -1,5 +1,5 @@
-//! Hosts metadata shards and version managers behind the atomio RPC
-//! protocol.
+//! Hosts metadata shards (plus nested version managers for two-server
+//! deployments) behind the atomio RPC protocol.
 //!
 //! ```text
 //! atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES]
@@ -10,26 +10,11 @@
 //!
 //! Example: `atomio-meta-server 127.0.0.1:7421 --shards 4 --chunk-size 65536`
 
-use atomio_rpc::{serve_forever, MetaService, ServerArgs};
+use atomio_rpc::{run_server_binary, MetaService};
 use std::sync::Arc;
 
 fn main() {
-    let args = match ServerArgs::parse(std::env::args().skip(1), "--shards", 1) {
-        Ok(args) => args,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!(
-                "usage: atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES] \
-                 [--workers N] [--read-timeout-ms N] [--write-timeout-ms N] \
-                 [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N] \
-                 [--pool-conns N] [--mux-streams-per-conn N]"
-            );
-            std::process::exit(2);
-        }
-    };
-    let service = Arc::new(MetaService::new(args.count, args.chunk_size));
-    if let Err(e) = serve_forever(&args.addr, service, args.cfg) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    }
+    run_server_binary("atomio-meta-server", Some(("--shards", 1)), |args| {
+        Arc::new(MetaService::new(args.count, args.chunk_size))
+    });
 }

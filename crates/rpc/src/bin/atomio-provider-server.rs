@@ -9,26 +9,11 @@
 //!
 //! Example: `atomio-provider-server 127.0.0.1:7420 --providers 4 --workers 8`
 
-use atomio_rpc::{serve_forever, ProviderService, ServerArgs};
+use atomio_rpc::{run_server_binary, ProviderService};
 use std::sync::Arc;
 
 fn main() {
-    let args = match ServerArgs::parse(std::env::args().skip(1), "--providers", 1) {
-        Ok(args) => args,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!(
-                "usage: atomio-provider-server <listen-addr> [--providers N] \
-                 [--workers N] [--read-timeout-ms N] [--write-timeout-ms N] \
-                 [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N] \
-                 [--pool-conns N] [--mux-streams-per-conn N]"
-            );
-            std::process::exit(2);
-        }
-    };
-    let service = Arc::new(ProviderService::new(args.count));
-    if let Err(e) = serve_forever(&args.addr, service, args.cfg) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    }
+    run_server_binary("atomio-provider-server", Some(("--providers", 1)), |args| {
+        Arc::new(ProviderService::new(args.count))
+    });
 }

@@ -1,0 +1,20 @@
+//! Hosts per-blob version managers behind the atomio RPC protocol — the
+//! third deployable service (BlobSeer's standalone version manager).
+//!
+//! ```text
+//! atomio-version-server <listen-addr> [--chunk-size BYTES]
+//!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
+//!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
+//!     [--pool-conns N] [--mux-streams-per-conn N]
+//! ```
+//!
+//! Example: `atomio-version-server 127.0.0.1:7422 --chunk-size 65536`
+
+use atomio_rpc::{run_server_binary, VersionService};
+use std::sync::Arc;
+
+fn main() {
+    run_server_binary("atomio-version-server", None, |args| {
+        Arc::new(VersionService::new(args.chunk_size))
+    });
+}

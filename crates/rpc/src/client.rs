@@ -24,7 +24,7 @@ use atomio_provider::ChunkStore;
 use atomio_simgrid::clock::SimTime;
 use atomio_simgrid::{CostModel, Participant, Resource};
 use atomio_types::{ByteRange, ChunkId, Error, ExtentList, ProviderId, Result, VersionId};
-use atomio_version::{SnapshotRecord, Ticket};
+use atomio_version::{SnapshotRecord, Ticket, VersionOracle};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -428,5 +428,50 @@ impl RemoteVersionManager {
             (Response::Snapshot { record }, _) => Ok(record),
             (other, _) => Err(unexpected("Snapshot", other)),
         }
+    }
+}
+
+/// The oracle seam: a `Store` built with
+/// `with_version_oracles(|blob| Arc::new(RemoteVersionManager::new(...)))`
+/// runs the unchanged blob write path against an `atomio-version-server`.
+///
+/// The `Participant` is unused on the RPC legs themselves (network cost
+/// is carried by the transport's blocking calls); it only paces the
+/// publication poll in [`VersionOracle::wait_published`].
+impl VersionOracle for RemoteVersionManager {
+    fn history(&self) -> &Arc<VersionHistory> {
+        RemoteVersionManager::history(self)
+    }
+
+    fn ticket(&self, _p: &Participant, extents: &ExtentList) -> Result<Ticket> {
+        RemoteVersionManager::ticket(self, extents).map(|(ticket, _)| ticket)
+    }
+
+    fn ticket_append(&self, _p: &Participant, len: u64) -> Result<(Ticket, ExtentList)> {
+        RemoteVersionManager::ticket_append(self, len)
+    }
+
+    fn publish(&self, _p: &Participant, ticket: Ticket, root: NodeKey) -> Result<()> {
+        RemoteVersionManager::publish(self, ticket, root)
+    }
+
+    fn is_published(&self, version: VersionId) -> Result<bool> {
+        RemoteVersionManager::is_published(self, version)
+    }
+
+    fn wait_published(&self, p: &Participant, version: VersionId) -> Result<()> {
+        p.poll_until(|| match RemoteVersionManager::is_published(self, version) {
+            Ok(true) => Some(Ok(())),
+            Ok(false) => None,
+            Err(error) => Some(Err(error)),
+        })
+    }
+
+    fn latest(&self, _p: &Participant) -> Result<SnapshotRecord> {
+        RemoteVersionManager::latest(self)
+    }
+
+    fn snapshot(&self, _p: &Participant, version: VersionId) -> Result<SnapshotRecord> {
+        RemoteVersionManager::snapshot(self, version)
     }
 }

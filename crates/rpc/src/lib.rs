@@ -44,7 +44,10 @@ pub mod wire;
 
 pub use client::{RemoteMetaStore, RemoteProvider, RemoteVersionManager};
 pub use proto::{Request, Response, PROTOCOL_VERSION};
-pub use server::{serve_forever, MetaService, ProviderService, RpcServer, ServerArgs, Service};
+pub use server::{
+    run_server_binary, serve_forever, MetaService, ProviderService, RpcServer, ServerArgs, Service,
+    VersionService,
+};
 pub use transport::{
     counters, dial, Loopback, MuxTransport, RpcConfig, RpcMode, TcpTransport, Transport,
 };

@@ -262,32 +262,30 @@ impl Service for ProviderService {
     }
 }
 
-/// Hosts metadata shards plus per-blob version managers behind the
-/// metadata and version RPCs.
+/// Hosts per-blob version managers behind the version RPCs — the third
+/// server role, mirroring BlobSeer's standalone version manager. The
+/// `atomio-version-server` binary wraps exactly this service; it also
+/// nests inside [`MetaService`] so a two-server deployment (meta +
+/// providers) keeps working unchanged.
 #[derive(Debug)]
-pub struct MetaService {
-    store: Arc<MetaStore>,
+pub struct VersionService {
     chunk_size: u64,
     vms: Mutex<HashMap<u64, Arc<VersionManager>>>,
 }
 
-impl MetaService {
-    /// Creates `shards` zero-cost metadata shards; version managers use
-    /// `chunk_size` for their tree geometry.
-    pub fn new(shards: usize, chunk_size: u64) -> Self {
-        MetaService {
-            store: Arc::new(MetaStore::new(shards, CostModel::zero())),
+impl VersionService {
+    /// Creates the service; version managers use `chunk_size` for their
+    /// tree geometry.
+    pub fn new(chunk_size: u64) -> Self {
+        VersionService {
             chunk_size,
             vms: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The hosted metadata store.
-    pub fn store(&self) -> &Arc<MetaStore> {
-        &self.store
-    }
-
-    fn vm(&self, blob: u64) -> Arc<VersionManager> {
+    /// The hosted version manager for `blob` (lazily created, like a
+    /// blob's first ticket would).
+    pub fn vm(&self, blob: u64) -> Arc<VersionManager> {
         Arc::clone(self.vms.lock().entry(blob).or_insert_with(|| {
             Arc::new(VersionManager::new(
                 Arc::new(VersionHistory::new()),
@@ -299,35 +297,11 @@ impl MetaService {
     }
 }
 
-impl Service for MetaService {
+impl Service for VersionService {
     fn handle(&self, request: Request, _payload: Bytes) -> (Response, Bytes) {
         use Request::*;
         match request {
             Ping => ok(Response::Pong),
-            MetaPutBatch { nodes } => ok(Response::NodePuts {
-                results: self.store.put_batch_local(nodes),
-            }),
-            MetaGetBatch { keys } => ok(Response::NodeGets {
-                results: self
-                    .store
-                    .get_batch_local(&keys)
-                    .into_iter()
-                    .map(|r| r.map(|node| (*node).clone()))
-                    .collect(),
-            }),
-            MetaContains { key } => ok(Response::Flag {
-                value: self.store.contains(key),
-            }),
-            MetaNodeCount => ok(Response::Count {
-                value: self.store.node_count() as u64,
-            }),
-            MetaEvict { key } => {
-                self.store.evict(key);
-                ok(Response::Unit)
-            }
-            MetaListKeys => ok(Response::Keys {
-                keys: self.store.list_keys(),
-            }),
             VmTicket {
                 blob,
                 extents,
@@ -364,6 +338,76 @@ impl Service for MetaService {
                 Ok(record) => ok(Response::Snapshot { record }),
                 Err(e) => fail(e),
             },
+            _ => unsupported("chunk/metadata op sent to a version server"),
+        }
+    }
+}
+
+/// Hosts metadata shards plus per-blob version managers behind the
+/// metadata and version RPCs.
+#[derive(Debug)]
+pub struct MetaService {
+    store: Arc<MetaStore>,
+    versions: VersionService,
+}
+
+impl MetaService {
+    /// Creates `shards` zero-cost metadata shards; version managers use
+    /// `chunk_size` for their tree geometry.
+    pub fn new(shards: usize, chunk_size: u64) -> Self {
+        MetaService {
+            store: Arc::new(MetaStore::new(shards, CostModel::zero())),
+            versions: VersionService::new(chunk_size),
+        }
+    }
+
+    /// The hosted metadata store.
+    pub fn store(&self) -> &Arc<MetaStore> {
+        &self.store
+    }
+
+    /// The nested version service (kept for two-server deployments; a
+    /// three-server deployment runs a standalone [`VersionService`]).
+    pub fn version_service(&self) -> &VersionService {
+        &self.versions
+    }
+}
+
+impl Service for MetaService {
+    fn handle(&self, request: Request, payload: Bytes) -> (Response, Bytes) {
+        use Request::*;
+        match request {
+            Ping => ok(Response::Pong),
+            MetaPutBatch { nodes } => ok(Response::NodePuts {
+                results: self.store.put_batch_local(nodes),
+            }),
+            MetaGetBatch { keys } => ok(Response::NodeGets {
+                results: self
+                    .store
+                    .get_batch_local(&keys)
+                    .into_iter()
+                    .map(|r| r.map(|node| (*node).clone()))
+                    .collect(),
+            }),
+            MetaContains { key } => ok(Response::Flag {
+                value: self.store.contains(key),
+            }),
+            MetaNodeCount => ok(Response::Count {
+                value: self.store.node_count() as u64,
+            }),
+            MetaEvict { key } => {
+                self.store.evict(key);
+                ok(Response::Unit)
+            }
+            MetaListKeys => ok(Response::Keys {
+                keys: self.store.list_keys(),
+            }),
+            VmTicket { .. }
+            | VmTicketAppend { .. }
+            | VmPublish { .. }
+            | VmIsPublished { .. }
+            | VmLatest { .. }
+            | VmSnapshot { .. } => self.versions.handle(request, payload),
             PutChunk { .. }
             | PutChunkBatch { .. }
             | GetChunk { .. }
@@ -702,5 +746,43 @@ pub fn serve_forever(addr: &str, service: Arc<dyn Service>, cfg: RpcConfig) -> i
     eprintln!("listening on {}", server.local_addr());
     loop {
         std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// The shared `main` of the three server binaries: parses the argument
+/// list through [`ServerArgs`], builds the role's service, and serves
+/// forever. `count_flag` is the role-specific fleet-size flag
+/// (`--providers` / `--shards`) with its default, or `None` for roles
+/// without one (the version server). Exits the process with status 2 on
+/// bad flags and 1 on a bind failure.
+pub fn run_server_binary(
+    name: &str,
+    count_flag: Option<(&str, usize)>,
+    build: impl FnOnce(&ServerArgs) -> Arc<dyn Service>,
+) {
+    let (flag, default_count) = count_flag.unwrap_or(("", 0));
+    let count_usage = if flag.is_empty() {
+        String::new()
+    } else {
+        format!("[{flag} N] ")
+    };
+    let usage = format!(
+        "usage: {name} <listen-addr> {count_usage}[--chunk-size BYTES] \
+         [--workers N] [--read-timeout-ms N] [--write-timeout-ms N] \
+         [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N] \
+         [--pool-conns N] [--mux-streams-per-conn N]"
+    );
+    let args = match ServerArgs::parse(std::env::args().skip(1), flag, default_count) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let service = build(&args);
+    if let Err(e) = serve_forever(&args.addr, service, args.cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }

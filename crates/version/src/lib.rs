@@ -24,5 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod manager;
+pub mod oracle;
 
 pub use manager::{PublicationStats, SnapshotRecord, Ticket, TicketMode, VersionManager};
+pub use oracle::VersionOracle;

@@ -1,0 +1,125 @@
+//! The version-oracle seam: one trait covering the ticket-grant,
+//! publication, and snapshot-lookup surface of the version manager, so
+//! the blob write path works identically against the in-process
+//! [`VersionManager`] and a server-hosted remote proxy.
+//!
+//! Every method is fallible: over a real transport any of these calls
+//! can surface a typed [`atomio_types::Error::Transport`], and the
+//! in-process implementation simply never produces one. This is the
+//! contract `Blob::commit_write` is written against — the third
+//! independently deployable service plugs in here.
+
+use crate::manager::{SnapshotRecord, Ticket, VersionManager};
+use atomio_meta::{NodeKey, VersionHistory};
+use atomio_simgrid::Participant;
+use atomio_types::{ExtentList, Result, VersionId};
+use std::sync::Arc;
+
+/// The version-manager surface the blob write/read path depends on.
+///
+/// Implementations: [`VersionManager`] (in-process, the Loopback
+/// deployment) and `atomio_rpc::RemoteVersionManager` (a proxy speaking
+/// the wire protocol to an `atomio-version-server`).
+pub trait VersionOracle: Send + Sync + std::fmt::Debug {
+    /// The write-summary history the metadata builder reads. For a
+    /// remote oracle this is the client-side mirror fed by grant deltas.
+    fn history(&self) -> &Arc<VersionHistory>;
+
+    /// Issues a write ticket for explicit extents and records the write
+    /// summary in [`Self::history`] before returning.
+    fn ticket(&self, p: &Participant, extents: &ExtentList) -> Result<Ticket>;
+
+    /// Issues an append ticket for `len` bytes at end-of-blob; returns
+    /// the ticket and the atomically-assigned extents.
+    fn ticket_append(&self, p: &Participant, len: u64) -> Result<(Ticket, ExtentList)>;
+
+    /// Reports the completed tree build of `ticket`'s version. Does not
+    /// wait for visibility (see [`Self::wait_published`]).
+    fn publish(&self, p: &Participant, ticket: Ticket, root: NodeKey) -> Result<()>;
+
+    /// True once `version` is visible to readers.
+    fn is_published(&self, version: VersionId) -> Result<bool>;
+
+    /// Blocks until `version` is visible.
+    fn wait_published(&self, p: &Participant, version: VersionId) -> Result<()>;
+
+    /// The latest published snapshot (the empty initial snapshot if no
+    /// write has published yet).
+    fn latest(&self, p: &Participant) -> Result<SnapshotRecord>;
+
+    /// Looks up a specific published snapshot.
+    fn snapshot(&self, p: &Participant, version: VersionId) -> Result<SnapshotRecord>;
+}
+
+impl VersionOracle for VersionManager {
+    fn history(&self) -> &Arc<VersionHistory> {
+        VersionManager::history(self)
+    }
+
+    fn ticket(&self, p: &Participant, extents: &ExtentList) -> Result<Ticket> {
+        VersionManager::ticket(self, p, extents)
+    }
+
+    fn ticket_append(&self, p: &Participant, len: u64) -> Result<(Ticket, ExtentList)> {
+        VersionManager::ticket_append(self, p, len)
+    }
+
+    fn publish(&self, p: &Participant, ticket: Ticket, root: NodeKey) -> Result<()> {
+        VersionManager::publish(self, p, ticket, root)
+    }
+
+    fn is_published(&self, version: VersionId) -> Result<bool> {
+        Ok(VersionManager::is_published(self, version))
+    }
+
+    fn wait_published(&self, p: &Participant, version: VersionId) -> Result<()> {
+        VersionManager::wait_published(self, p, version);
+        Ok(())
+    }
+
+    fn latest(&self, p: &Participant) -> Result<SnapshotRecord> {
+        Ok(VersionManager::latest(self, p))
+    }
+
+    fn snapshot(&self, p: &Participant, version: VersionId) -> Result<SnapshotRecord> {
+        VersionManager::snapshot(self, p, version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_meta::TreeConfig;
+    use atomio_simgrid::clock::run_actors;
+    use atomio_simgrid::CostModel;
+    use atomio_types::ByteRange;
+
+    #[test]
+    fn in_process_manager_satisfies_the_oracle_contract() {
+        let vm: Arc<dyn VersionOracle> = Arc::new(VersionManager::new(
+            Arc::new(VersionHistory::new()),
+            TreeConfig::new(64),
+            CostModel::zero(),
+            crate::TicketMode::Pipelined,
+        ));
+        run_actors(1, |_, p| {
+            let extents = ExtentList::single(ByteRange::new(0, 64));
+            let ticket = vm.ticket(p, &extents).unwrap();
+            assert_eq!(ticket.version, VersionId::new(1));
+            assert_eq!(vm.history().len(), 1);
+            assert!(!vm.is_published(ticket.version).unwrap());
+            let root = NodeKey::new(
+                atomio_types::BlobId::new(0),
+                ticket.version,
+                ByteRange::new(0, ticket.capacity),
+            );
+            vm.publish(p, ticket, root).unwrap();
+            vm.wait_published(p, ticket.version).unwrap();
+            assert_eq!(vm.latest(p).unwrap().root, Some(root));
+            assert_eq!(vm.snapshot(p, ticket.version).unwrap().size, 64);
+            let (t2, ext2) = vm.ticket_append(p, 10).unwrap();
+            assert_eq!(ext2.covering_range().offset, 64);
+            assert_eq!(t2.version, VersionId::new(2));
+        });
+    }
+}

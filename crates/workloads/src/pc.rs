@@ -66,7 +66,9 @@ pub fn run_versioned(clock: &SimClock, blob: &Blob, cfg: PcConfig) -> PcOutcome 
             // reading each one while later ones are being produced.
             for iter in 0..cfg.iterations {
                 let version = VersionId::new(iter + 1);
-                blob.version_manager().wait_published(p, version);
+                blob.version_manager()
+                    .wait_published(p, version)
+                    .expect("wait_published");
                 let data = blob.read_at(p, version, &extents).expect("read");
                 if producer_stamp(iter).matches(0, &data) {
                     verified.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

@@ -54,7 +54,9 @@ fn main() {
             // the store without any coordination).
             for iter in (actor as u64 - 1..ITERATIONS).step_by(CONSUMERS) {
                 let version = VersionId::new(iter + 1);
-                blob.version_manager().wait_published(p, version);
+                blob.version_manager()
+                    .wait_published(p, version)
+                    .expect("wait_published");
                 let data = blob.read_at(p, version, &extents).expect("read snapshot");
                 let stamp = WriteStamp::new(ClientId::new(0), iter);
                 assert!(

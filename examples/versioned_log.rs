@@ -50,9 +50,9 @@ fn main() {
     run_actors_on(&clock, 1 + PRODUCERS, |actor, p| {
         if actor == 0 {
             let frozen = store
-                .clone_blob(p, &log, log.latest(p).version)
+                .clone_blob(p, &log, log.latest(p).unwrap().version)
                 .expect("clone the log snapshot");
-            let size = frozen.latest(p).size;
+            let size = frozen.latest(p).unwrap().size;
             let bytes = frozen.read(p, 0, size).unwrap();
             let text = String::from_utf8(bytes).unwrap();
             let lines: Vec<&str> = text.lines().collect();
@@ -73,7 +73,7 @@ fn main() {
     });
 
     run_actors_on(&clock, 1, |_, p| {
-        let final_size = log.latest(p).size;
+        let final_size = log.latest(p).unwrap().size;
         let text = String::from_utf8(log.read(p, 0, final_size).unwrap()).unwrap();
         let total = text.lines().count();
         assert_eq!(total, PRODUCERS * (EVENTS_PER_PRODUCER + 2));

@@ -5,9 +5,12 @@
 #   3. lints (warnings are errors, workspace-wide)
 #
 # Usage: scripts/verify.sh
-#   VERIFY_TCP=1 scripts/verify.sh   # also build the RPC server binaries
+#   VERIFY_TCP=1 scripts/verify.sh   # also build the three RPC server
+#                                    # binaries (provider/meta/version)
 #                                    # and run the localhost-TCP
-#                                    # transport-equivalence suite
+#                                    # transport-equivalence and
+#                                    # three-service distributed
+#                                    # atomicity suites
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,11 +27,19 @@ echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --offline -- -D warnings
 
 if [[ "${VERIFY_TCP:-0}" == "1" ]]; then
-    echo "== transport-tcp: build server binaries =="
+    echo "== transport-tcp: build server binaries (provider + meta + version) =="
     cargo build --release --offline -p atomio-rpc --bins
 
     echo "== transport-tcp: loopback/TCP equivalence + mux stress/fault (localhost sockets) =="
     cargo test -q --offline --test transport_equivalence
+
+    # Every server in these suites binds 127.0.0.1:0, so each test gets
+    # its own kernel-allocated port and the default parallel test
+    # threads cannot race on port allocation. If you pin fixed ports
+    # (e.g. while debugging against running server binaries), serialize
+    # with `-- --test-threads=1`.
+    echo "== transport-tcp: three-service distributed atomicity (localhost sockets) =="
+    cargo test -q --offline --test distributed_atomicity
 
     echo "== transport-tcp: rpc unit suite under thread contention =="
     cargo test -q --offline -p atomio-rpc -- --test-threads=16

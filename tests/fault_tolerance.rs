@@ -13,7 +13,7 @@ fn run_latest(
     blob: &atomio::core::Blob,
     p: &atomio::simgrid::Participant,
 ) -> atomio::types::VersionId {
-    blob.latest(p).version
+    blob.latest(p).unwrap().version
 }
 
 #[test]

@@ -54,7 +54,7 @@ fn modes_produce_byte_identical_contents_and_node_sets() {
         let blob_ref = &blob;
         let mut out = run_actors_on(&clock, 1, move |_, p| {
             apply_history(blob_ref, p);
-            let latest = blob_ref.latest(p);
+            let latest = blob_ref.latest(p).unwrap();
             (
                 latest.version,
                 blob_ref.read_list(p, ReadVersion::Latest, full).unwrap(),
@@ -85,7 +85,7 @@ fn every_published_version_matches_across_modes() {
         let blob_ref = &blob;
         let mut out = run_actors_on(&clock, 1, move |_, p| {
             apply_history(blob_ref, p);
-            let last = blob_ref.latest(p).version;
+            let last = blob_ref.latest(p).unwrap().version;
             (1..=last.raw())
                 .map(|v| {
                     blob_ref
@@ -172,7 +172,7 @@ fn under_quorum_writes_tombstone_identically_in_both_modes() {
             );
             // The failed write must publish an invisible tombstone and
             // leave the pipeline retryable — same contract as serial.
-            let latest = blob.latest(p).version;
+            let latest = blob.latest(p).unwrap().version;
             let zeros = blob
                 .read_at(p, latest, &ExtentList::from_pairs([(0u64, 512u64)]))
                 .unwrap();

@@ -49,12 +49,14 @@ fn full_job_lifecycle_over_named_files() {
     run_actors_on(&clock, 1, |_, p| {
         let source = store.open_file("/jobs/climate/out.dat").unwrap();
         let frozen = store
-            .clone_blob(p, &source, source.latest(p).version)
+            .clone_blob(p, &source, source.latest(p).unwrap().version)
             .unwrap();
         // The fork holds the complete dataset.
-        assert_eq!(frozen.latest(p).size, workload.dataset_bytes());
+        assert_eq!(frozen.latest(p).unwrap().size, workload.dataset_bytes());
         let all = ExtentList::from_pairs([(0u64, workload.dataset_bytes())]);
-        let data = frozen.read_at(p, frozen.latest(p).version, &all).unwrap();
+        let data = frozen
+            .read_at(p, frozen.latest(p).unwrap().version, &all)
+            .unwrap();
         assert_eq!(data.len() as u64, workload.dataset_bytes());
         // Some rank's stamp appears at the dataset start (rank 0 owns it
         // unless a ghost neighbour won the corner — accept either).
@@ -75,7 +77,7 @@ fn full_job_lifecycle_over_named_files() {
     run_actors_on(&clock, 1, |_, p| {
         let archived = store.open_file("/archive/climate/run-1.dat").unwrap();
         assert_eq!(archived.id(), blob.id());
-        assert_eq!(archived.latest(p).size, workload.dataset_bytes());
+        assert_eq!(archived.latest(p).unwrap().size, workload.dataset_bytes());
     });
 }
 
@@ -102,7 +104,7 @@ fn two_jobs_on_different_paths_are_isolated() {
     run_actors_on(&clock, 1, |_, p| {
         assert_eq!(a.read(p, 0, 2048).unwrap(), vec![0xAA; 2048]);
         assert_eq!(b.read(p, 0, 2048).unwrap(), vec![0xBB; 2048]);
-        assert_eq!(a.latest(p).version.raw(), 3);
-        assert_eq!(b.latest(p).version.raw(), 3);
+        assert_eq!(a.latest(p).unwrap().version.raw(), 3);
+        assert_eq!(b.latest(p).unwrap().version.raw(), 3);
     });
 }

@@ -52,10 +52,12 @@ fn concurrent_reads_always_see_a_published_prefix() {
             // the latest version and read the whole file *at that
             // version*, pacing themselves so reads interleave with the
             // ongoing rounds.
-            blob.version_manager().wait_published(p, VersionId::new(1));
+            blob.version_manager()
+                .wait_published(p, VersionId::new(1))
+                .expect("wait_published");
             for _ in 0..2 * ROUNDS {
                 p.sleep(std::time::Duration::from_millis(2));
-                let v = blob.latest(p).version;
+                let v = blob.latest(p).unwrap().version;
                 let size = blob.size_at(p, v).unwrap();
                 let data = blob
                     .read_at(p, v, &ExtentList::single(ByteRange::new(0, size)))

@@ -19,7 +19,7 @@ use atomio::provider::{ChunkStore, DataProvider, ProviderManager};
 use atomio::rpc::{
     dial, Loopback, MetaService, MuxTransport, ProviderService, RemoteMetaStore, RemoteProvider,
     RemoteVersionManager, Request, Response, RpcConfig, RpcMode, RpcServer, Service, TcpTransport,
-    Transport,
+    Transport, VersionService,
 };
 use atomio::simgrid::clock::run_actors_on;
 use atomio::simgrid::{CostModel, FaultInjector, Metrics, SimClock};
@@ -184,7 +184,7 @@ fn observe(store: &Store) -> (VersionId, Vec<u8>, Vec<NodeKey>, usize) {
     let full_ref = &full;
     let mut out = run_actors_on(&clock, 1, move |_, p| {
         apply_history(blob_ref, p);
-        let latest = blob_ref.latest(p);
+        let latest = blob_ref.latest(p).unwrap();
         (
             latest.version,
             blob_ref
@@ -326,16 +326,20 @@ fn transports_report_identical_byte_counters() {
     assert_eq!(m_mux.counter("rpc.retries").get(), 0);
 }
 
-/// One service hosting both roles, so a single `MuxTransport` endpoint
-/// can carry interleaved provider **and** metadata/version traffic (the
-/// mux stress workload below).
+/// One service hosting all three roles, so a single transport endpoint
+/// can carry interleaved provider, metadata, **and** version traffic
+/// (the mux stress workload below). Ticket-grant traffic routes to a
+/// standalone [`VersionService`] — the same service the
+/// `atomio-version-server` binary wraps — not to the meta service's
+/// nested compatibility copy.
 #[derive(Debug)]
-struct DualService {
+struct TriService {
     provider: ProviderService,
     meta: MetaService,
+    versions: VersionService,
 }
 
-impl Service for DualService {
+impl Service for TriService {
     fn handle(&self, request: Request, payload: Bytes) -> (Response, Bytes) {
         use Request::*;
         let chunk_op = matches!(
@@ -352,18 +356,30 @@ impl Service for DualService {
                 | ProviderChecksumOf { .. }
                 | ProviderCorruptChunk { .. }
         );
+        let version_op = matches!(
+            request,
+            VmTicket { .. }
+                | VmTicketAppend { .. }
+                | VmPublish { .. }
+                | VmIsPublished { .. }
+                | VmLatest { .. }
+                | VmSnapshot { .. }
+        );
         if chunk_op {
             self.provider.handle(request, payload)
+        } else if version_op {
+            self.versions.handle(request, payload)
         } else {
             self.meta.handle(request, payload)
         }
     }
 }
 
-fn dual_service() -> Arc<DualService> {
-    Arc::new(DualService {
+fn tri_service() -> Arc<TriService> {
+    Arc::new(TriService {
         provider: ProviderService::new(1),
         meta: MetaService::new(2, CHUNK),
+        versions: VersionService::new(CHUNK),
     })
 }
 
@@ -486,29 +502,49 @@ fn mux_stress_state(
 #[test]
 fn mux_stress_matches_loopback_bit_for_bit() {
     let m_loop = Metrics::new();
+    let m_tcp = Metrics::new();
     let m_mux = Metrics::new();
 
     let loopback: Arc<dyn Transport> =
-        Arc::new(Loopback::new(dual_service()).with_metrics(m_loop.clone()));
+        Arc::new(Loopback::new(tri_service()).with_metrics(m_loop.clone()));
     let state_loop = mux_stress_state(&loopback);
 
-    let mut server = RpcServer::start("127.0.0.1:0", dual_service()).expect("bind dual server");
+    // Each socket arm gets its own fresh tri-service: the stress mutates
+    // server state, so the arms must not share a deployment.
+    let mut tcp_server = RpcServer::start("127.0.0.1:0", tri_service()).expect("bind tri server");
+    let tcp = dial(
+        tcp_server.local_addr(),
+        RpcMode::PerCall,
+        RpcConfig::default(),
+        Some(m_tcp.clone()),
+    );
+    let state_tcp = mux_stress_state(&tcp);
+
+    let mut mux_server = RpcServer::start("127.0.0.1:0", tri_service()).expect("bind tri server");
     let mux: Arc<dyn Transport> =
-        Arc::new(MuxTransport::new(server.local_addr()).with_metrics(m_mux.clone()));
+        Arc::new(MuxTransport::new(mux_server.local_addr()).with_metrics(m_mux.clone()));
     let state_mux = mux_stress_state(&mux);
 
-    assert_eq!(state_loop.0, state_mux.0, "identical node-key sets");
-    assert_eq!(state_loop.1, state_mux.1, "identical node counts");
-    assert_eq!(state_loop.2, state_mux.2, "identical version sequences");
-    assert_eq!(state_loop.3, state_mux.3, "bit-identical chunk bytes");
+    for (label, state) in [("per-call", &state_tcp), ("mux", &state_mux)] {
+        assert_eq!(state_loop.0, state.0, "{label}: identical node-key sets");
+        assert_eq!(state_loop.1, state.1, "{label}: identical node counts");
+        assert_eq!(
+            state_loop.2, state.2,
+            "{label}: identical version sequences"
+        );
+        assert_eq!(state_loop.3, state.3, "{label}: bit-identical chunk bytes");
+    }
 
-    // And the byte accounting agrees even under 16-way interleaving.
+    // And the byte accounting agrees even under 16-way interleaving of
+    // chunk, metadata, and ticket-grant traffic.
+    assert_eq!(wire_totals(&m_loop), wire_totals(&m_tcp));
     assert_eq!(wire_totals(&m_loop), wire_totals(&m_mux));
     assert!(
         m_mux.counter("rpc.inflight_peak").get() >= 2,
         "stress actually ran concurrent in-flight calls"
     );
-    server.stop();
+    tcp_server.stop();
+    mux_server.stop();
 }
 
 /// A service that answers slowly, so the fault test can guarantee calls
