@@ -295,6 +295,50 @@ pub fn rpc_counter_stats(metrics: &atomio_simgrid::Metrics) -> Vec<StatEntry> {
     out
 }
 
+/// Extracts the write-ahead-log statistics (`wal.*` namespace) from a
+/// metrics registry as flat entries, sorted by name. Counters pass
+/// through; duration stats flatten to `_mean_us`/`_max_us` microsecond
+/// entries and value stats to `_mean`/`_peak`, keeping the report's
+/// `stats` block a uniform name→u64 table. Empty when the run never
+/// used a WAL — Direct-mode reports (e7a–e and earlier) stay
+/// byte-identical.
+pub fn wal_stat_entries(metrics: &atomio_simgrid::Metrics) -> Vec<StatEntry> {
+    let mut out: Vec<StatEntry> = metrics
+        .counter_snapshot()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("wal."))
+        .map(|(name, value)| StatEntry { name, value })
+        .collect();
+    for (name, sum, count, max) in metrics.time_snapshot() {
+        if !name.starts_with("wal.") || count == 0 {
+            continue;
+        }
+        out.push(StatEntry {
+            name: format!("{name}_mean_us"),
+            value: (sum.as_micros() as u64) / count,
+        });
+        out.push(StatEntry {
+            name: format!("{name}_max_us"),
+            value: max.as_micros() as u64,
+        });
+    }
+    for (name, sum, count, max) in metrics.value_snapshot() {
+        if !name.starts_with("wal.") || count == 0 {
+            continue;
+        }
+        out.push(StatEntry {
+            name: format!("{name}_mean"),
+            value: sum / count,
+        });
+        out.push(StatEntry {
+            name: format!("{name}_peak"),
+            value: max,
+        });
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
 /// The conventional output directory for experiment JSON.
 pub fn results_dir() -> PathBuf {
     PathBuf::from(std::env::var("ATOMIO_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
@@ -428,6 +472,36 @@ mod tests {
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].name, "rpc.bytes_tx");
         assert_eq!(stats[1].name, "rpc.messages");
+    }
+
+    #[test]
+    fn wal_stat_entries_flatten_and_filter() {
+        let metrics = atomio_simgrid::Metrics::new();
+        metrics.counter("wal.appends").add(7);
+        metrics.counter("core.writes").add(9); // filtered out
+        metrics
+            .time_stat("wal.append_time")
+            .record(std::time::Duration::from_micros(40));
+        metrics
+            .time_stat("wal.append_time")
+            .record(std::time::Duration::from_micros(20));
+        metrics.value_stat("wal.bytes_pending").record(1000);
+        metrics.value_stat("wal.bytes_pending").record(3000);
+        let stats = wal_stat_entries(&metrics);
+        let get = |n: &str| stats.iter().find(|s| s.name == n).map(|s| s.value);
+        assert_eq!(get("wal.appends"), Some(7));
+        assert_eq!(get("wal.append_time_mean_us"), Some(30));
+        assert_eq!(get("wal.append_time_max_us"), Some(40));
+        assert_eq!(get("wal.bytes_pending_mean"), Some(2000));
+        assert_eq!(get("wal.bytes_pending_peak"), Some(3000));
+        assert!(get("core.writes").is_none());
+        let names: Vec<&str> = stats.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "entries sorted by name");
+        // A WAL-less run contributes nothing: empty-stats omission keeps
+        // committed Direct-mode reports byte-identical.
+        assert!(wal_stat_entries(&atomio_simgrid::Metrics::new()).is_empty());
     }
 
     #[test]

@@ -38,6 +38,25 @@ pub enum TransferMode {
     Pipelined,
 }
 
+/// How [`crate::Blob::write_list`] acknowledges a write (E8 ablation
+/// knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// The full commit pipeline runs before the call returns: ticket,
+    /// data transfer, metadata build, publish. The default, and the mode
+    /// every committed benchmark result was produced under.
+    #[default]
+    Direct,
+    /// The write is appended to the host-side write-ahead log
+    /// ([`crate::wal::WriteAheadLog`]) and acknowledged at memory speed;
+    /// a background drainer replays log entries through the same commit
+    /// pipeline strictly in append order, so the version oracle observes
+    /// exactly the sequence the application saw. Requires a drain actor
+    /// (see [`crate::Blob::wal_drain`]) and assumes this client is the
+    /// blob's only writer while the log is open.
+    Logged,
+}
+
 /// Configuration of a versioning store deployment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoreConfig {
@@ -68,6 +87,13 @@ pub struct StoreConfig {
     pub transport_mode: TransportMode,
     /// Client-side metadata cache size in nodes (0 disables caching).
     pub meta_cache_nodes: usize,
+    /// Write acknowledgement mode (E8 ablation knob).
+    pub commit_mode: CommitMode,
+    /// Byte capacity of the host-side write-ahead log in
+    /// [`CommitMode::Logged`]; appends beyond it backpressure (block or
+    /// return a typed `Busy`) until the drainer falls below the log's
+    /// low-water mark.
+    pub wal_capacity: u64,
     /// Seed for every random choice in the store.
     pub seed: u64,
 }
@@ -91,6 +117,8 @@ impl Default for StoreConfig {
             meta_read_mode: MetaReadMode::Batched,
             transport_mode: TransportMode::Loopback,
             meta_cache_nodes: 4096,
+            commit_mode: CommitMode::Direct,
+            wal_capacity: 64 * 1024 * 1024,
             seed: 0x5EED,
         }
     }
@@ -176,6 +204,18 @@ impl StoreConfig {
         self
     }
 
+    /// Sets the write acknowledgement mode.
+    pub fn with_commit_mode(mut self, mode: CommitMode) -> Self {
+        self.commit_mode = mode;
+        self
+    }
+
+    /// Sets the write-ahead log capacity in bytes (Logged mode only).
+    pub fn with_wal_capacity(mut self, bytes: u64) -> Self {
+        self.wal_capacity = bytes;
+        self
+    }
+
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -200,6 +240,8 @@ mod tests {
         assert_eq!(c.meta_read_mode, MetaReadMode::Batched);
         assert_eq!(c.transport_mode, TransportMode::Loopback);
         assert_eq!(c.meta_cache_nodes, 4096);
+        assert_eq!(c.commit_mode, CommitMode::Direct);
+        assert_eq!(c.wal_capacity, 64 * 1024 * 1024);
     }
 
     #[test]
@@ -217,6 +259,8 @@ mod tests {
             .with_meta_read_mode(MetaReadMode::PerNode)
             .with_transport_mode(TransportMode::Tcp)
             .with_meta_cache(0)
+            .with_commit_mode(CommitMode::Logged)
+            .with_wal_capacity(1 << 20)
             .with_seed(7);
         assert_eq!(c.cost, CostModel::zero());
         assert_eq!(c.chunk_size, 1024);
@@ -230,6 +274,8 @@ mod tests {
         assert_eq!(c.meta_read_mode, MetaReadMode::PerNode);
         assert_eq!(c.transport_mode, TransportMode::Tcp);
         assert_eq!(c.meta_cache_nodes, 0);
+        assert_eq!(c.commit_mode, CommitMode::Logged);
+        assert_eq!(c.wal_capacity, 1 << 20);
         assert_eq!(c.seed, 7);
     }
 }

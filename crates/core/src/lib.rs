@@ -46,7 +46,11 @@ pub mod config;
 pub mod gc;
 pub mod namespace;
 pub mod store;
+pub mod wal;
 
 pub use blob::{Blob, ReadVersion};
-pub use config::{MetaCommitMode, MetaReadMode, StoreConfig, TransferMode, TransportMode};
+pub use config::{
+    CommitMode, MetaCommitMode, MetaReadMode, StoreConfig, TransferMode, TransportMode,
+};
 pub use store::{Store, VersionOracleFactory};
+pub use wal::WriteAheadLog;

@@ -14,7 +14,7 @@ use atomio_rpc::{run_server_binary, MetaService};
 use std::sync::Arc;
 
 fn main() {
-    run_server_binary("atomio-meta-server", Some(("--shards", 1)), |args| {
+    run_server_binary("atomio-meta-server", Some(("--shards", 1)), true, |args| {
         Arc::new(MetaService::new(args.count, args.chunk_size))
     });
 }

@@ -13,7 +13,10 @@ use atomio_rpc::{run_server_binary, ProviderService};
 use std::sync::Arc;
 
 fn main() {
-    run_server_binary("atomio-provider-server", Some(("--providers", 1)), |args| {
-        Arc::new(ProviderService::new(args.count))
-    });
+    run_server_binary(
+        "atomio-provider-server",
+        Some(("--providers", 1)),
+        false,
+        |args| Arc::new(ProviderService::new(args.count)),
+    );
 }

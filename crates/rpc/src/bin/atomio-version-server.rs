@@ -14,7 +14,7 @@ use atomio_rpc::{run_server_binary, VersionService};
 use std::sync::Arc;
 
 fn main() {
-    run_server_binary("atomio-version-server", None, |args| {
+    run_server_binary("atomio-version-server", None, true, |args| {
         Arc::new(VersionService::new(args.chunk_size))
     });
 }

@@ -45,8 +45,8 @@ pub mod wire;
 pub use client::{RemoteMetaStore, RemoteProvider, RemoteVersionManager};
 pub use proto::{Request, Response, PROTOCOL_VERSION};
 pub use server::{
-    run_server_binary, serve_forever, MetaService, ProviderService, RpcServer, ServerArgs, Service,
-    VersionService,
+    run_server_binary, serve_forever, server_usage, MetaService, ProviderService, RpcServer,
+    ServerArgs, Service, VersionService,
 };
 pub use transport::{
     counters, dial, Loopback, MuxTransport, RpcConfig, RpcMode, TcpTransport, Transport,
@@ -399,6 +399,7 @@ mod tests {
             .map(String::from),
             "--providers",
             1,
+            false,
         )
         .unwrap();
         assert_eq!(args.count, 4);
@@ -418,7 +419,58 @@ mod tests {
         assert!(ServerArgs::parse(
             ["127.0.0.1:7420", "--bogus", "1"].map(String::from),
             "--providers",
-            1
+            1,
+            false,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn usage_strings_cannot_drift_from_the_parser() {
+        // The three deployed roles, exactly as their binaries configure
+        // them. For every flag the codebase has ever known, the parser
+        // accepts it if and only if the role's usage line advertises it
+        // — so a flag added to one without the other fails here.
+        let roles: [(&str, Option<(&str, usize)>, bool); 3] = [
+            ("atomio-provider-server", Some(("--providers", 1)), false),
+            ("atomio-meta-server", Some(("--shards", 1)), true),
+            ("atomio-version-server", None, true),
+        ];
+        let all_flags = [
+            "--providers",
+            "--shards",
+            "--chunk-size",
+            "--workers",
+            "--pool-conns",
+            "--mux-streams-per-conn",
+            "--connect-retries",
+            "--connect-timeout-ms",
+            "--read-timeout-ms",
+            "--write-timeout-ms",
+            "--backoff-ms",
+        ];
+        for (name, count_flag, chunk) in roles {
+            let usage = server_usage(name, count_flag.map(|(f, _)| f), chunk);
+            let (cf, dc) = count_flag.unwrap_or(("", 0));
+            for flag in all_flags {
+                let accepted =
+                    ServerArgs::parse(["127.0.0.1:0", flag, "1"].map(String::from), cf, dc, chunk)
+                        .is_ok();
+                let advertised = usage.contains(&format!("[{flag} "));
+                assert_eq!(
+                    accepted, advertised,
+                    "{name}: {flag} accepted={accepted} but advertised={advertised}\n{usage}"
+                );
+            }
+        }
+        // The drift this test was written for: the provider server has
+        // no chunk geometry, so it must reject --chunk-size instead of
+        // silently ignoring it.
+        assert!(ServerArgs::parse(
+            ["127.0.0.1:0", "--chunk-size", "4096"].map(String::from),
+            "--providers",
+            1,
+            false,
         )
         .is_err());
     }

@@ -680,7 +680,8 @@ pub struct ServerArgs {
     pub addr: String,
     /// `--providers N` / `--shards N` style count (role-specific).
     pub count: usize,
-    /// `--chunk-size BYTES` (meta server only; ignored by providers).
+    /// `--chunk-size BYTES` (meta and version servers, which carry the
+    /// tree geometry; the provider role rejects it).
     pub chunk_size: u64,
     /// Transport/dispatcher tuning assembled from the `--workers`,
     /// `--read-timeout-ms`, `--write-timeout-ms`, and `--backoff-ms`
@@ -694,10 +695,16 @@ impl ServerArgs {
     /// `--mux-streams-per-conn n`, `--connect-timeout-ms n`,
     /// `--read-timeout-ms n`, `--write-timeout-ms n`,
     /// `--connect-retries n`, `--backoff-ms n`.
+    ///
+    /// `--chunk-size` is role-gated: roles without chunk geometry (the
+    /// provider server) pass `accepts_chunk_size = false` and the flag
+    /// is rejected instead of silently ignored —
+    /// [`server_usage`] must advertise exactly what parses.
     pub fn parse(
         args: impl IntoIterator<Item = String>,
         count_flag: &str,
         default_count: usize,
+        accepts_chunk_size: bool,
     ) -> std::result::Result<Self, String> {
         let mut args = args.into_iter();
         let addr = args.next().ok_or("missing listen address")?;
@@ -714,6 +721,9 @@ impl ServerArgs {
             if flag == count_flag {
                 parsed.count = value.parse().map_err(|_| bad())?;
             } else if flag == "--chunk-size" {
+                if !accepts_chunk_size {
+                    return Err("--chunk-size: this role has no chunk geometry".into());
+                }
                 parsed.chunk_size = value.parse().map_err(|_| bad())?;
             } else if flag == "--workers" {
                 parsed.cfg.server_workers = value.parse().map_err(|_| bad())?;
@@ -749,30 +759,59 @@ pub fn serve_forever(addr: &str, service: Arc<dyn Service>, cfg: RpcConfig) -> i
     }
 }
 
+/// The shared transport/dispatcher flags every server binary accepts,
+/// in the order the usage line lists them. [`server_usage`] renders
+/// this list, so the advertised flags cannot drift from the parser.
+const SHARED_FLAGS: [&str; 8] = [
+    "--workers",
+    "--read-timeout-ms",
+    "--write-timeout-ms",
+    "--connect-timeout-ms",
+    "--connect-retries",
+    "--backoff-ms",
+    "--pool-conns",
+    "--mux-streams-per-conn",
+];
+
+/// Renders the one-line usage string of a server binary: exactly the
+/// flags [`ServerArgs::parse`] accepts for that role — the role-specific
+/// fleet-size flag (if any), `--chunk-size` only for roles that carry
+/// chunk geometry, and the shared [`RpcConfig`] flags.
+pub fn server_usage(name: &str, count_flag: Option<&str>, accepts_chunk_size: bool) -> String {
+    let mut usage = format!("usage: {name} <listen-addr>");
+    if let Some(flag) = count_flag {
+        usage.push_str(&format!(" [{flag} N]"));
+    }
+    if accepts_chunk_size {
+        usage.push_str(" [--chunk-size BYTES]");
+    }
+    for flag in SHARED_FLAGS {
+        usage.push_str(&format!(" [{flag} N]"));
+    }
+    usage
+}
+
 /// The shared `main` of the three server binaries: parses the argument
 /// list through [`ServerArgs`], builds the role's service, and serves
 /// forever. `count_flag` is the role-specific fleet-size flag
 /// (`--providers` / `--shards`) with its default, or `None` for roles
-/// without one (the version server). Exits the process with status 2 on
-/// bad flags and 1 on a bind failure.
+/// without one (the version server); `accepts_chunk_size` gates the
+/// `--chunk-size` flag to the roles that carry chunk geometry. Exits
+/// the process with status 2 on bad flags and 1 on a bind failure.
 pub fn run_server_binary(
     name: &str,
     count_flag: Option<(&str, usize)>,
+    accepts_chunk_size: bool,
     build: impl FnOnce(&ServerArgs) -> Arc<dyn Service>,
 ) {
     let (flag, default_count) = count_flag.unwrap_or(("", 0));
-    let count_usage = if flag.is_empty() {
-        String::new()
-    } else {
-        format!("[{flag} N] ")
-    };
-    let usage = format!(
-        "usage: {name} <listen-addr> {count_usage}[--chunk-size BYTES] \
-         [--workers N] [--read-timeout-ms N] [--write-timeout-ms N] \
-         [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N] \
-         [--pool-conns N] [--mux-streams-per-conn N]"
-    );
-    let args = match ServerArgs::parse(std::env::args().skip(1), flag, default_count) {
+    let usage = server_usage(name, count_flag.map(|(f, _)| f), accepts_chunk_size);
+    let args = match ServerArgs::parse(
+        std::env::args().skip(1),
+        flag,
+        default_count,
+        accepts_chunk_size,
+    ) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");

@@ -55,6 +55,14 @@ pub enum Error {
     Unsupported(&'static str),
     /// Replication could not reach the requested number of replicas.
     InsufficientReplicas { wanted: usize, placed: usize },
+    /// A bounded host-side resource (e.g. the write-ahead log) is at
+    /// capacity and rejected the request; retrying after the backlog
+    /// drains below its low-water mark will succeed.
+    Busy {
+        resource: String,
+        pending_bytes: u64,
+        capacity: u64,
+    },
     /// A transport-level failure talking to a remote service. The kind
     /// distinguishes causes so retry policy can branch (a timeout is worth
     /// retrying on the same endpoint; connection-refused is not).
@@ -153,6 +161,14 @@ impl fmt::Display for Error {
             Error::InsufficientReplicas { wanted, placed } => {
                 write!(f, "placed {placed} of {wanted} replicas")
             }
+            Error::Busy {
+                resource,
+                pending_bytes,
+                capacity,
+            } => write!(
+                f,
+                "{resource} is busy: {pending_bytes} of {capacity} bytes pending"
+            ),
             Error::Transport { kind, detail } => {
                 write!(f, "transport failure ({kind}): {detail}")
             }
@@ -245,6 +261,18 @@ impl Serialize for Error {
                     ("placed".into(), placed.to_value()),
                 ],
             ),
+            Error::Busy {
+                resource,
+                pending_bytes,
+                capacity,
+            } => tagged(
+                "Busy",
+                vec![
+                    ("resource".into(), resource.to_value()),
+                    ("pending_bytes".into(), pending_bytes.to_value()),
+                    ("capacity".into(), capacity.to_value()),
+                ],
+            ),
             Error::Transport { kind, detail } => tagged(
                 "Transport",
                 vec![
@@ -306,6 +334,11 @@ impl Deserialize for Error {
             "InsufficientReplicas" => Error::InsufficientReplicas {
                 wanted: usize::from_value(field("wanted"))?,
                 placed: usize::from_value(field("placed"))?,
+            },
+            "Busy" => Error::Busy {
+                resource: String::from_value(field("resource"))?,
+                pending_bytes: u64::from_value(field("pending_bytes"))?,
+                capacity: u64::from_value(field("capacity"))?,
             },
             "Transport" => Error::Transport {
                 kind: {
@@ -387,6 +420,11 @@ mod tests {
             Error::InsufficientReplicas {
                 wanted: 3,
                 placed: 1,
+            },
+            Error::Busy {
+                resource: "wal".into(),
+                pending_bytes: 4096,
+                capacity: 1024,
             },
             Error::Transport {
                 kind: TransportErrorKind::Timeout,

@@ -106,6 +106,12 @@ impl VersionManager {
     ///
     /// In [`TicketMode::SerializedBuild`] this blocks (in virtual time)
     /// until every earlier version has published.
+    ///
+    /// **Grant-order invariant:** versions are granted densely, in the
+    /// order ticket requests reach the manager. A caller that serializes
+    /// its ticket calls therefore knows each grant in advance — the
+    /// property `atomio-core`'s write-ahead-log drainer relies on to
+    /// replay logged writes under their predicted versions.
     pub fn ticket(&self, p: &Participant, extents: &ExtentList) -> Result<Ticket> {
         if extents.is_empty() {
             return Err(Error::EmptyAccess);
@@ -400,6 +406,42 @@ mod tests {
             assert_eq!(t2.size, 64, "size never shrinks");
             assert_eq!(t3.size, 510);
         });
+    }
+
+    #[test]
+    fn serialized_ticket_calls_are_granted_in_call_order() {
+        // The WAL-drainer contract: a single caller issuing tickets one
+        // at a time can predict every grant as `history.len() + k`,
+        // regardless of ticket mode and of how far publication lags.
+        for mode in [TicketMode::Pipelined, TicketMode::SerializedBuild] {
+            let m = vm(mode);
+            run_actors(1, |_, p| {
+                let mut publish_backlog = Vec::new();
+                for k in 1..=6u64 {
+                    let base = m.history().len() as u64;
+                    let t = m.ticket(p, &extents(&[(k * 8, 8)])).unwrap();
+                    assert_eq!(
+                        t.version,
+                        VersionId::new(base.max(k - 1) + 1),
+                        "grant order must equal call order ({mode:?})"
+                    );
+                    assert_eq!(t.version, VersionId::new(k));
+                    publish_backlog.push(t);
+                    // In SerializedBuild each version must publish before
+                    // the next ticket is granted; in Pipelined the
+                    // publication can lag arbitrarily without perturbing
+                    // grant order.
+                    if mode == TicketMode::SerializedBuild {
+                        for t in publish_backlog.drain(..) {
+                            m.publish(p, t, root_for(t)).unwrap();
+                        }
+                    }
+                }
+                for t in publish_backlog.drain(..) {
+                    m.publish(p, t, root_for(t)).unwrap();
+                }
+            });
+        }
     }
 
     #[test]

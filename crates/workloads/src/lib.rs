@@ -32,7 +32,7 @@ pub mod pc;
 pub mod tile;
 pub mod verify;
 
-pub use checkpoint::CheckpointWorkload;
+pub use checkpoint::{run_checkpoint_burst, BurstOutcome, CheckpointWorkload};
 pub use harness::{run_write_round, RoundOutcome};
 pub use overlap::OverlapWorkload;
 pub use tile::TileWorkload;

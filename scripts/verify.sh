@@ -8,9 +8,10 @@
 #   VERIFY_TCP=1 scripts/verify.sh   # also build the three RPC server
 #                                    # binaries (provider/meta/version)
 #                                    # and run the localhost-TCP
-#                                    # transport-equivalence and
+#                                    # transport-equivalence,
 #                                    # three-service distributed
-#                                    # atomicity suites
+#                                    # atomicity, and WAL drain
+#                                    # equivalence suites
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +41,9 @@ if [[ "${VERIFY_TCP:-0}" == "1" ]]; then
     # with `-- --test-threads=1`.
     echo "== transport-tcp: three-service distributed atomicity (localhost sockets) =="
     cargo test -q --offline --test distributed_atomicity
+
+    echo "== transport-tcp: WAL drain equivalence incl. mid-drain server kill (localhost sockets) =="
+    cargo test -q --offline --test wal_equivalence
 
     echo "== transport-tcp: rpc unit suite under thread contention =="
     cargo test -q --offline -p atomio-rpc -- --test-threads=16
