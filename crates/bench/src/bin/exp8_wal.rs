@@ -24,7 +24,7 @@ use atomio_bench::report::{results_dir, wal_stat_entries};
 use atomio_bench::{ExperimentReport, Row};
 use atomio_core::{CommitMode, Store, StoreConfig, TransportMode};
 use atomio_mpiio::comm::Communicator;
-use atomio_provider::{ChunkStore, DataProvider, ProviderManager};
+use atomio_provider::{chunk_store_for, ChunkStore, ProviderManager};
 use atomio_rpc::{
     dial, MetaService, ProviderService, RemoteMetaStore, RemoteProvider, RemoteVersionManager,
     RpcConfig, RpcMode, RpcServer, Service, VersionService,
@@ -142,15 +142,17 @@ fn tcp_store(providers: usize, commit: CommitMode) -> TcpDeployment {
     let mut provider_servers = Vec::new();
     let mut stores: Vec<Arc<dyn ChunkStore>> = Vec::new();
     for i in 0..providers {
-        let hosted = Arc::new(DataProvider::new(
+        let hosted = chunk_store_for(
+            &atomio_types::BackendConfig::Memory,
             ProviderId::new(i as u64),
             CostModel::zero(),
-            Arc::new(FaultInjector::new(0)),
-        ));
+            &Arc::new(FaultInjector::new(0)),
+        )
+        .expect("open hosted chunk store");
         let server = RpcServer::start(
             "127.0.0.1:0",
             Arc::new(TimedProviderService {
-                inner: ProviderService::from_providers(vec![hosted]),
+                inner: ProviderService::from_stores(vec![hosted]),
                 device: Duration::from_micros(TCP_DEVICE_US),
             }),
         )

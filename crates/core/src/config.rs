@@ -2,6 +2,7 @@
 
 use atomio_provider::AllocationStrategy;
 use atomio_simgrid::CostModel;
+use atomio_types::BackendConfig;
 use atomio_version::TicketMode;
 
 pub use atomio_meta::{MetaCommitMode, MetaReadMode};
@@ -58,7 +59,7 @@ pub enum CommitMode {
 }
 
 /// Configuration of a versioning store deployment.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreConfig {
     /// Striping chunk size == metadata leaf size (power of two).
     pub chunk_size: u64,
@@ -94,6 +95,11 @@ pub struct StoreConfig {
     /// return a typed `Busy`) until the drainer falls below the log's
     /// low-water mark.
     pub wal_capacity: u64,
+    /// Storage substrate of every service: in-memory tables
+    /// ([`BackendConfig::Memory`], the default and the substrate every
+    /// committed benchmark result was produced under) or durable
+    /// slot-sharded logs with crash recovery ([`BackendConfig::Disk`]).
+    pub backend: BackendConfig,
     /// Seed for every random choice in the store.
     pub seed: u64,
 }
@@ -119,6 +125,7 @@ impl Default for StoreConfig {
             meta_cache_nodes: 4096,
             commit_mode: CommitMode::Direct,
             wal_capacity: 64 * 1024 * 1024,
+            backend: BackendConfig::Memory,
             seed: 0x5EED,
         }
     }
@@ -216,6 +223,14 @@ impl StoreConfig {
         self
     }
 
+    /// Sets the storage backend — **the one place** a deployment picks
+    /// its substrate; providers, metadata shards, and the version
+    /// manager all follow it.
+    pub fn with_backend(mut self, backend: BackendConfig) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -242,6 +257,7 @@ mod tests {
         assert_eq!(c.meta_cache_nodes, 4096);
         assert_eq!(c.commit_mode, CommitMode::Direct);
         assert_eq!(c.wal_capacity, 64 * 1024 * 1024);
+        assert_eq!(c.backend, BackendConfig::Memory);
     }
 
     #[test]
@@ -261,6 +277,7 @@ mod tests {
             .with_meta_cache(0)
             .with_commit_mode(CommitMode::Logged)
             .with_wal_capacity(1 << 20)
+            .with_backend(BackendConfig::disk("/tmp/x"))
             .with_seed(7);
         assert_eq!(c.cost, CostModel::zero());
         assert_eq!(c.chunk_size, 1024);
@@ -276,6 +293,7 @@ mod tests {
         assert_eq!(c.meta_cache_nodes, 0);
         assert_eq!(c.commit_mode, CommitMode::Logged);
         assert_eq!(c.wal_capacity, 1 << 20);
+        assert!(c.backend.is_disk());
         assert_eq!(c.seed, 7);
     }
 }

@@ -62,27 +62,50 @@ impl Store {
              for Tcp build remote handles with atomio-rpc and call \
              Store::with_substrates"
         );
-        Self::new_heterogeneous(config, vec![config.cost; config.data_providers])
+        let costs = vec![config.cost; config.data_providers];
+        Self::new_heterogeneous(config, costs)
     }
 
     /// Deploys a store with per-provider hardware (`costs[i]` for data
     /// provider `i`; overrides `config.data_providers`). Metadata shards
     /// and the version manager keep `config.cost`.
+    ///
+    /// # Panics
+    /// With a [`BackendConfig::Disk`](atomio_types::BackendConfig)
+    /// backend, panics when a backend directory cannot be opened or
+    /// recovered — a deployment that cannot reach its durable state must
+    /// not come up empty and silently shed data.
     pub fn new_heterogeneous(config: StoreConfig, costs: Vec<CostModel>) -> Self {
         let faults = Arc::new(FaultInjector::new(config.seed ^ 0xFA17));
-        let providers = Arc::new(ProviderManager::heterogeneous(
-            costs,
-            config.allocation,
-            Arc::clone(&faults),
-            config.seed,
-        ));
+        let providers = Arc::new(
+            ProviderManager::with_backend(
+                &config.backend,
+                costs,
+                config.allocation,
+                Arc::clone(&faults),
+                config.seed,
+            )
+            .expect("open storage backend"),
+        );
         // Metadata and data traffic of one client contend for the same
         // simulated NIC: the meta store books on the provider registry.
-        let meta = Arc::new(MetaStore::with_client_nics(
-            config.meta_shards,
-            config.cost,
-            Arc::clone(providers.client_nic_registry()),
-        ));
+        let meta: Arc<dyn NodeStore> = match &config.backend {
+            atomio_types::BackendConfig::Memory => Arc::new(MetaStore::with_client_nics(
+                config.meta_shards,
+                config.cost,
+                Arc::clone(providers.client_nic_registry()),
+            )),
+            atomio_types::BackendConfig::Disk { dir, fsync } => Arc::new(
+                atomio_meta::DiskNodeStore::open_with_client_nics(
+                    dir.join("meta"),
+                    config.meta_shards,
+                    config.cost,
+                    Arc::clone(providers.client_nic_registry()),
+                    *fsync,
+                )
+                .expect("open metadata backend"),
+            ),
+        };
         Self::with_substrates(config, providers, meta)
     }
 
@@ -99,22 +122,50 @@ impl Store {
     ) -> Self {
         let faults = Arc::clone(providers.faults());
         // Default oracle factory: one in-process version manager per
-        // blob, exactly the pre-RPC behavior. A remote deployment swaps
-        // this out with `with_version_oracles`.
-        let oracles: VersionOracleFactory = Arc::new(move |_blob| {
-            Arc::new(VersionManager::new(
+        // blob, exactly the pre-RPC behavior — durable when the backend
+        // is, so publish decisions survive crashes with the data. A
+        // remote deployment swaps this out with `with_version_oracles`.
+        let (chunk_size, cost, ticket_mode) = (config.chunk_size, config.cost, config.ticket_mode);
+        let backend = config.backend.clone();
+        let oracles: VersionOracleFactory = Arc::new(move |blob| match &backend {
+            atomio_types::BackendConfig::Memory => Arc::new(VersionManager::new(
                 Arc::new(VersionHistory::new()),
-                TreeConfig::new(config.chunk_size),
-                config.cost,
-                config.ticket_mode,
-            )) as Arc<dyn VersionOracle>
+                TreeConfig::new(chunk_size),
+                cost,
+                ticket_mode,
+            )) as Arc<dyn VersionOracle>,
+            atomio_types::BackendConfig::Disk { dir, fsync } => Arc::new(
+                VersionManager::durable(
+                    dir.join("version").join(format!("blob-{}", blob.raw())),
+                    Arc::new(VersionHistory::new()),
+                    TreeConfig::new(chunk_size),
+                    cost,
+                    ticket_mode,
+                    *fsync,
+                )
+                .expect("open publish log"),
+            )
+                as Arc<dyn VersionOracle>,
         });
+        // A reopened disk deployment resumes its chunk allocator past
+        // every id already on any provider's media — chunk ids, like
+        // version numbers, are never reused across restarts. (Blob ids
+        // are allocated deterministically in creation order, so a client
+        // that re-creates its blobs in the same order after a restart
+        // re-binds the recovered state.)
+        let first_free = providers
+            .providers()
+            .iter()
+            .filter_map(|s| s.max_chunk_id())
+            .map(|c| c.raw() + 1)
+            .max()
+            .unwrap_or(0);
         Store {
             providers,
             meta,
             faults,
             metrics: Metrics::new(),
-            chunk_ids: Arc::new(IdAllocator::new()),
+            chunk_ids: Arc::new(IdAllocator::starting_at(first_free)),
             blob_ids: IdAllocator::new(),
             blobs: RwLock::new(HashMap::new()),
             namespace: Namespace::new(),
@@ -148,7 +199,7 @@ impl Store {
             Arc::clone(&self.meta),
             vm,
             Arc::clone(&self.chunk_ids),
-            self.config,
+            self.config.clone(),
             self.metrics.clone(),
         );
         self.blobs.write().insert(id, blob.clone());

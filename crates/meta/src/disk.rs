@@ -1,0 +1,638 @@
+//! The durable metadata store: a [`MetaStore`] with per-shard node logs.
+//!
+//! `DiskNodeStore` wraps the in-memory [`MetaStore`] — which keeps doing
+//! all virtual-time cost booking and serving every read, so lookup
+//! latency is backend-invariant — and mirrors each accepted node into an
+//! append-only log on disk:
+//!
+//! ```text
+//! <dir>/superblock            format version, shard count, role tag
+//! <dir>/shards/000/000.log    framed NODE / EVICT records of shard 0
+//! <dir>/shards/001/000.log    …
+//! ```
+//!
+//! A node's log file is chosen by the **same hash** that picks its
+//! in-memory shard, so every record affecting one key lands in one file
+//! in operation order. Nodes are immutable (idempotent re-puts are
+//! filtered by a logged-key set, conflicts never reach the log), so the
+//! log needs no updates-in-place and recovery is a pure replay:
+//! truncate any torn tail, then feed surviving `NODE` records back
+//! through [`MetaStore::put_batch_local`] and apply `EVICT`s in order.
+
+use crate::node::{LeafEntry, Node, NodeBody, NodeKey};
+use crate::store::{LocalNodeStore, MetaStore, NodeStore};
+use atomio_simgrid::{ClientNics, CostModel, Participant};
+use atomio_types::record::{append_record, load_or_init_superblock, scan_records, ByteReader};
+use atomio_types::{BlobId, ByteRange, ChunkId, Error, FsyncPolicy, ProviderId, Result, VersionId};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Log record: a stored node (key + body, self-contained).
+const REC_NODE: u8 = 1;
+/// Log record: an eviction (key only).
+const REC_EVICT: u8 = 2;
+
+/// Superblock tag marking a directory as a metadata node log. The shard
+/// count is carried in the superblock's slot-count field.
+const META_TAG: u64 = 0x6D65_7461; // "meta"
+
+#[derive(Debug)]
+struct LogFile {
+    file: std::fs::File,
+    len: u64,
+    unsynced: u32,
+}
+
+impl LogFile {
+    fn append(&mut self, bytes: &[u8], policy: FsyncPolicy) -> Result<()> {
+        self.file
+            .seek(SeekFrom::Start(self.len))
+            .and_then(|_| self.file.write_all(bytes))
+            .map_err(|e| Error::io("node log append", e))?;
+        self.len += bytes.len() as u64;
+        self.unsynced += 1;
+        if policy.due(self.unsynced) {
+            self.file
+                .sync_data()
+                .map_err(|e| Error::io("node log sync", e))?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+}
+
+/// A [`MetaStore`] whose accepted nodes survive crashes: every put is
+/// mirrored into a per-shard append-only log and replayed on reopen.
+#[derive(Debug)]
+pub struct DiskNodeStore {
+    inner: MetaStore,
+    fsync: FsyncPolicy,
+    logs: Vec<Mutex<LogFile>>,
+    /// Keys already in the log — idempotent re-puts of an immutable node
+    /// must not append a second record.
+    logged: Mutex<HashSet<NodeKey>>,
+}
+
+impl DiskNodeStore {
+    /// Opens (creating or recovering) a durable store under `dir` with
+    /// its own client-NIC registry.
+    ///
+    /// # Errors
+    /// [`Error::Internal`] on I/O failure, a foreign or corrupt
+    /// superblock, a format mismatch, or a `shards` count that differs
+    /// from the one the directory was created with (hash routing must
+    /// not change under existing logs).
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        shards: usize,
+        cost: CostModel,
+        fsync: FsyncPolicy,
+    ) -> Result<Self> {
+        Self::open_with_client_nics(dir, shards, cost, Arc::new(ClientNics::new()), fsync)
+    }
+
+    /// [`Self::open`] booking client traffic on an existing NIC registry
+    /// (shared with the data path, as `MetaStore::with_client_nics`).
+    pub fn open_with_client_nics(
+        dir: impl Into<PathBuf>,
+        shards: usize,
+        cost: CostModel,
+        nics: Arc<ClientNics>,
+        fsync: FsyncPolicy,
+    ) -> Result<Self> {
+        assert!(shards > 0, "need at least one metadata shard");
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| Error::io(format!("meta store dir {}", dir.display()), e))?;
+        let disk_shards = load_or_init_superblock(
+            &dir.join("superblock"),
+            shards as u32,
+            META_TAG,
+            "meta store",
+        )?;
+        if disk_shards as usize != shards {
+            return Err(Error::Internal(format!(
+                "meta store: directory was created with {disk_shards} shards, asked for {shards}"
+            )));
+        }
+
+        let store = DiskNodeStore {
+            inner: MetaStore::with_client_nics(shards, cost, nics),
+            fsync,
+            logs: Vec::with_capacity(shards),
+            logged: Mutex::new(HashSet::new()),
+        };
+        let mut logs = Vec::with_capacity(shards);
+        let mut logged = HashSet::new();
+        for s in 0..shards {
+            let shard_dir = dir.join("shards").join(format!("{s:03}"));
+            std::fs::create_dir_all(&shard_dir)
+                .map_err(|e| Error::io("meta store create shard", e))?;
+            let path = shard_dir.join("000.log");
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)
+                .map_err(|e| Error::io("meta store open log", e))?;
+            let mut contents = Vec::new();
+            file.read_to_end(&mut contents)
+                .map_err(|e| Error::io("meta store scan log", e))?;
+            let scan = scan_records(&contents);
+            if scan.truncated {
+                file.set_len(scan.valid_len)
+                    .and_then(|_| file.sync_data())
+                    .map_err(|e| Error::io("meta store truncate torn tail", e))?;
+            }
+            for rec in &scan.records {
+                match rec.kind {
+                    REC_NODE => {
+                        let node = decode_node(&rec.body).ok_or_else(|| {
+                            Error::Internal("meta store: malformed node record".into())
+                        })?;
+                        let key = node.key;
+                        store
+                            .inner
+                            .put_batch_local(vec![node])
+                            .pop()
+                            .expect("one outcome per node")?;
+                        logged.insert(key);
+                    }
+                    REC_EVICT => {
+                        let mut r = ByteReader::new(&rec.body);
+                        let key = decode_key(&mut r).filter(|_| r.done()).ok_or_else(|| {
+                            Error::Internal("meta store: malformed evict record".into())
+                        })?;
+                        store.inner.evict(key);
+                        logged.remove(&key);
+                    }
+                    other => {
+                        return Err(Error::Internal(format!(
+                            "meta store: unknown record kind {other}"
+                        )));
+                    }
+                }
+            }
+            logs.push(Mutex::new(LogFile {
+                file,
+                len: scan.valid_len,
+                unsynced: 0,
+            }));
+        }
+        Ok(DiskNodeStore {
+            logs,
+            logged: Mutex::new(logged),
+            ..store
+        })
+    }
+
+    /// The wrapped in-memory store (cost model, shard loads, NICs).
+    pub fn inner(&self) -> &MetaStore {
+        &self.inner
+    }
+
+    /// The per-client NIC registry this store books traffic on.
+    pub fn client_nics(&self) -> &Arc<ClientNics> {
+        self.inner.client_nics()
+    }
+
+    /// Appends log records for every node the in-memory store newly
+    /// accepted (conflicts and already-logged keys are skipped).
+    fn log_accepted(&self, encoded: &[(NodeKey, Vec<u8>)], outcomes: &[Result<()>]) -> Result<()> {
+        let mut logged = self.logged.lock();
+        for ((key, framed), outcome) in encoded.iter().zip(outcomes) {
+            if outcome.is_ok() && logged.insert(*key) {
+                let s = self.inner.shard_index(*key);
+                if let Err(e) = self.logs[s].lock().append(framed, self.fsync) {
+                    // The node is in RAM but not durable: forget it was
+                    // logged so a retry re-appends, and surface the error.
+                    logged.remove(key);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a put through the in-memory store, then logs what it
+    /// accepted. A log I/O failure downgrades accepted slots to errors:
+    /// a node that is not durable was not stored.
+    fn put_and_log(
+        &self,
+        nodes: Vec<Node>,
+        put: impl FnOnce(&MetaStore, Vec<Node>) -> Vec<Result<()>>,
+    ) -> Vec<Result<()>> {
+        let encoded: Vec<(NodeKey, Vec<u8>)> = nodes
+            .iter()
+            .map(|n| {
+                let mut framed = Vec::new();
+                append_record(&mut framed, REC_NODE, &encode_node(n));
+                (n.key, framed)
+            })
+            .collect();
+        let outcomes = put(&self.inner, nodes);
+        if let Err(e) = self.log_accepted(&encoded, &outcomes) {
+            let msg = format!("node log write failed: {e}");
+            return outcomes
+                .into_iter()
+                .map(|o| o.and_then(|()| Err(Error::Internal(msg.clone()))))
+                .collect();
+        }
+        outcomes
+    }
+
+    /// Forces every shard log's outstanding appends to stable storage
+    /// (graceful shutdown under `Group`/`Deferred` fsync policies).
+    pub fn flush(&self) -> Result<()> {
+        for log in &self.logs {
+            let mut log = log.lock();
+            if log.unsynced > 0 {
+                log.file
+                    .sync_data()
+                    .map_err(|e| Error::io("node log flush", e))?;
+                log.unsynced = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl NodeStore for DiskNodeStore {
+    fn put_batch(&self, p: &Participant, nodes: Vec<Node>) -> Vec<Result<()>> {
+        self.put_and_log(nodes, |inner, nodes| inner.put_batch(p, nodes))
+    }
+
+    fn get_batch(&self, p: &Participant, keys: &[NodeKey]) -> Vec<Result<Arc<Node>>> {
+        self.inner.get_batch(p, keys)
+    }
+
+    fn contains(&self, key: NodeKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn evict(&self, key: NodeKey) {
+        if !self.inner.contains(key) {
+            return;
+        }
+        let mut framed = Vec::new();
+        append_record(&mut framed, REC_EVICT, &encode_key(key));
+        let s = self.inner.shard_index(key);
+        // An eviction that cannot reach disk must not drop the node from
+        // RAM — it would resurrect on replay.
+        if self.logs[s].lock().append(&framed, self.fsync).is_err() {
+            return;
+        }
+        self.logged.lock().remove(&key);
+        self.inner.evict(key);
+    }
+
+    fn list_keys(&self) -> Vec<NodeKey> {
+        self.inner.list_keys()
+    }
+}
+
+impl LocalNodeStore for DiskNodeStore {
+    fn put_batch_local(&self, nodes: Vec<Node>) -> Vec<Result<()>> {
+        self.put_and_log(nodes, |inner, nodes| inner.put_batch_local(nodes))
+    }
+
+    fn get_batch_local(&self, keys: &[NodeKey]) -> Vec<Result<Arc<Node>>> {
+        self.inner.get_batch_local(keys)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node codec. The rpc value codec lives above this crate, so the log
+// frames its own fixed-layout bytes (all integers big-endian).
+// ---------------------------------------------------------------------
+
+fn encode_key(key: NodeKey) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(NodeKey::WIRE_SIZE as usize);
+    push_key(&mut buf, key);
+    buf
+}
+
+/// Appends a node key's fixed 32-byte layout (blob, version, offset,
+/// length; big-endian). Shared with the version manager's publish log,
+/// which embeds root keys in its records.
+pub fn push_key(buf: &mut Vec<u8>, key: NodeKey) {
+    buf.extend_from_slice(&key.blob.raw().to_be_bytes());
+    buf.extend_from_slice(&key.version.raw().to_be_bytes());
+    buf.extend_from_slice(&key.range.offset.to_be_bytes());
+    buf.extend_from_slice(&key.range.len.to_be_bytes());
+}
+
+/// Appends an optional key: a presence byte, then [`push_key`] if set.
+pub fn push_opt_key(buf: &mut Vec<u8>, key: Option<NodeKey>) {
+    match key {
+        None => buf.push(0),
+        Some(k) => {
+            buf.push(1);
+            push_key(buf, k);
+        }
+    }
+}
+
+fn encode_node(node: &Node) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(node.wire_size() as usize + 16);
+    push_key(&mut buf, node.key);
+    match &node.body {
+        NodeBody::Inner { left, right } => {
+            buf.push(0);
+            push_opt_key(&mut buf, *left);
+            push_opt_key(&mut buf, *right);
+        }
+        NodeBody::Leaf { entries, backlink } => {
+            buf.push(1);
+            push_opt_key(&mut buf, *backlink);
+            buf.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+            for e in entries {
+                buf.extend_from_slice(&e.file_range.offset.to_be_bytes());
+                buf.extend_from_slice(&e.file_range.len.to_be_bytes());
+                buf.extend_from_slice(&e.chunk.raw().to_be_bytes());
+                buf.extend_from_slice(&e.chunk_offset.to_be_bytes());
+                buf.extend_from_slice(&(e.homes.len() as u32).to_be_bytes());
+                for h in &e.homes {
+                    buf.extend_from_slice(&h.raw().to_be_bytes());
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Reads the 32-byte key layout written by [`push_key`].
+pub fn decode_key(r: &mut ByteReader<'_>) -> Option<NodeKey> {
+    Some(NodeKey::new(
+        BlobId::new(r.u64()?),
+        VersionId::new(r.u64()?),
+        ByteRange::new(r.u64()?, r.u64()?),
+    ))
+}
+
+/// Reads an optional key written by [`push_opt_key`].
+pub fn decode_opt_key(r: &mut ByteReader<'_>) -> Option<Option<NodeKey>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => Some(Some(decode_key(r)?)),
+        _ => None,
+    }
+}
+
+fn decode_node(body: &[u8]) -> Option<Node> {
+    let mut r = ByteReader::new(body);
+    let key = decode_key(&mut r)?;
+    let node_body = match r.u8()? {
+        0 => NodeBody::Inner {
+            left: decode_opt_key(&mut r)?,
+            right: decode_opt_key(&mut r)?,
+        },
+        1 => {
+            let backlink = decode_opt_key(&mut r)?;
+            let count = r.u32()?;
+            let mut entries = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let file_range = ByteRange::new(r.u64()?, r.u64()?);
+                let chunk = ChunkId::new(r.u64()?);
+                let chunk_offset = r.u64()?;
+                let home_count = r.u32()?;
+                let mut homes = Vec::with_capacity(home_count as usize);
+                for _ in 0..home_count {
+                    homes.push(ProviderId::new(r.u64()?));
+                }
+                entries.push(LeafEntry {
+                    file_range,
+                    chunk,
+                    chunk_offset,
+                    homes,
+                });
+            }
+            NodeBody::Leaf { entries, backlink }
+        }
+        _ => return None,
+    };
+    if !r.done() {
+        return None;
+    }
+    Some(Node {
+        key,
+        body: node_body,
+    })
+}
+
+/// Builds one node store for `backend`: the in-memory [`MetaStore`] for
+/// `Memory`, a recovered [`DiskNodeStore`] under `<dir>/meta` for
+/// `Disk`. Both come back behind the participant-free
+/// [`LocalNodeStore`] surface network services dispatch into.
+pub fn node_store_for(
+    backend: &atomio_types::BackendConfig,
+    shards: usize,
+    cost: CostModel,
+    nics: Arc<ClientNics>,
+) -> Result<Arc<dyn LocalNodeStore>> {
+    Ok(match backend {
+        atomio_types::BackendConfig::Memory => {
+            Arc::new(MetaStore::with_client_nics(shards, cost, nics))
+        }
+        atomio_types::BackendConfig::Disk { dir, fsync } => Arc::new(
+            DiskNodeStore::open_with_client_nics(dir.join("meta"), shards, cost, nics, *fsync)?,
+        ),
+    })
+}
+
+/// Access to the superblock path of a store rooted at `dir` (tests poke
+/// torn tails and foreign tags through this).
+pub fn meta_log_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join("shards")
+        .join(format!("{shard:03}"))
+        .join("000.log")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomio_simgrid::clock::run_actors;
+    use atomio_types::tempdir::TempDir;
+
+    fn leaf(v: u64, off: u64) -> Node {
+        Node {
+            key: NodeKey::new(BlobId::new(0), VersionId::new(v), ByteRange::new(off, 64)),
+            body: NodeBody::Leaf {
+                entries: vec![LeafEntry {
+                    file_range: ByteRange::new(off, 64),
+                    chunk: ChunkId::new(v * 100 + off),
+                    chunk_offset: 3,
+                    homes: vec![ProviderId::new(0), ProviderId::new(2)],
+                }],
+                backlink: (v > 1).then(|| {
+                    NodeKey::new(
+                        BlobId::new(0),
+                        VersionId::new(v - 1),
+                        ByteRange::new(off, 64),
+                    )
+                }),
+            },
+        }
+    }
+
+    fn inner_node(v: u64) -> Node {
+        Node {
+            key: NodeKey::new(BlobId::new(0), VersionId::new(v), ByteRange::new(0, 128)),
+            body: NodeBody::Inner {
+                left: Some(NodeKey::new(
+                    BlobId::new(0),
+                    VersionId::new(v),
+                    ByteRange::new(0, 64),
+                )),
+                right: None,
+            },
+        }
+    }
+
+    #[test]
+    fn node_codec_roundtrips() {
+        for node in [leaf(1, 0), leaf(2, 64), inner_node(3)] {
+            assert_eq!(decode_node(&encode_node(&node)), Some(node));
+        }
+        let empty_leaf = Node {
+            key: NodeKey::new(BlobId::new(1), VersionId::new(1), ByteRange::new(0, 64)),
+            body: NodeBody::Leaf {
+                entries: vec![],
+                backlink: None,
+            },
+        };
+        assert_eq!(decode_node(&encode_node(&empty_leaf)), Some(empty_leaf));
+        // Trailing garbage is rejected, not ignored.
+        let mut buf = encode_node(&leaf(1, 0));
+        buf.push(0);
+        assert_eq!(decode_node(&buf), None);
+    }
+
+    #[test]
+    fn reopen_recovers_nodes_and_evictions() {
+        let tmp = TempDir::new("atomio-diskmeta");
+        {
+            let store =
+                DiskNodeStore::open(tmp.path(), 4, CostModel::zero(), FsyncPolicy::PerPublish)
+                    .unwrap();
+            run_actors(1, |_, p| {
+                for v in 1..=5u64 {
+                    store.put(p, leaf(v, 0)).unwrap();
+                    store.put(p, leaf(v, 64)).unwrap();
+                    store.put(p, leaf(v, 0)).unwrap(); // idempotent re-put
+                }
+            });
+            store.evict(leaf(2, 0).key);
+            // Hard drop, no flush.
+        }
+        let store =
+            DiskNodeStore::open(tmp.path(), 4, CostModel::zero(), FsyncPolicy::PerPublish).unwrap();
+        assert_eq!(store.node_count(), 9);
+        assert!(!store.contains(leaf(2, 0).key));
+        let (res, _) = run_actors(1, |_, p| store.get(p, leaf(3, 64).key));
+        assert_eq!(*res[0].as_ref().unwrap().as_ref(), leaf(3, 64));
+        // The recovered store keeps accepting and stays idempotent.
+        run_actors(1, |_, p| {
+            store.put(p, leaf(3, 64)).unwrap();
+            store.put(p, leaf(9, 0)).unwrap();
+        });
+        assert_eq!(store.node_count(), 10);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let tmp = TempDir::new("atomio-diskmeta");
+        {
+            let store =
+                DiskNodeStore::open(tmp.path(), 1, CostModel::zero(), FsyncPolicy::PerPublish)
+                    .unwrap();
+            run_actors(1, |_, p| {
+                store.put(p, leaf(1, 0)).unwrap();
+            });
+        }
+        let log = meta_log_path(tmp.path(), 0);
+        let mut f = OpenOptions::new().append(true).open(&log).unwrap();
+        f.write_all(&atomio_types::record::RECORD_MAGIC.to_be_bytes())
+            .unwrap();
+        f.write_all(&[REC_NODE, 0, 0]).unwrap();
+        drop(f);
+        let store =
+            DiskNodeStore::open(tmp.path(), 1, CostModel::zero(), FsyncPolicy::PerPublish).unwrap();
+        assert_eq!(store.node_count(), 1);
+        run_actors(1, |_, p| {
+            store.put(p, leaf(2, 0)).unwrap();
+        });
+        drop(store);
+        let store =
+            DiskNodeStore::open(tmp.path(), 1, CostModel::zero(), FsyncPolicy::PerPublish).unwrap();
+        assert_eq!(store.node_count(), 2);
+    }
+
+    #[test]
+    fn shard_count_is_pinned_by_the_superblock() {
+        let tmp = TempDir::new("atomio-diskmeta");
+        drop(DiskNodeStore::open(
+            tmp.path(),
+            4,
+            CostModel::zero(),
+            FsyncPolicy::PerPublish,
+        ));
+        let err = DiskNodeStore::open(tmp.path(), 8, CostModel::zero(), FsyncPolicy::PerPublish);
+        assert!(matches!(err, Err(Error::Internal(_))));
+    }
+
+    #[test]
+    fn timing_matches_memory_store() {
+        let cost = CostModel::grid5000();
+        let tmp = TempDir::new("atomio-diskmeta");
+        let disk = DiskNodeStore::open(tmp.path(), 4, cost, FsyncPolicy::PerPublish).unwrap();
+        let mem = MetaStore::new(4, cost);
+        let drive = |store: &dyn NodeStore| {
+            let (_, total) = run_actors(2, |i, p| {
+                let base = i as u64 * 10 + 1;
+                store
+                    .put_batch(p, vec![leaf(base, 0), leaf(base, 64), inner_node(base)])
+                    .into_iter()
+                    .for_each(|r| r.unwrap());
+                store.get(p, leaf(base, 0).key).unwrap();
+            });
+            total
+        };
+        assert_eq!(drive(&disk), drive(&mem));
+    }
+
+    #[test]
+    fn node_store_factory_selects_backend() {
+        let nics = Arc::new(ClientNics::new());
+        let mem = node_store_for(
+            &atomio_types::BackendConfig::Memory,
+            2,
+            CostModel::zero(),
+            Arc::clone(&nics),
+        )
+        .unwrap();
+        assert_eq!(mem.node_count(), 0);
+        let tmp = TempDir::new("atomio-diskmeta");
+        let disk = node_store_for(
+            &atomio_types::BackendConfig::disk(tmp.path()),
+            2,
+            CostModel::zero(),
+            nics,
+        )
+        .unwrap();
+        disk.put_batch_local(vec![leaf(1, 0)])
+            .into_iter()
+            .for_each(|r| r.unwrap());
+        assert!(tmp.path().join("meta").join("superblock").exists());
+        assert_eq!(disk.node_count(), 1);
+    }
+}

@@ -64,6 +64,20 @@ pub trait NodeStore: Send + Sync + std::fmt::Debug {
     fn list_keys(&self) -> Vec<NodeKey>;
 }
 
+/// A [`NodeStore`] that can also serve **participant-free** batch calls
+/// — the server-side halves network services dispatch into, where no
+/// simulated clock exists and the wire itself is the cost model.
+/// Implemented by [`MetaStore`] and its durable twin
+/// [`DiskNodeStore`](crate::disk::DiskNodeStore), which is what lets a
+/// metadata server host either backend behind one handler.
+pub trait LocalNodeStore: NodeStore {
+    /// Stores a batch without booking any simulated cost.
+    fn put_batch_local(&self, nodes: Vec<Node>) -> Vec<Result<()>>;
+
+    /// Fetches a batch without booking any simulated cost.
+    fn get_batch_local(&self, keys: &[NodeKey]) -> Vec<Result<Arc<Node>>>;
+}
+
 /// A hash-partitioned store of immutable tree nodes.
 #[derive(Debug)]
 pub struct MetaStore {
@@ -110,7 +124,7 @@ impl MetaStore {
         &self.nics
     }
 
-    fn shard_index(&self, key: NodeKey) -> usize {
+    pub(crate) fn shard_index(&self, key: NodeKey) -> usize {
         let h = mix64(
             key.version.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ key.blob.raw().wrapping_mul(0x94D0_49BB_1331_11EB)
@@ -322,6 +336,16 @@ impl MetaStore {
                 )
             })
             .collect()
+    }
+}
+
+impl LocalNodeStore for MetaStore {
+    fn put_batch_local(&self, nodes: Vec<Node>) -> Vec<Result<()>> {
+        MetaStore::put_batch_local(self, nodes)
+    }
+
+    fn get_batch_local(&self, keys: &[NodeKey]) -> Vec<Result<Arc<Node>>> {
+        MetaStore::get_batch_local(self, keys)
     }
 }
 

@@ -13,16 +13,22 @@
 //!
 //! [`DataProvider`] models one storage server: a NIC and a disk (both
 //! serialized virtual-time resources from `atomio-simgrid`) in front of an
-//! in-memory chunk table. [`ProviderManager`] routes chunk placements
-//! using a pluggable [`AllocationStrategy`] and handles replication.
+//! in-memory chunk table; [`DiskProvider`] is its durable twin, keeping
+//! payloads in slot-sharded append-only part files with crash recovery.
+//! Pick between them with [`chunk_store_for`] and a
+//! [`BackendConfig`](atomio_types::BackendConfig). [`ProviderManager`]
+//! routes chunk placements using a pluggable [`AllocationStrategy`] and
+//! handles replication.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod disk;
 pub mod integrity;
 pub mod manager;
 pub mod store;
 
+pub use disk::{chunk_store_for, DiskProvider};
 pub use integrity::{chunk_checksum, ScrubReport};
 pub use manager::{AllocationStrategy, GetRequest, ProviderManager};
 pub use store::{ChunkStore, DataProvider};

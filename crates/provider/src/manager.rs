@@ -90,6 +90,33 @@ impl ProviderManager {
         Self::from_stores(stores, strategy, faults, seed)
     }
 
+    /// Builds a fleet whose storage substrate is chosen by `backend`:
+    /// in-memory [`DataProvider`]s for `Memory`, recovered
+    /// [`DiskProvider`](crate::disk::DiskProvider)s under
+    /// `<dir>/provider-<i>` for `Disk` — one `with_backend` call per
+    /// deployment replaces per-provider constructor scatter.
+    ///
+    /// # Errors
+    /// [`Error::Internal`] when a disk backend cannot open its
+    /// directories (I/O failure, foreign superblock, format mismatch).
+    pub fn with_backend(
+        backend: &atomio_types::BackendConfig,
+        costs: Vec<CostModel>,
+        strategy: AllocationStrategy,
+        faults: Arc<FaultInjector>,
+        seed: u64,
+    ) -> Result<Self> {
+        assert!(!costs.is_empty(), "need at least one data provider");
+        let stores = costs
+            .into_iter()
+            .enumerate()
+            .map(|(i, cost)| {
+                crate::disk::chunk_store_for(backend, ProviderId::new(i as u64), cost, &faults)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self::from_stores(stores, strategy, faults, seed))
+    }
+
     /// Builds a manager over an arbitrary fleet of chunk stores — the
     /// seam the TCP transport plugs into: pass `RemoteProvider` handles
     /// here and every placement, replication, and failover decision runs

@@ -67,6 +67,20 @@ pub trait ChunkStore: Send + Sync + std::fmt::Debug {
         ScrubReport::default()
     }
 
+    /// Stored payload length of a chunk, if this store can answer
+    /// locally (no cost charged). Remote proxies return `None`.
+    fn chunk_len(&self, _chunk: ChunkId) -> Option<u64> {
+        None
+    }
+
+    /// Highest chunk id this store has ever held, if it tracks one.
+    /// Durable backends answer from their recovery scan so a reopening
+    /// deployment can resume its id allocator past every id already on
+    /// disk; ephemeral and proxy stores return `None`.
+    fn max_chunk_id(&self) -> Option<ChunkId> {
+        None
+    }
+
     /// The store's disk resource, for utilization accounting. Proxy
     /// stores expose an idle resource (zero requests) so reports skip it.
     fn disk(&self) -> &Resource;
@@ -424,6 +438,14 @@ impl ChunkStore for DataProvider {
 
     fn scrub(&self, p: &Participant) -> ScrubReport {
         DataProvider::scrub(self, p)
+    }
+
+    fn chunk_len(&self, chunk: ChunkId) -> Option<u64> {
+        DataProvider::chunk_len(self, chunk)
+    }
+
+    fn max_chunk_id(&self) -> Option<ChunkId> {
+        self.chunks.read().keys().max().copied()
     }
 
     fn disk(&self) -> &Resource {

@@ -3,18 +3,31 @@
 //!
 //! ```text
 //! atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES]
+//!     [--data-dir PATH] [--fsync per-publish|group:N|deferred]
 //!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
 //!     [--pool-conns N] [--mux-streams-per-conn N]
 //! ```
 //!
-//! Example: `atomio-meta-server 127.0.0.1:7421 --shards 4 --chunk-size 65536`
+//! Without `--data-dir` tree nodes live in memory and vanish with the
+//! process; with it each shard appends to a node log under `PATH/meta`
+//! (and nested version managers log publishes under `PATH/version`) and
+//! recovers on restart.
+//!
+//! Example: `atomio-meta-server 127.0.0.1:7421 --shards 4 --data-dir /var/lib/atomio`
 
 use atomio_rpc::{run_server_binary, MetaService};
 use std::sync::Arc;
 
 fn main() {
     run_server_binary("atomio-meta-server", Some(("--shards", 1)), true, |args| {
-        Arc::new(MetaService::new(args.count, args.chunk_size))
+        Arc::new(
+            MetaService::with_backend(args.count, args.chunk_size, &args.backend()).unwrap_or_else(
+                |e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                },
+            ),
+        )
     });
 }

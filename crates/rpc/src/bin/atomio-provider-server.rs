@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! atomio-provider-server <listen-addr> [--providers N]
+//!     [--data-dir PATH] [--fsync per-publish|group:N|deferred]
 //!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
 //!     [--pool-conns N] [--mux-streams-per-conn N]
 //! ```
 //!
-//! Example: `atomio-provider-server 127.0.0.1:7420 --providers 4 --workers 8`
+//! Without `--data-dir` chunks live in memory and vanish with the
+//! process; with it each provider keeps slot-sharded part files under
+//! `PATH/provider-<id>` and recovers them on restart.
+//!
+//! Example: `atomio-provider-server 127.0.0.1:7420 --providers 4 --data-dir /var/lib/atomio`
 
 use atomio_rpc::{run_server_binary, ProviderService};
 use std::sync::Arc;
@@ -17,6 +22,13 @@ fn main() {
         "atomio-provider-server",
         Some(("--providers", 1)),
         false,
-        |args| Arc::new(ProviderService::new(args.count)),
+        |args| {
+            Arc::new(
+                ProviderService::with_backend(args.count, &args.backend()).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }),
+            )
+        },
     );
 }

@@ -3,18 +3,27 @@
 //!
 //! ```text
 //! atomio-version-server <listen-addr> [--chunk-size BYTES]
+//!     [--data-dir PATH] [--fsync per-publish|group:N|deferred]
 //!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
 //!     [--pool-conns N] [--mux-streams-per-conn N]
 //! ```
 //!
-//! Example: `atomio-version-server 127.0.0.1:7422 --chunk-size 65536`
+//! Without `--data-dir` version state lives in memory and vanishes with
+//! the process; with it each blob's manager appends a publish log under
+//! `PATH/version/blob-<id>` and replays it on restart, so published
+//! snapshots survive and granted-but-unpublished tickets roll back.
+//!
+//! Example: `atomio-version-server 127.0.0.1:7422 --data-dir /var/lib/atomio --fsync group:8`
 
 use atomio_rpc::{run_server_binary, VersionService};
 use std::sync::Arc;
 
 fn main() {
     run_server_binary("atomio-version-server", None, true, |args| {
-        Arc::new(VersionService::new(args.chunk_size))
+        Arc::new(VersionService::with_backend(
+            args.chunk_size,
+            args.backend(),
+        ))
     });
 }

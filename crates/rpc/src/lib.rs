@@ -395,6 +395,10 @@ mod tests {
                 "5",
                 "--backoff-ms",
                 "7",
+                "--data-dir",
+                "/tmp/atomio-data",
+                "--fsync",
+                "group:8",
             ]
             .map(String::from),
             "--providers",
@@ -403,6 +407,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(args.count, 4);
+        assert_eq!(
+            args.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/atomio-data"))
+        );
+        assert_eq!(args.fsync, atomio_types::FsyncPolicy::Group(8));
+        assert_eq!(
+            args.backend(),
+            atomio_types::BackendConfig::disk("/tmp/atomio-data")
+                .with_fsync(atomio_types::FsyncPolicy::Group(8))
+        );
         assert_eq!(args.cfg.server_workers, 8);
         assert_eq!(args.cfg.pool_conns, 2);
         assert_eq!(args.cfg.read_timeout, std::time::Duration::from_millis(500));
@@ -436,26 +450,35 @@ mod tests {
             ("atomio-meta-server", Some(("--shards", 1)), true),
             ("atomio-version-server", None, true),
         ];
+        // Each flag with a value its parser accepts — "1" fits the
+        // numeric flags, but `--fsync` needs a policy spelling and
+        // `--data-dir` takes a path.
         let all_flags = [
-            "--providers",
-            "--shards",
-            "--chunk-size",
-            "--workers",
-            "--pool-conns",
-            "--mux-streams-per-conn",
-            "--connect-retries",
-            "--connect-timeout-ms",
-            "--read-timeout-ms",
-            "--write-timeout-ms",
-            "--backoff-ms",
+            ("--providers", "1"),
+            ("--shards", "1"),
+            ("--chunk-size", "1"),
+            ("--data-dir", "/tmp/atomio-data"),
+            ("--fsync", "per-publish"),
+            ("--workers", "1"),
+            ("--pool-conns", "1"),
+            ("--mux-streams-per-conn", "1"),
+            ("--connect-retries", "1"),
+            ("--connect-timeout-ms", "1"),
+            ("--read-timeout-ms", "1"),
+            ("--write-timeout-ms", "1"),
+            ("--backoff-ms", "1"),
         ];
         for (name, count_flag, chunk) in roles {
             let usage = server_usage(name, count_flag.map(|(f, _)| f), chunk);
             let (cf, dc) = count_flag.unwrap_or(("", 0));
-            for flag in all_flags {
-                let accepted =
-                    ServerArgs::parse(["127.0.0.1:0", flag, "1"].map(String::from), cf, dc, chunk)
-                        .is_ok();
+            for (flag, sample) in all_flags {
+                let accepted = ServerArgs::parse(
+                    ["127.0.0.1:0", flag, sample].map(String::from),
+                    cf,
+                    dc,
+                    chunk,
+                )
+                .is_ok();
                 let advertised = usage.contains(&format!("[{flag} "));
                 assert_eq!(
                     accepted, advertised,

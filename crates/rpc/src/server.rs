@@ -30,10 +30,12 @@
 use crate::proto::{Request, Response};
 use crate::transport::RpcConfig;
 use crate::wire;
-use atomio_meta::{MetaStore, TreeConfig, VersionHistory};
-use atomio_provider::DataProvider;
-use atomio_simgrid::{CostModel, FaultInjector};
-use atomio_types::{ByteRange, Error, ProviderId, Result, TransportErrorKind};
+use atomio_meta::{node_store_for, LocalNodeStore, TreeConfig, VersionHistory};
+use atomio_provider::{chunk_store_for, ChunkStore, DataProvider};
+use atomio_simgrid::{ClientNics, CostModel, FaultInjector};
+use atomio_types::{
+    BackendConfig, ByteRange, Error, FsyncPolicy, ProviderId, Result, TransportErrorKind,
+};
 use atomio_version::{TicketMode, VersionManager};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -41,6 +43,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -66,40 +69,72 @@ fn unsupported(role: &'static str) -> (Response, Bytes) {
     fail(Error::Unsupported(role))
 }
 
-/// Hosts a fleet of data providers behind the chunk RPCs.
+/// Hosts a fleet of chunk stores behind the chunk RPCs. The stores are
+/// whatever the deployment's [`BackendConfig`] selects: ephemeral
+/// in-memory [`DataProvider`]s or durable slot-sharded
+/// [`DiskProvider`](atomio_provider::DiskProvider)s that recover their
+/// state when the server restarts over the same `--data-dir`.
 #[derive(Debug)]
 pub struct ProviderService {
-    providers: Vec<Arc<DataProvider>>,
+    providers: Vec<Arc<dyn ChunkStore>>,
 }
 
 impl ProviderService {
-    /// Creates `count` zero-cost providers with ids `0..count`.
+    /// Creates `count` zero-cost in-memory providers with ids
+    /// `0..count` — shorthand for
+    /// [`Self::with_backend`]`(count, &BackendConfig::Memory)`.
     pub fn new(count: usize) -> Self {
+        Self::with_backend(count, &BackendConfig::Memory)
+            .expect("the memory backend cannot fail to open")
+    }
+
+    /// Creates `count` zero-cost stores with ids `0..count` over the
+    /// chosen backend — what the `atomio-provider-server` binary calls
+    /// with its `--data-dir`/`--fsync` flags.
+    ///
+    /// # Errors
+    /// [`Error::Internal`] when a disk backend's directory cannot be
+    /// opened or recovered.
+    pub fn with_backend(count: usize, backend: &BackendConfig) -> Result<Self> {
         let faults = Arc::new(FaultInjector::new(0));
-        Self::from_providers(
+        Ok(Self::from_stores(
             (0..count)
                 .map(|i| {
-                    Arc::new(DataProvider::new(
+                    chunk_store_for(
+                        backend,
                         ProviderId::new(i as u64),
                         CostModel::zero(),
-                        Arc::clone(&faults),
-                    ))
+                        &faults,
+                    )
                 })
+                .collect::<Result<_>>()?,
+        ))
+    }
+
+    /// Hosts caller-built in-memory providers (ids must be unique; any
+    /// cost model). Convenience over [`Self::from_stores`] for harnesses
+    /// that pre-load a [`DataProvider`]; new code should select the
+    /// backend through [`Self::with_backend`].
+    pub fn from_providers(providers: Vec<Arc<DataProvider>>) -> Self {
+        Self::from_stores(
+            providers
+                .into_iter()
+                .map(|p| p as Arc<dyn ChunkStore>)
                 .collect(),
         )
     }
 
-    /// Hosts caller-built providers (ids must be unique; any cost model).
-    pub fn from_providers(providers: Vec<Arc<DataProvider>>) -> Self {
+    /// Hosts caller-built chunk stores (ids must be unique).
+    pub fn from_stores(providers: Vec<Arc<dyn ChunkStore>>) -> Self {
         ProviderService { providers }
     }
 
-    /// The hosted providers.
-    pub fn providers(&self) -> &[Arc<DataProvider>] {
+    /// The hosted stores.
+    pub fn providers(&self) -> &[Arc<dyn ChunkStore>] {
         &self.providers
     }
 
-    fn provider(&self, id: ProviderId) -> Result<&Arc<DataProvider>> {
+    fn provider(&self, id: ProviderId) -> Result<&Arc<dyn ChunkStore>> {
         self.providers
             .iter()
             .find(|p| p.id() == id)
@@ -270,30 +305,60 @@ impl Service for ProviderService {
 #[derive(Debug)]
 pub struct VersionService {
     chunk_size: u64,
+    backend: BackendConfig,
     vms: Mutex<HashMap<u64, Arc<VersionManager>>>,
 }
 
 impl VersionService {
-    /// Creates the service; version managers use `chunk_size` for their
-    /// tree geometry.
+    /// Creates the in-memory service; version managers use `chunk_size`
+    /// for their tree geometry.
     pub fn new(chunk_size: u64) -> Self {
+        Self::with_backend(chunk_size, BackendConfig::Memory)
+    }
+
+    /// Creates the service over the chosen backend — with a disk
+    /// backend each blob's manager keeps a durable publish log under
+    /// `<dir>/version/blob-<id>` and replays it on reopen, so granted
+    /// version numbers and published snapshots survive a server
+    /// restart.
+    pub fn with_backend(chunk_size: u64, backend: BackendConfig) -> Self {
         VersionService {
             chunk_size,
+            backend,
             vms: Mutex::new(HashMap::new()),
         }
     }
 
     /// The hosted version manager for `blob` (lazily created, like a
-    /// blob's first ticket would).
-    pub fn vm(&self, blob: u64) -> Arc<VersionManager> {
-        Arc::clone(self.vms.lock().entry(blob).or_insert_with(|| {
-            Arc::new(VersionManager::new(
+    /// blob's first ticket would; recovered from its publish log on a
+    /// disk backend).
+    ///
+    /// # Errors
+    /// [`Error::Internal`] when a disk backend's publish log cannot be
+    /// opened or recovered.
+    pub fn vm(&self, blob: u64) -> Result<Arc<VersionManager>> {
+        let mut vms = self.vms.lock();
+        if let Some(vm) = vms.get(&blob) {
+            return Ok(Arc::clone(vm));
+        }
+        let vm = Arc::new(match &self.backend {
+            BackendConfig::Memory => VersionManager::new(
                 Arc::new(VersionHistory::new()),
                 TreeConfig::new(self.chunk_size),
                 CostModel::zero(),
                 TicketMode::Pipelined,
-            ))
-        }))
+            ),
+            BackendConfig::Disk { dir, fsync } => VersionManager::durable(
+                dir.join("version").join(format!("blob-{blob}")),
+                Arc::new(VersionHistory::new()),
+                TreeConfig::new(self.chunk_size),
+                CostModel::zero(),
+                TicketMode::Pipelined,
+                *fsync,
+            )?,
+        });
+        vms.insert(blob, Arc::clone(&vm));
+        Ok(vm)
     }
 }
 
@@ -306,7 +371,10 @@ impl Service for VersionService {
                 blob,
                 extents,
                 known,
-            } => match self.vm(blob).ticket_local(&extents, known as usize) {
+            } => match self
+                .vm(blob)
+                .and_then(|vm| vm.ticket_local(&extents, known as usize))
+            {
                 Ok((ticket, extents, delta)) => ok(Response::TicketGrant {
                     ticket,
                     extents,
@@ -315,7 +383,10 @@ impl Service for VersionService {
                 Err(e) => fail(e),
             },
             VmTicketAppend { blob, len, known } => {
-                match self.vm(blob).ticket_append_local(len, known as usize) {
+                match self
+                    .vm(blob)
+                    .and_then(|vm| vm.ticket_append_local(len, known as usize))
+                {
                     Ok((ticket, extents, delta)) => ok(Response::TicketGrant {
                         ticket,
                         extents,
@@ -324,20 +395,30 @@ impl Service for VersionService {
                     Err(e) => fail(e),
                 }
             }
-            VmPublish { blob, ticket, root } => match self.vm(blob).publish_local(ticket, root) {
-                Ok(()) => ok(Response::Unit),
+            VmPublish { blob, ticket, root } => {
+                match self.vm(blob).and_then(|vm| vm.publish_local(ticket, root)) {
+                    Ok(()) => ok(Response::Unit),
+                    Err(e) => fail(e),
+                }
+            }
+            VmIsPublished { blob, version } => match self.vm(blob) {
+                Ok(vm) => ok(Response::Flag {
+                    value: vm.is_published(version),
+                }),
                 Err(e) => fail(e),
             },
-            VmIsPublished { blob, version } => ok(Response::Flag {
-                value: self.vm(blob).is_published(version),
-            }),
-            VmLatest { blob } => ok(Response::Snapshot {
-                record: self.vm(blob).latest_local(),
-            }),
-            VmSnapshot { blob, version } => match self.vm(blob).snapshot_local(version) {
-                Ok(record) => ok(Response::Snapshot { record }),
+            VmLatest { blob } => match self.vm(blob) {
+                Ok(vm) => ok(Response::Snapshot {
+                    record: vm.latest_local(),
+                }),
                 Err(e) => fail(e),
             },
+            VmSnapshot { blob, version } => {
+                match self.vm(blob).and_then(|vm| vm.snapshot_local(version)) {
+                    Ok(record) => ok(Response::Snapshot { record }),
+                    Err(e) => fail(e),
+                }
+            }
             _ => unsupported("chunk/metadata op sent to a version server"),
         }
     }
@@ -347,22 +428,42 @@ impl Service for VersionService {
 /// metadata and version RPCs.
 #[derive(Debug)]
 pub struct MetaService {
-    store: Arc<MetaStore>,
+    store: Arc<dyn LocalNodeStore>,
     versions: VersionService,
 }
 
 impl MetaService {
-    /// Creates `shards` zero-cost metadata shards; version managers use
-    /// `chunk_size` for their tree geometry.
+    /// Creates `shards` zero-cost in-memory metadata shards; version
+    /// managers use `chunk_size` for their tree geometry — shorthand for
+    /// [`Self::with_backend`]`(shards, chunk_size, &BackendConfig::Memory)`.
     pub fn new(shards: usize, chunk_size: u64) -> Self {
-        MetaService {
-            store: Arc::new(MetaStore::new(shards, CostModel::zero())),
-            versions: VersionService::new(chunk_size),
-        }
+        Self::with_backend(shards, chunk_size, &BackendConfig::Memory)
+            .expect("the memory backend cannot fail to open")
+    }
+
+    /// Creates the service over the chosen backend — what the
+    /// `atomio-meta-server` binary calls with its
+    /// `--data-dir`/`--fsync` flags. A disk backend recovers the shard
+    /// node logs under `<dir>/meta` and keeps the nested version
+    /// managers' publish logs under `<dir>/version`.
+    ///
+    /// # Errors
+    /// [`Error::Internal`] when a disk backend's directory cannot be
+    /// opened or recovered.
+    pub fn with_backend(shards: usize, chunk_size: u64, backend: &BackendConfig) -> Result<Self> {
+        Ok(MetaService {
+            store: node_store_for(
+                backend,
+                shards,
+                CostModel::zero(),
+                Arc::new(ClientNics::new()),
+            )?,
+            versions: VersionService::with_backend(chunk_size, backend.clone()),
+        })
     }
 
     /// The hosted metadata store.
-    pub fn store(&self) -> &Arc<MetaStore> {
+    pub fn store(&self) -> &Arc<dyn LocalNodeStore> {
         &self.store
     }
 
@@ -683,6 +784,12 @@ pub struct ServerArgs {
     /// `--chunk-size BYTES` (meta and version servers, which carry the
     /// tree geometry; the provider role rejects it).
     pub chunk_size: u64,
+    /// `--data-dir PATH`: root of this role's durable state. `None`
+    /// (the default) keeps the in-memory backend.
+    pub data_dir: Option<PathBuf>,
+    /// `--fsync per-publish|group:N|deferred`: durability policy of a
+    /// disk backend (ignored without `--data-dir`).
+    pub fsync: FsyncPolicy,
     /// Transport/dispatcher tuning assembled from the `--workers`,
     /// `--read-timeout-ms`, `--write-timeout-ms`, and `--backoff-ms`
     /// style flags (defaults from [`RpcConfig::default`]).
@@ -691,6 +798,9 @@ pub struct ServerArgs {
 
 impl ServerArgs {
     /// Parses `<addr> [--COUNT_FLAG n] [--chunk-size bytes]` plus the
+    /// backend flags `--data-dir path` and
+    /// `--fsync per-publish|group:N|deferred` (every role: each of the
+    /// three services owns durable state under a disk backend) and the
     /// shared [`RpcConfig`] flags: `--workers n`, `--pool-conns n`,
     /// `--mux-streams-per-conn n`, `--connect-timeout-ms n`,
     /// `--read-timeout-ms n`, `--write-timeout-ms n`,
@@ -712,6 +822,8 @@ impl ServerArgs {
             addr,
             count: default_count,
             chunk_size: 64 * 1024,
+            data_dir: None,
+            fsync: FsyncPolicy::default(),
             cfg: RpcConfig::default(),
         };
         while let Some(flag) = args.next() {
@@ -725,6 +837,11 @@ impl ServerArgs {
                     return Err("--chunk-size: this role has no chunk geometry".into());
                 }
                 parsed.chunk_size = value.parse().map_err(|_| bad())?;
+            } else if flag == "--data-dir" {
+                parsed.data_dir = Some(PathBuf::from(&value));
+            } else if flag == "--fsync" {
+                parsed.fsync =
+                    FsyncPolicy::parse(&value).map_err(|e| format!("bad {flag}: {e}"))?;
             } else if flag == "--workers" {
                 parsed.cfg.server_workers = value.parse().map_err(|_| bad())?;
             } else if flag == "--pool-conns" {
@@ -746,6 +863,16 @@ impl ServerArgs {
             }
         }
         Ok(parsed)
+    }
+
+    /// The storage backend these flags select: a disk backend rooted at
+    /// `--data-dir` with the `--fsync` policy, or the in-memory default
+    /// when `--data-dir` was not given.
+    pub fn backend(&self) -> BackendConfig {
+        match &self.data_dir {
+            Some(dir) => BackendConfig::disk(dir).with_fsync(self.fsync),
+            None => BackendConfig::Memory,
+        }
     }
 }
 
@@ -785,6 +912,7 @@ pub fn server_usage(name: &str, count_flag: Option<&str>, accepts_chunk_size: bo
     if accepts_chunk_size {
         usage.push_str(" [--chunk-size BYTES]");
     }
+    usage.push_str(" [--data-dir PATH] [--fsync per-publish|group:N|deferred]");
     for flag in SHARED_FLAGS {
         usage.push_str(&format!(" [{flag} N]"));
     }

@@ -74,6 +74,17 @@ pub enum Error {
     Internal(String),
 }
 
+impl Error {
+    /// Wraps an I/O failure from a durable backend as an
+    /// [`Error::Internal`] with context. The error enum deliberately has
+    /// no dedicated I/O variant: disk failures are deployment faults,
+    /// not protocol states, so nothing in the wire codec needs to change
+    /// to carry them.
+    pub fn io(context: impl std::fmt::Display, err: std::io::Error) -> Error {
+        Error::Internal(format!("{context}: {err}"))
+    }
+}
+
 /// Why a transport operation failed (see [`Error::Transport`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]

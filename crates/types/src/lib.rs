@@ -14,13 +14,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod chunk;
 pub mod error;
 pub mod extent;
 pub mod ids;
 pub mod range;
+pub mod record;
 pub mod stamp;
+pub mod tempdir;
 
+pub use backend::{BackendConfig, FsyncPolicy};
 pub use chunk::{ChunkGeometry, ChunkKey, ChunkSpan};
 pub use error::{Error, Result, TransportErrorKind};
 pub use extent::ExtentList;

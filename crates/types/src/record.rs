@@ -1,0 +1,361 @@
+//! Record framing for the durable append-only logs.
+//!
+//! Every on-disk file of the disk backends — provider part files, meta
+//! node logs, the version manager's publish log, and the per-directory
+//! superblocks — is a sequence of self-delimiting records:
+//!
+//! ```text
+//! magic:u32 | kind:u8 | body_len:u32 | checksum:u64 | body bytes
+//! ```
+//!
+//! All integers are big-endian; the checksum covers `kind`, `body_len`,
+//! and the body. A **torn tail** (the crash landed mid-append) shows up
+//! as a record whose magic, length, or checksum does not hold:
+//! [`scan_records`] stops there and reports the valid prefix length, so
+//! recovery truncates the file back to the last whole record instead of
+//! failing — the SPDK-BlobStore-style load path.
+
+use crate::stamp::mix64;
+
+/// Bytes of the fixed record header (`magic + kind + body_len + checksum`).
+pub const RECORD_HEADER_BYTES: usize = 4 + 1 + 4 + 8;
+
+/// Frame magic leading every record ("aior").
+pub const RECORD_MAGIC: u32 = 0x6169_6F72;
+
+/// Largest body any log record may carry (a corrupted length field must
+/// not trigger a huge allocation during a recovery scan).
+pub const MAX_RECORD_BODY: usize = 64 * 1024 * 1024;
+
+/// Checksum of one record: the header fields and body folded through the
+/// same multiply–xor mixer the chunk checksums use.
+fn record_checksum(kind: u8, body: &[u8]) -> u64 {
+    let mut acc = mix64(0x5EED_1065 ^ ((kind as u64) << 32) ^ body.len() as u64);
+    let mut words = body.chunks_exact(8);
+    for word in &mut words {
+        acc = mix64(acc ^ u64::from_le_bytes(word.try_into().unwrap()));
+    }
+    let rest = words.remainder();
+    if !rest.is_empty() {
+        let mut word = [0u8; 8];
+        word[..rest.len()].copy_from_slice(rest);
+        acc = mix64(acc ^ u64::from_le_bytes(word));
+    }
+    acc
+}
+
+/// Appends one framed record to `buf`.
+pub fn append_record(buf: &mut Vec<u8>, kind: u8, body: &[u8]) {
+    buf.extend_from_slice(&RECORD_MAGIC.to_be_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&record_checksum(kind, body).to_be_bytes());
+    buf.extend_from_slice(body);
+}
+
+/// Encodes one framed record as an owned buffer.
+pub fn encode_record(kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(RECORD_HEADER_BYTES + body.len());
+    append_record(&mut buf, kind, body);
+    buf
+}
+
+/// One record recovered by [`scan_records`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// The record's kind tag.
+    pub kind: u8,
+    /// Absolute offset of the record's body within the scanned file.
+    pub body_offset: u64,
+    /// The record body.
+    pub body: Vec<u8>,
+}
+
+/// Result of scanning one log file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecordScan {
+    /// Whole, checksum-valid records, in file order.
+    pub records: Vec<ScannedRecord>,
+    /// Length of the valid prefix: truncate the file here when
+    /// `truncated` is set.
+    pub valid_len: u64,
+    /// True when bytes past `valid_len` exist but do not form a whole
+    /// valid record (a torn tail).
+    pub truncated: bool,
+}
+
+/// Parses the one record starting at byte `pos`, returning it and the
+/// offset just past it — `None` when the bytes there are torn or
+/// corrupt. Logs that interleave out-of-frame payloads with their
+/// records (the provider part files) drive this directly instead of
+/// [`scan_records`].
+pub fn read_record_at(bytes: &[u8], pos: usize) -> Option<(ScannedRecord, usize)> {
+    let rest = bytes.get(pos..)?;
+    if rest.len() < RECORD_HEADER_BYTES {
+        return None;
+    }
+    let magic = u32::from_be_bytes(rest[0..4].try_into().unwrap());
+    if magic != RECORD_MAGIC {
+        return None;
+    }
+    let kind = rest[4];
+    let body_len = u32::from_be_bytes(rest[5..9].try_into().unwrap()) as usize;
+    let checksum = u64::from_be_bytes(rest[9..17].try_into().unwrap());
+    if body_len > MAX_RECORD_BODY || rest.len() < RECORD_HEADER_BYTES + body_len {
+        return None;
+    }
+    let body = &rest[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + body_len];
+    if record_checksum(kind, body) != checksum {
+        return None;
+    }
+    Some((
+        ScannedRecord {
+            kind,
+            body_offset: (pos + RECORD_HEADER_BYTES) as u64,
+            body: body.to_vec(),
+        },
+        pos + RECORD_HEADER_BYTES + body_len,
+    ))
+}
+
+/// Walks `bytes` record by record, stopping at the first torn or
+/// corrupt one. Never fails: damage is reported as a shorter
+/// `valid_len` plus the `truncated` flag.
+pub fn scan_records(bytes: &[u8]) -> RecordScan {
+    let mut scan = RecordScan::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some((record, next)) = read_record_at(bytes, pos) else {
+            scan.truncated = true;
+            return scan;
+        };
+        scan.records.push(record);
+        pos = next;
+        scan.valid_len = pos as u64;
+    }
+    scan
+}
+
+/// Record kind of a superblock (the first record of every backend
+/// directory's `superblock` file).
+pub const SUPERBLOCK_KIND: u8 = 0;
+
+/// Encodes a superblock body: on-disk format version, slot count, and a
+/// role-specific tag (provider id, shard count, …) that guards against
+/// pointing the wrong role — or the wrong instance — at a directory.
+pub fn encode_superblock(format_version: u32, slot_count: u32, tag: u64) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16);
+    body.extend_from_slice(&format_version.to_be_bytes());
+    body.extend_from_slice(&slot_count.to_be_bytes());
+    body.extend_from_slice(&tag.to_be_bytes());
+    body
+}
+
+/// Decodes a superblock body encoded by [`encode_superblock`].
+pub fn decode_superblock(body: &[u8]) -> Option<(u32, u32, u64)> {
+    if body.len() != 16 {
+        return None;
+    }
+    Some((
+        u32::from_be_bytes(body[0..4].try_into().unwrap()),
+        u32::from_be_bytes(body[4..8].try_into().unwrap()),
+        u64::from_be_bytes(body[8..16].try_into().unwrap()),
+    ))
+}
+
+/// On-disk format version every disk backend stamps into its superblock.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Reads (validating) or writes the superblock of a backend directory,
+/// returning the directory's slot count. Shared by every disk backend —
+/// the provider stamps its provider id into `tag`, the meta store its
+/// shard count, the publish log its blob id — so pointing the wrong
+/// role, or the wrong instance, at a directory fails loudly instead of
+/// interleaving foreign logs.
+///
+/// # Errors
+/// [`Error`](crate::Error)`::Internal` on I/O failure, a corrupt or
+/// foreign superblock, or a format-version mismatch.
+pub fn load_or_init_superblock(
+    path: &std::path::Path,
+    slot_count: u32,
+    tag: u64,
+    role: &str,
+) -> crate::Result<u32> {
+    use crate::Error;
+    if path.exists() {
+        let contents =
+            std::fs::read(path).map_err(|e| Error::io(format!("{role} read superblock"), e))?;
+        let scan = scan_records(&contents);
+        let rec = scan
+            .records
+            .first()
+            .filter(|r| r.kind == SUPERBLOCK_KIND && !scan.truncated)
+            .ok_or_else(|| Error::Internal(format!("{role}: corrupt superblock")))?;
+        let (format, slots, disk_tag) = decode_superblock(&rec.body)
+            .ok_or_else(|| Error::Internal(format!("{role}: malformed superblock")))?;
+        if format != FORMAT_VERSION {
+            return Err(Error::Internal(format!(
+                "{role}: on-disk format v{format}, this build speaks v{FORMAT_VERSION}"
+            )));
+        }
+        if disk_tag != tag {
+            return Err(Error::Internal(format!(
+                "{role}: directory belongs to a different instance (tag {disk_tag}, expected {tag})"
+            )));
+        }
+        Ok(slots)
+    } else {
+        use std::io::Write as _;
+        let mut framed = Vec::new();
+        append_record(
+            &mut framed,
+            SUPERBLOCK_KIND,
+            &encode_superblock(FORMAT_VERSION, slot_count, tag),
+        );
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| Error::io(format!("{role} create superblock"), e))?;
+        file.write_all(&framed)
+            .and_then(|_| file.sync_data())
+            .map_err(|e| Error::io(format!("{role} write superblock"), e))?;
+        Ok(slot_count)
+    }
+}
+
+/// A bounds-checked cursor over a record body, for the hand-rolled
+/// fixed-layout codecs the disk backends use (the rpc value codec lives
+/// above these crates, so they frame their own bytes).
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let bytes = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_be_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_be_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let bytes = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(bytes)
+    }
+
+    /// True when the whole buffer has been consumed — decoders check
+    /// this so trailing garbage is rejected, not ignored.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, 1, b"hello");
+        append_record(&mut buf, 2, b"");
+        append_record(&mut buf, 1, &[7u8; 1000]);
+        let scan = scan_records(&buf);
+        assert!(!scan.truncated);
+        assert_eq!(scan.valid_len, buf.len() as u64);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[0].kind, 1);
+        assert_eq!(scan.records[0].body, b"hello");
+        assert_eq!(scan.records[0].body_offset, RECORD_HEADER_BYTES as u64);
+        assert_eq!(scan.records[1].body, b"");
+        assert_eq!(scan.records[2].body, vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_fatal() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, 1, b"whole");
+        let keep = buf.len() as u64;
+        let mut torn = buf.clone();
+        append_record(&mut torn, 1, b"torn record");
+        torn.truncate(buf.len() + RECORD_HEADER_BYTES + 3); // mid-body
+        let scan = scan_records(&torn);
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len, keep);
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn flipped_body_byte_stops_the_scan() {
+        let mut buf = Vec::new();
+        append_record(&mut buf, 1, b"aaaa");
+        append_record(&mut buf, 1, b"bbbb");
+        let second_body = buf.len() - 4;
+        buf[second_body] ^= 0xFF;
+        let scan = scan_records(&buf);
+        assert!(scan.truncated);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].body, b"aaaa");
+    }
+
+    #[test]
+    fn garbage_magic_yields_empty_scan() {
+        let scan = scan_records(&[
+            0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+        ]);
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.records.is_empty());
+    }
+
+    #[test]
+    fn oversized_declared_body_is_a_torn_tail() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&RECORD_MAGIC.to_be_bytes());
+        buf.push(1);
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(&0u64.to_be_bytes());
+        let scan = scan_records(&buf);
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let body = encode_superblock(1, 8, 42);
+        assert_eq!(decode_superblock(&body), Some((1, 8, 42)));
+        assert_eq!(decode_superblock(&body[..15]), None);
+    }
+
+    #[test]
+    fn byte_reader_bounds_checks() {
+        let mut r = ByteReader::new(&[1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3]);
+        assert_eq!(r.u8(), Some(1));
+        assert_eq!(r.u32(), Some(2));
+        assert_eq!(r.u64(), Some(3));
+        assert!(r.done());
+        assert_eq!(r.u8(), None);
+    }
+}

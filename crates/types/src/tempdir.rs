@@ -1,0 +1,66 @@
+//! Process-unique scratch directories for tests, benches, and the
+//! durability experiments (the workspace vendors no `tempfile` crate).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root, removed (recursively) on
+/// drop. Uniqueness comes from the pid, a process-wide counter, and the
+/// wall clock, so concurrent test processes and leftover dirs from
+/// killed runs cannot collide.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `TMPDIR/<prefix>-<pid>-<nanos>-<counter>`.
+    ///
+    /// # Panics
+    /// Panics when the directory cannot be created — these are test
+    /// scaffolds, and a broken temp root should fail loudly.
+    pub fn new(prefix: &str) -> Self {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{nanos}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdirs_are_unique_and_cleaned_up() {
+        let a = TempDir::new("atomio-test");
+        let b = TempDir::new("atomio-test");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        std::fs::write(kept.join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists());
+    }
+}

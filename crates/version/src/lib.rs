@@ -23,8 +23,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod log;
 pub mod manager;
 pub mod oracle;
 
+pub use log::{LogStats, PublishLog, PublishRecord};
 pub use manager::{PublicationStats, SnapshotRecord, Ticket, TicketMode, VersionManager};
 pub use oracle::VersionOracle;

@@ -12,6 +12,10 @@
 #                                    # three-service distributed
 #                                    # atomicity, and WAL drain
 #                                    # equivalence suites
+#   VERIFY_DISK=1 scripts/verify.sh  # also run the crash-durability
+#                                    # suite and rerun the equivalence
+#                                    # suites with every hosted service
+#                                    # on the disk backend (ATOMIO_DISK=1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +51,25 @@ if [[ "${VERIFY_TCP:-0}" == "1" ]]; then
 
     echo "== transport-tcp: rpc unit suite under thread contention =="
     cargo test -q --offline -p atomio-rpc -- --test-threads=16
+fi
+
+if [[ "${VERIFY_DISK:-0}" == "1" ]]; then
+    echo "== disk: crash-durability suite (hard-drop reopen, torn tails, grant rollback) =="
+    cargo test -q --offline --test durability
+
+    # The equivalence suites take ATOMIO_DISK=1 as a backend switch:
+    # every hosted service (providers, meta shards, version manager)
+    # runs on the durable disk backend in a fresh temp dir, proving the
+    # substrate swap changes no bytes, versions, or metadata — incl.
+    # the kill→restart→recover distributed-atomicity arm.
+    echo "== disk: distributed atomicity on the disk backend (ATOMIO_DISK=1) =="
+    ATOMIO_DISK=1 cargo test -q --offline --test distributed_atomicity
+
+    echo "== disk: transport equivalence on the disk backend (ATOMIO_DISK=1) =="
+    ATOMIO_DISK=1 cargo test -q --offline --test transport_equivalence
+
+    echo "== disk: WAL drain equivalence on the disk backend (ATOMIO_DISK=1) =="
+    ATOMIO_DISK=1 cargo test -q --offline --test wal_equivalence
 fi
 
 echo "verify: all gates passed"

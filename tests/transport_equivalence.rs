@@ -15,7 +15,7 @@
 
 use atomio::core::{ReadVersion, Store, StoreConfig, TransportMode};
 use atomio::meta::{LeafEntry, Node, NodeBody, NodeKey};
-use atomio::provider::{ChunkStore, DataProvider, ProviderManager};
+use atomio::provider::{chunk_store_for, ChunkStore, ProviderManager};
 use atomio::rpc::{
     dial, Loopback, MetaService, MuxTransport, ProviderService, RemoteMetaStore, RemoteProvider,
     RemoteVersionManager, Request, Response, RpcConfig, RpcMode, RpcServer, Service, TcpTransport,
@@ -23,8 +23,10 @@ use atomio::rpc::{
 };
 use atomio::simgrid::clock::run_actors_on;
 use atomio::simgrid::{CostModel, FaultInjector, Metrics, SimClock};
+use atomio::types::tempdir::TempDir;
 use atomio::types::{
-    BlobId, ByteRange, ChunkId, Error, ExtentList, ProviderId, TransportErrorKind, VersionId,
+    BackendConfig, BlobId, ByteRange, ChunkId, Error, ExtentList, ProviderId, TransportErrorKind,
+    VersionId,
 };
 use bytes::Bytes;
 use std::sync::Arc;
@@ -44,11 +46,34 @@ fn base_config(providers: usize) -> StoreConfig {
         .with_seed(SEED)
 }
 
+/// The hosted services' storage backend: in-memory by default, durable
+/// disk under `tmp` when `ATOMIO_DISK=1` — the equivalence suite then
+/// doubles as a Memory-vs-Disk equivalence proof over real sockets.
+fn env_backend(tmp: &TempDir) -> BackendConfig {
+    if std::env::var("ATOMIO_DISK").ok().as_deref() == Some("1") {
+        BackendConfig::disk(tmp.path())
+    } else {
+        BackendConfig::Memory
+    }
+}
+
+/// One server-hosted chunk store over the chosen backend.
+fn hosted_store(i: usize, backend: &BackendConfig) -> Arc<dyn ChunkStore> {
+    chunk_store_for(
+        backend,
+        ProviderId::new(i as u64),
+        CostModel::zero(),
+        &Arc::new(FaultInjector::new(0)),
+    )
+    .expect("open hosted chunk store")
+}
+
 /// A remote store plus the live servers backing it. One provider server
 /// per data provider, so the failover test can kill an exact replica set.
 struct RemoteDeployment {
     provider_servers: Vec<RpcServer>,
     _meta_server: RpcServer,
+    _tmp: TempDir,
     store: Store,
 }
 
@@ -62,18 +87,17 @@ fn remote_store_with(
     metrics: Option<Metrics>,
 ) -> RemoteDeployment {
     let config = base_config(providers).with_transport_mode(TransportMode::Tcp);
+    let tmp = TempDir::new("atomio-transport");
+    let backend = env_backend(&tmp);
 
     let mut provider_servers = Vec::new();
-    let mut stores: Vec<Arc<dyn atomio::provider::ChunkStore>> = Vec::new();
+    let mut stores: Vec<Arc<dyn ChunkStore>> = Vec::new();
     for i in 0..providers {
-        let hosted = Arc::new(DataProvider::new(
-            ProviderId::new(i as u64),
-            CostModel::zero(),
-            Arc::new(FaultInjector::new(0)),
-        ));
         let server = RpcServer::start(
             "127.0.0.1:0",
-            Arc::new(ProviderService::from_providers(vec![hosted])),
+            Arc::new(ProviderService::from_stores(vec![hosted_store(
+                i, &backend,
+            )])),
         )
         .expect("bind provider server");
         let transport = dial(
@@ -91,7 +115,10 @@ fn remote_store_with(
 
     let meta_server = RpcServer::start(
         "127.0.0.1:0",
-        Arc::new(MetaService::new(config.meta_shards, CHUNK)),
+        Arc::new(
+            MetaService::with_backend(config.meta_shards, CHUNK, &backend)
+                .expect("open meta service"),
+        ),
     )
     .expect("bind meta server");
     let meta_transport = dial(
@@ -113,6 +140,7 @@ fn remote_store_with(
     RemoteDeployment {
         provider_servers,
         _meta_server: meta_server,
+        _tmp: tmp,
         store,
     }
 }
@@ -123,16 +151,14 @@ fn remote_store_with(
 /// for the byte-counter parity check.
 fn loopback_rpc_store(providers: usize, metrics: Metrics) -> Store {
     let config = base_config(providers);
-    let mut stores: Vec<Arc<dyn atomio::provider::ChunkStore>> = Vec::new();
+    let mut stores: Vec<Arc<dyn ChunkStore>> = Vec::new();
     for i in 0..providers {
-        let hosted = Arc::new(DataProvider::new(
-            ProviderId::new(i as u64),
-            CostModel::zero(),
-            Arc::new(FaultInjector::new(0)),
-        ));
         let transport: Arc<dyn Transport> = Arc::new(
-            Loopback::new(Arc::new(ProviderService::from_providers(vec![hosted])))
-                .with_metrics(metrics.clone()),
+            Loopback::new(Arc::new(ProviderService::from_stores(vec![hosted_store(
+                i,
+                &BackendConfig::Memory,
+            )])))
+            .with_metrics(metrics.clone()),
         );
         stores.push(Arc::new(RemoteProvider::new(
             ProviderId::new(i as u64),

@@ -13,7 +13,7 @@
 
 use atomio::core::{CommitMode, ReadVersion, Store, StoreConfig, TransportMode};
 use atomio::meta::NodeKey;
-use atomio::provider::{DataProvider, ProviderManager};
+use atomio::provider::{chunk_store_for, ChunkStore, ProviderManager};
 use atomio::rpc::{
     dial, MetaService, ProviderService, RemoteMetaStore, RemoteProvider, RemoteVersionManager,
     RpcConfig, RpcMode, RpcServer, Service, VersionService,
@@ -21,8 +21,10 @@ use atomio::rpc::{
 use atomio::simgrid::clock::run_actors_on;
 use atomio::simgrid::{CostModel, FaultInjector, SimClock};
 use atomio::types::stamp::WriteStamp;
+use atomio::types::tempdir::TempDir;
 use atomio::types::{
-    ByteRange, ClientId, Error, ExtentList, ProviderId, TransportErrorKind, VersionId,
+    BackendConfig, ByteRange, ClientId, Error, ExtentList, ProviderId, TransportErrorKind,
+    VersionId,
 };
 use atomio::workloads::{CheckpointWorkload, TileWorkload};
 use bytes::Bytes;
@@ -51,7 +53,19 @@ struct ThreeServiceDeployment {
     version_server: RpcServer,
     version_service: Arc<VersionService>,
     version_addr: SocketAddr,
+    _tmp: TempDir,
     store: Store,
+}
+
+/// The hosted services' storage backend: in-memory by default, durable
+/// disk under `tmp` when `ATOMIO_DISK=1`, so the logged-mode
+/// equivalence proof also runs over recovered-capable substrates.
+fn env_backend(tmp: &TempDir) -> BackendConfig {
+    if std::env::var("ATOMIO_DISK").ok().as_deref() == Some("1") {
+        BackendConfig::disk(tmp.path())
+    } else {
+        BackendConfig::Memory
+    }
 }
 
 fn three_service_store(
@@ -62,18 +76,22 @@ fn three_service_store(
     let config = base_config(providers)
         .with_transport_mode(TransportMode::Tcp)
         .with_commit_mode(commit);
+    let tmp = TempDir::new("atomio-wal");
+    let backend = env_backend(&tmp);
 
     let mut provider_servers = Vec::new();
-    let mut stores: Vec<Arc<dyn atomio::provider::ChunkStore>> = Vec::new();
+    let mut stores: Vec<Arc<dyn ChunkStore>> = Vec::new();
     for i in 0..providers {
-        let hosted = Arc::new(DataProvider::new(
+        let hosted = chunk_store_for(
+            &backend,
             ProviderId::new(i as u64),
             CostModel::zero(),
-            Arc::new(FaultInjector::new(0)),
-        ));
+            &Arc::new(FaultInjector::new(0)),
+        )
+        .expect("open hosted chunk store");
         let server = RpcServer::start(
             "127.0.0.1:0",
-            Arc::new(ProviderService::from_providers(vec![hosted])),
+            Arc::new(ProviderService::from_stores(vec![hosted])),
         )
         .expect("bind provider server");
         let transport = dial(server.local_addr(), mode, RpcConfig::default(), None);
@@ -86,12 +104,15 @@ fn three_service_store(
 
     let meta_server = RpcServer::start(
         "127.0.0.1:0",
-        Arc::new(MetaService::new(config.meta_shards, CHUNK)),
+        Arc::new(
+            MetaService::with_backend(config.meta_shards, CHUNK, &backend)
+                .expect("open meta service"),
+        ),
     )
     .expect("bind meta server");
     let meta_transport = dial(meta_server.local_addr(), mode, RpcConfig::default(), None);
 
-    let version_service = Arc::new(VersionService::new(CHUNK));
+    let version_service = Arc::new(VersionService::with_backend(CHUNK, backend.clone()));
     let version_server = RpcServer::start(
         "127.0.0.1:0",
         Arc::clone(&version_service) as Arc<dyn Service>,
@@ -119,6 +140,7 @@ fn three_service_store(
         _meta_server: meta_server,
         version_server,
         version_service,
+        _tmp: tmp,
         version_addr,
         store,
     }
