@@ -1,0 +1,103 @@
+//! E10 — extension: reclamation concurrent with live writers.
+//!
+//! Versioning trades overwrite-in-place for snapshots, so something must
+//! eventually take the superseded ones back. This experiment measures
+//! what that collection costs the writers: an iterative checkpoint burst
+//! (halo-overlapped slabs, `KeepLast(2)` retention) runs under three
+//! reclamation arms — no GC at all (the storage-growth baseline), a
+//! stop-the-world collector that stalls every rank between iterations,
+//! and the lease-aware concurrent collector running capped passes beside
+//! the writers. Reported per arm: write throughput, worst per-iteration
+//! ack latency, bytes reclaimed, and reclaim throughput.
+//!
+//! Run: `cargo run -p atomio-bench --release --bin exp10_gc`
+
+use atomio_bench::report::{gc_stat_entries, results_dir};
+use atomio_bench::{BenchConfig, ExperimentReport, Row};
+use atomio_core::{Store, StoreConfig};
+use atomio_simgrid::SimClock;
+use atomio_types::RetentionPolicy;
+use atomio_workloads::{run_checkpoint_with_gc, CheckpointWorkload, GcLoadOutcome, GcMode};
+
+const ITERS: u64 = 6;
+
+fn run_arm(cfg: &BenchConfig, writers: usize, mode: GcMode) -> (GcLoadOutcome, Store) {
+    let store = Store::new(
+        StoreConfig::default()
+            .with_cost(cfg.cost)
+            .with_chunk_size(cfg.chunk_size)
+            .with_data_providers(cfg.servers)
+            .with_meta_shards(cfg.meta_shards)
+            .with_retention(RetentionPolicy::KeepLast(2)),
+    );
+    let blob = store.create_blob();
+    // ~2 MiB slab per rank, 64 KiB halos: neighbouring dumps overlap, so
+    // every iteration is a real concurrent atomic write round.
+    let workload = CheckpointWorkload::new(writers, 256 * 1024, 8, 8 * 1024);
+    let clock = SimClock::new();
+    let out = run_checkpoint_with_gc(&clock, &blob, &workload, ITERS, mode);
+    (out, store)
+}
+
+fn main() {
+    let cfg = BenchConfig::default();
+    let mut report = ExperimentReport::new(
+        "E10",
+        "concurrent reclamation: write cost of GC beside live writers (KeepLast(2))",
+        "writers",
+    );
+    report.note(format!(
+        "{ITERS} checkpoint iterations, 2 MiB slabs + 64 KiB halos, {} providers",
+        cfg.servers
+    ));
+
+    let arms = [
+        (GcMode::Off, "no-gc"),
+        (GcMode::StopTheWorld, "stop-the-world"),
+        (GcMode::Concurrent, "concurrent"),
+    ];
+    for &writers in &[1usize, 4, 8, 16] {
+        let mut baseline_ack_us = None;
+        for (mode, label) in arms {
+            let (out, store) = run_arm(&cfg, writers, mode);
+            let elapsed_s = out.elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+            report.push(Row {
+                x: writers as u64,
+                backend: label.into(),
+                throughput_mib_s: out.total_bytes as f64 / (1024.0 * 1024.0) / elapsed_s,
+                elapsed_s,
+                bytes: out.total_bytes,
+                atomic_ok: None,
+            });
+            let ack_us = out.iter_ack_max.as_micros() as f64;
+            match mode {
+                GcMode::Off => baseline_ack_us = Some(ack_us),
+                _ => {
+                    let tax = baseline_ack_us
+                        .map(|base| (ack_us / base.max(f64::MIN_POSITIVE) - 1.0) * 100.0)
+                        .unwrap_or(0.0);
+                    report.note(format!(
+                        "{label} @ {writers:>2} writers: retired {} versions, reclaimed \
+                         {:.1} MiB ({:.1} MiB/s) in {} passes; iteration-latency tax {tax:+.1}%",
+                        out.versions_retired,
+                        out.bytes_reclaimed as f64 / (1024.0 * 1024.0),
+                        out.reclaim_mib_s(),
+                        out.gc_passes,
+                    ));
+                }
+            }
+            // Representative gc.* counters: the concurrent arm at the
+            // widest sweep point.
+            if writers == 16 && mode == GcMode::Concurrent {
+                report.stats = gc_stat_entries(store.metrics());
+            }
+        }
+        eprintln!("  ... {writers} writers done");
+    }
+
+    println!("{}", report.render_table());
+    match report.save_json(results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save JSON: {e}"),
+    }
+}

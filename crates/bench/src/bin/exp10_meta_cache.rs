@@ -20,7 +20,7 @@ fn main() {
     const PASSES: usize = 4;
 
     let mut report = ExperimentReport::new(
-        "E10",
+        "E10mc",
         "client metadata cache: repeated snapshot reads (32 MiB, 4 passes)",
         "readers",
     );

@@ -2,7 +2,7 @@
 //!
 //! The experiment harness: shared backend setup, measurement plumbing,
 //! and report formatting for the paper-reproduction experiments E1–E8
-//! (see `DESIGN.md` §6 and `EXPERIMENTS.md`). One binary per experiment
+//! (see `DESIGN.md` §7 and `EXPERIMENTS.md`). One binary per experiment
 //! lives in `src/bin/`; criterion microbenches live in `benches/`.
 
 #![warn(missing_docs)]

@@ -303,14 +303,27 @@ pub fn rpc_counter_stats(metrics: &atomio_simgrid::Metrics) -> Vec<StatEntry> {
 /// used a WAL — Direct-mode reports (e7a–e and earlier) stay
 /// byte-identical.
 pub fn wal_stat_entries(metrics: &atomio_simgrid::Metrics) -> Vec<StatEntry> {
+    namespaced_stat_entries(metrics, "wal.")
+}
+
+/// Extracts the reclamation statistics (`gc.*` namespace — passes,
+/// versions retired, chunks/nodes evicted, bytes reclaimed, pass times,
+/// live-lease gauge) from a metrics registry, flattened exactly like
+/// [`wal_stat_entries`]. Empty when the run never ran a collector, so
+/// GC-less reports (everything before E10) stay byte-identical.
+pub fn gc_stat_entries(metrics: &atomio_simgrid::Metrics) -> Vec<StatEntry> {
+    namespaced_stat_entries(metrics, "gc.")
+}
+
+fn namespaced_stat_entries(metrics: &atomio_simgrid::Metrics, prefix: &str) -> Vec<StatEntry> {
     let mut out: Vec<StatEntry> = metrics
         .counter_snapshot()
         .into_iter()
-        .filter(|(name, _)| name.starts_with("wal."))
+        .filter(|(name, _)| name.starts_with(prefix))
         .map(|(name, value)| StatEntry { name, value })
         .collect();
     for (name, sum, count, max) in metrics.time_snapshot() {
-        if !name.starts_with("wal.") || count == 0 {
+        if !name.starts_with(prefix) || count == 0 {
             continue;
         }
         out.push(StatEntry {
@@ -323,7 +336,7 @@ pub fn wal_stat_entries(metrics: &atomio_simgrid::Metrics) -> Vec<StatEntry> {
         });
     }
     for (name, sum, count, max) in metrics.value_snapshot() {
-        if !name.starts_with("wal.") || count == 0 {
+        if !name.starts_with(prefix) || count == 0 {
             continue;
         }
         out.push(StatEntry {
@@ -502,6 +515,29 @@ mod tests {
         // A WAL-less run contributes nothing: empty-stats omission keeps
         // committed Direct-mode reports byte-identical.
         assert!(wal_stat_entries(&atomio_simgrid::Metrics::new()).is_empty());
+    }
+
+    #[test]
+    fn gc_stat_entries_share_the_wal_flattening() {
+        let metrics = atomio_simgrid::Metrics::new();
+        metrics.counter("gc.versions_retired").add(5);
+        metrics.counter("gc.bytes_reclaimed").add(4096);
+        metrics.counter("wal.appends").add(2); // other namespace
+        metrics
+            .time_stat("gc.pass_time")
+            .record(std::time::Duration::from_micros(80));
+        metrics.value_stat("gc.leases_active").record(3);
+        let stats = gc_stat_entries(&metrics);
+        let get = |n: &str| stats.iter().find(|s| s.name == n).map(|s| s.value);
+        assert_eq!(get("gc.versions_retired"), Some(5));
+        assert_eq!(get("gc.bytes_reclaimed"), Some(4096));
+        assert_eq!(get("gc.pass_time_mean_us"), Some(80));
+        assert_eq!(get("gc.pass_time_max_us"), Some(80));
+        assert_eq!(get("gc.leases_active_peak"), Some(3));
+        assert!(get("wal.appends").is_none());
+        // A GC-less run contributes nothing: empty-stats omission keeps
+        // every committed pre-E10 report byte-identical.
+        assert!(gc_stat_entries(&atomio_simgrid::Metrics::new()).is_empty());
     }
 
     #[test]

@@ -24,8 +24,9 @@ use atomio_meta::{
 use atomio_provider::{GetRequest, ProviderManager};
 use atomio_simgrid::{Metrics, Participant};
 use atomio_types::ids::IdAllocator;
+use atomio_types::RetentionPolicy;
 use atomio_types::{BlobId, ByteRange, ChunkGeometry, Error, ExtentList, Result, VersionId};
-use atomio_version::{SnapshotRecord, VersionOracle};
+use atomio_version::{LeaseGrant, SnapshotRecord, VersionOracle};
 use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
@@ -633,6 +634,86 @@ impl Blob {
         )
     }
 
+    // ------------------------------------------------------------------
+    // Snapshot leases and retention (distributed GC)
+    // ------------------------------------------------------------------
+
+    /// Sets this blob's snapshot retention policy — the floor below
+    /// which the collector may retire versions (leases can pin the floor
+    /// lower still). Durable when the version oracle is.
+    pub fn set_retention(&self, p: &Participant, policy: RetentionPolicy) -> Result<()> {
+        self.inner.vm.set_retention(p, policy)
+    }
+
+    /// Acquires a time-bounded snapshot lease pinning `version` (and
+    /// every later snapshot) against collection until the lease expires
+    /// or is released. Renew before the TTL lapses to keep reading.
+    pub fn lease_acquire(
+        &self,
+        p: &Participant,
+        version: VersionId,
+        ttl_ms: u64,
+    ) -> Result<LeaseGrant> {
+        self.inner.vm.lease_acquire(p, version, ttl_ms)
+    }
+
+    /// Acquires a lease on the latest published snapshot.
+    pub fn lease_latest(&self, p: &Participant, ttl_ms: u64) -> Result<LeaseGrant> {
+        let latest = self.inner.vm.latest(p)?.version;
+        self.inner.vm.lease_acquire(p, latest, ttl_ms)
+    }
+
+    /// Extends a live lease by `ttl_ms` from now;
+    /// [`Error::LeaseExpired`] once it has lapsed.
+    pub fn lease_renew(&self, p: &Participant, lease: u64, ttl_ms: u64) -> Result<LeaseGrant> {
+        self.inner.vm.lease_renew(p, lease, ttl_ms)
+    }
+
+    /// Releases a lease, unpinning its snapshot (idempotent).
+    pub fn lease_release(&self, p: &Participant, lease: u64) -> Result<()> {
+        self.inner.vm.lease_release(p, lease)
+    }
+
+    /// Reads under a snapshot lease: renews the lease (rearming it for
+    /// `ttl_ms`), then reads the leased version. A renewal that finds
+    /// the lease lapsed — or a read that trips over reclaimed state
+    /// because the lease expired mid-flight — surfaces the typed
+    /// [`Error::LeaseExpired`] instead of missing-chunk noise or torn
+    /// bytes; anything read successfully under a live lease is a
+    /// consistent snapshot (chunks and tree nodes are immutable, so the
+    /// collector can only remove them, never change them).
+    pub fn read_leased(
+        &self,
+        p: &Participant,
+        grant: &LeaseGrant,
+        ttl_ms: u64,
+        extents: &ExtentList,
+    ) -> Result<Vec<u8>> {
+        let expired_err = || Error::LeaseExpired {
+            lease: grant.lease,
+            version: grant.version,
+        };
+        self.inner
+            .vm
+            .lease_renew(p, grant.lease, ttl_ms)
+            .map_err(|e| match e {
+                Error::LeaseExpired { .. } => expired_err(),
+                other => other,
+            })?;
+        match self.read_list(p, ReadVersion::At(grant.version), extents) {
+            Err(e @ (Error::ChunkNotFound { .. } | Error::MetadataNodeMissing(_))) => {
+                // The snapshot was reclaimed under us: only possible if
+                // the lease lapsed after the renewal above. Probe it to
+                // report the precise cause.
+                match self.inner.vm.lease_renew(p, grant.lease, ttl_ms) {
+                    Err(Error::LeaseExpired { .. }) => Err(expired_err()),
+                    _ => Err(e),
+                }
+            }
+            other => other,
+        }
+    }
+
     /// The set of bytes that changed between two published snapshots
     /// (`from` exclusive, `to` inclusive): the union of the write
     /// summaries of versions `from+1 ..= to`. Computed from metadata
@@ -707,6 +788,10 @@ impl Blob {
 
     pub(crate) fn provider_manager(&self) -> &Arc<ProviderManager> {
         &self.inner.providers
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
     }
 
     /// The client-side node cache, if enabled (exposed for stats and for

@@ -2,7 +2,7 @@
 
 use atomio_provider::AllocationStrategy;
 use atomio_simgrid::CostModel;
-use atomio_types::BackendConfig;
+use atomio_types::{BackendConfig, RetentionPolicy};
 use atomio_version::TicketMode;
 
 pub use atomio_meta::{MetaCommitMode, MetaReadMode};
@@ -95,6 +95,12 @@ pub struct StoreConfig {
     /// return a typed `Busy`) until the drainer falls below the log's
     /// low-water mark.
     pub wal_capacity: u64,
+    /// Default snapshot retention policy applied to every blob at
+    /// creation (a blob can still override it per-blob through its
+    /// version oracle). [`RetentionPolicy::KeepAll`] — the default —
+    /// disables reclamation entirely, preserving the behavior every
+    /// committed benchmark result was produced under.
+    pub retention: RetentionPolicy,
     /// Storage substrate of every service: in-memory tables
     /// ([`BackendConfig::Memory`], the default and the substrate every
     /// committed benchmark result was produced under) or durable
@@ -125,6 +131,7 @@ impl Default for StoreConfig {
             meta_cache_nodes: 4096,
             commit_mode: CommitMode::Direct,
             wal_capacity: 64 * 1024 * 1024,
+            retention: RetentionPolicy::KeepAll,
             backend: BackendConfig::Memory,
             seed: 0x5EED,
         }
@@ -223,6 +230,13 @@ impl StoreConfig {
         self
     }
 
+    /// Sets the default snapshot retention policy stamped onto every
+    /// blob at creation.
+    pub fn with_retention(mut self, policy: RetentionPolicy) -> Self {
+        self.retention = policy;
+        self
+    }
+
     /// Sets the storage backend — **the one place** a deployment picks
     /// its substrate; providers, metadata shards, and the version
     /// manager all follow it.
@@ -257,6 +271,7 @@ mod tests {
         assert_eq!(c.meta_cache_nodes, 4096);
         assert_eq!(c.commit_mode, CommitMode::Direct);
         assert_eq!(c.wal_capacity, 64 * 1024 * 1024);
+        assert_eq!(c.retention, RetentionPolicy::KeepAll);
         assert_eq!(c.backend, BackendConfig::Memory);
     }
 
@@ -277,6 +292,7 @@ mod tests {
             .with_meta_cache(0)
             .with_commit_mode(CommitMode::Logged)
             .with_wal_capacity(1 << 20)
+            .with_retention(RetentionPolicy::KeepLast(2))
             .with_backend(BackendConfig::disk("/tmp/x"))
             .with_seed(7);
         assert_eq!(c.cost, CostModel::zero());
@@ -293,6 +309,7 @@ mod tests {
         assert_eq!(c.meta_cache_nodes, 0);
         assert_eq!(c.commit_mode, CommitMode::Logged);
         assert_eq!(c.wal_capacity, 1 << 20);
+        assert_eq!(c.retention, RetentionPolicy::KeepLast(2));
         assert!(c.backend.is_disk());
         assert_eq!(c.seed, 7);
     }

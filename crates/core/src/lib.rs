@@ -52,5 +52,6 @@ pub use blob::{Blob, ReadVersion};
 pub use config::{
     CommitMode, MetaCommitMode, MetaReadMode, StoreConfig, TransferMode, TransportMode,
 };
+pub use gc::{collect_below, GcCoordinator, GcPassReport, GcReport};
 pub use store::{Store, VersionOracleFactory};
 pub use wal::WriteAheadLog;

@@ -127,25 +127,38 @@ impl Store {
         // remote deployment swaps this out with `with_version_oracles`.
         let (chunk_size, cost, ticket_mode) = (config.chunk_size, config.cost, config.ticket_mode);
         let backend = config.backend.clone();
-        let oracles: VersionOracleFactory = Arc::new(move |blob| match &backend {
-            atomio_types::BackendConfig::Memory => Arc::new(VersionManager::new(
-                Arc::new(VersionHistory::new()),
-                TreeConfig::new(chunk_size),
-                cost,
-                ticket_mode,
-            )) as Arc<dyn VersionOracle>,
-            atomio_types::BackendConfig::Disk { dir, fsync } => Arc::new(
-                VersionManager::durable(
-                    dir.join("version").join(format!("blob-{}", blob.raw())),
+        let retention = config.retention;
+        let oracles: VersionOracleFactory = Arc::new(move |blob| {
+            let vm = match &backend {
+                atomio_types::BackendConfig::Memory => Arc::new(VersionManager::new(
                     Arc::new(VersionHistory::new()),
                     TreeConfig::new(chunk_size),
                     cost,
                     ticket_mode,
-                    *fsync,
-                )
-                .expect("open publish log"),
-            )
-                as Arc<dyn VersionOracle>,
+                )),
+                atomio_types::BackendConfig::Disk { dir, fsync } => Arc::new(
+                    VersionManager::durable(
+                        dir.join("version").join(format!("blob-{}", blob.raw())),
+                        Arc::new(VersionHistory::new()),
+                        TreeConfig::new(chunk_size),
+                        cost,
+                        ticket_mode,
+                        *fsync,
+                    )
+                    .expect("open publish log"),
+                ),
+            };
+            // Stamp the deployment's default retention policy, but never
+            // clobber a per-blob policy recovered from the publish log —
+            // the same precedence the version server applies for its
+            // `--retention` flag.
+            if retention != atomio_types::RetentionPolicy::default()
+                && vm.retention() == atomio_types::RetentionPolicy::default()
+            {
+                vm.set_retention_local(retention)
+                    .expect("record default retention policy");
+            }
+            vm as Arc<dyn VersionOracle>
         });
         // A reopened disk deployment resumes its chunk allocator past
         // every id already on any provider's media — chunk ids, like

@@ -198,6 +198,20 @@ impl WriteAheadLog {
         self.state.lock().base.unwrap_or(0) + seq
     }
 
+    /// Version the oldest pending entry will build on (`base +
+    /// consumed`), or `None` when the queue is empty. A collector must
+    /// never retire this version while entries are pending: the next
+    /// drain's ticket grants `base + consumed + 1`, and its tree is
+    /// built against this snapshot's nodes.
+    pub fn drain_base_version(&self) -> Option<u64> {
+        let st = self.state.lock();
+        if st.queue.is_empty() {
+            None
+        } else {
+            Some(st.base.unwrap_or(0) + st.consumed)
+        }
+    }
+
     /// Sequence number of the newest append (0 when nothing was ever
     /// appended): the target a durability barrier waits for.
     pub fn appended_seq(&self) -> u64 {

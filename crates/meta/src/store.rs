@@ -59,6 +59,20 @@ pub trait NodeStore: Send + Sync + std::fmt::Debug {
     /// Removes a node (version GC). Missing keys are ignored.
     fn evict(&self, key: NodeKey);
 
+    /// Removes a batch of nodes, returning how many were present — the
+    /// GC sweep's unit of work. The default loops over [`Self::evict`];
+    /// remote proxies override it with a single batched RPC.
+    fn evict_batch(&self, keys: &[NodeKey]) -> u64 {
+        let mut evicted = 0;
+        for &key in keys {
+            if self.contains(key) {
+                evicted += 1;
+            }
+            self.evict(key);
+        }
+        evicted
+    }
+
     /// Every stored key, in unspecified order (for equivalence checks
     /// and GC sweeps).
     fn list_keys(&self) -> Vec<NodeKey>;

@@ -61,6 +61,32 @@ const REC_PUT: u8 = 1;
 /// Part-file record: an eviction tombstone (`chunk id`).
 const REC_TOMBSTONE: u8 = 2;
 
+/// Framed bytes of a PUT record excluding its payload: header plus the
+/// 24-byte body (chunk id, checksum, payload length).
+const PUT_FRAME_BYTES: u64 = (RECORD_HEADER_BYTES + 24) as u64;
+
+/// Dead fraction at which [`DiskProvider::evict_chunk_batch`] compacts
+/// a slot's part file (see [`DiskProvider::compact`]).
+pub const COMPACT_DEAD_FRACTION: f64 = 0.5;
+
+/// Live-record bytes vs total file bytes of one slot — the accounting
+/// compaction decisions are made from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotUsage {
+    /// Total part-file bytes.
+    pub file_bytes: u64,
+    /// Bytes belonging to live PUT records (frame + payload).
+    pub live_bytes: u64,
+}
+
+impl SlotUsage {
+    /// Bytes occupied by dead records: tombstoned puts, the tombstones
+    /// themselves, and superseded duplicates.
+    pub fn dead_bytes(&self) -> u64 {
+        self.file_bytes - self.live_bytes
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct IndexEntry {
     slot: u32,
@@ -70,6 +96,10 @@ struct IndexEntry {
     checksum: u64,
 }
 
+/// Per-slot eviction batch: concatenated tombstone frames plus the
+/// removed index entries (kept for resurrection if the append fails).
+type SlotEvictBatch = (Vec<u8>, Vec<(ChunkId, IndexEntry)>);
+
 #[derive(Debug)]
 struct Slot {
     file: File,
@@ -77,6 +107,9 @@ struct Slot {
     len: u64,
     /// Appends since the last fsync (the group-commit counter).
     unsynced: u32,
+    /// File bytes occupied by live PUT records (frame + payload); the
+    /// rest of `len` is dead weight reclaimable by compaction.
+    live_bytes: u64,
 }
 
 impl Slot {
@@ -201,6 +234,7 @@ impl DiskProvider {
             // step over.
             let mut pos = 0usize;
             let mut valid = 0u64;
+            let mut live = 0u64;
             let mut torn = false;
             while pos < contents.len() {
                 let Some((rec, next)) = read_record_at(&contents, pos) else {
@@ -231,6 +265,7 @@ impl DiskProvider {
                                 checksum,
                             });
                             bytes += len;
+                            live += (next - pos) as u64 + len;
                         }
                         pos = next + len as usize;
                     }
@@ -241,6 +276,7 @@ impl DiskProvider {
                         max_seen = max_seen.max(raw + 1);
                         if let Some(old) = index.remove(&ChunkId::new(raw)) {
                             bytes -= old.len;
+                            live -= PUT_FRAME_BYTES + old.len;
                         }
                         pos = next;
                     }
@@ -262,6 +298,7 @@ impl DiskProvider {
                 file,
                 len: valid,
                 unsynced: 0,
+                live_bytes: live,
             }));
         }
         provider.index = RwLock::new(index);
@@ -316,13 +353,15 @@ impl DiskProvider {
         }
         let record_offset = {
             let mut slot = self.slots[s].lock();
-            slot.append(&framed, self.fsync, "part append")?
+            let at = slot.append(&framed, self.fsync, "part append")?;
+            slot.live_bytes += framed.len() as u64;
+            at
         };
         index.insert(
             chunk,
             IndexEntry {
                 slot: s as u32,
-                payload_offset: record_offset + (RECORD_HEADER_BYTES + 24) as u64,
+                payload_offset: record_offset + PUT_FRAME_BYTES,
                 len: data.len() as u64,
                 checksum,
             },
@@ -466,8 +505,9 @@ impl DiskProvider {
 
     /// Appends a tombstone and drops the chunk from the index, returning
     /// the payload bytes logically reclaimed. The part-file bytes stay
-    /// (append-only layout; compaction is a future concern) but survive
-    /// restarts as *dead*: recovery replays the tombstone too.
+    /// behind as *dead* (recovery replays the tombstone too) until
+    /// [`DiskProvider::compact`] — or a batch eviction — rewrites the
+    /// slot.
     pub fn evict_chunk(&self, chunk: ChunkId) -> u64 {
         let mut index = self.index.write();
         let Some(entry) = index.remove(&chunk) else {
@@ -477,17 +517,150 @@ impl DiskProvider {
         append_record(&mut framed, REC_TOMBSTONE, &chunk.raw().to_be_bytes());
         // An eviction that cannot reach disk must not pretend the chunk
         // is gone — put it back and report nothing reclaimed.
-        let appended =
-            self.slots[entry.slot as usize]
-                .lock()
-                .append(&framed, self.fsync, "tombstone append");
-        if appended.is_err() {
-            index.insert(chunk, entry);
-            return 0;
+        {
+            let mut slot = self.slots[entry.slot as usize].lock();
+            if slot
+                .append(&framed, self.fsync, "tombstone append")
+                .is_err()
+            {
+                index.insert(chunk, entry);
+                return 0;
+            }
+            slot.live_bytes -= PUT_FRAME_BYTES + entry.len;
         }
         drop(index);
         self.bytes_stored.fetch_sub(entry.len, Ordering::Relaxed);
         entry.len
+    }
+
+    /// Batched eviction — the collector's sweep path. Tombstones are
+    /// grouped per slot, so the whole batch costs one append (and at
+    /// most one fsync) per touched slot instead of one per chunk; any
+    /// slot the batch leaves more than [`COMPACT_DEAD_FRACTION`] dead is
+    /// then compacted. Returns the payload bytes logically reclaimed.
+    pub fn evict_chunk_batch(&self, chunks: &[ChunkId]) -> u64 {
+        let mut reclaimed = 0u64;
+        {
+            let mut index = self.index.write();
+            let mut per_slot: HashMap<usize, SlotEvictBatch> = HashMap::new();
+            for &chunk in chunks {
+                let Some(entry) = index.remove(&chunk) else {
+                    continue;
+                };
+                let (framed, removed) = per_slot.entry(entry.slot as usize).or_default();
+                append_record(framed, REC_TOMBSTONE, &chunk.raw().to_be_bytes());
+                removed.push((chunk, entry));
+            }
+            for (s, (framed, removed)) in per_slot {
+                let mut slot = self.slots[s].lock();
+                if slot
+                    .append(&framed, self.fsync, "tombstone append")
+                    .is_err()
+                {
+                    // Media unreachable: resurrect this slot's entries
+                    // and report nothing reclaimed for them.
+                    for (chunk, entry) in removed {
+                        index.insert(chunk, entry);
+                    }
+                    continue;
+                }
+                for (_, entry) in &removed {
+                    slot.live_bytes -= PUT_FRAME_BYTES + entry.len;
+                    reclaimed += entry.len;
+                    self.bytes_stored.fetch_sub(entry.len, Ordering::Relaxed);
+                }
+            }
+        }
+        // Shed the newly dead part-file bytes where it pays off. A
+        // compaction failure leaves the slot valid, just uncompacted.
+        let _ = self.compact(COMPACT_DEAD_FRACTION);
+        reclaimed
+    }
+
+    /// Per-slot live-vs-file byte accounting.
+    pub fn slot_usage(&self) -> Vec<SlotUsage> {
+        self.slots
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                SlotUsage {
+                    file_bytes: s.len,
+                    live_bytes: s.live_bytes,
+                }
+            })
+            .collect()
+    }
+
+    /// Total dead part-file bytes across all slots (reclaimable by
+    /// [`DiskProvider::compact`]).
+    pub fn dead_bytes(&self) -> u64 {
+        self.slot_usage().iter().map(|u| u.dead_bytes()).sum()
+    }
+
+    /// Rewrites every slot whose dead fraction is at least `threshold`
+    /// (`0.0..=1.0`), dropping tombstoned and superseded records from
+    /// the part file. The replacement is written aside, synced, and
+    /// atomically renamed over the old file, so a crash at any point
+    /// leaves one complete, replayable log. Returns file bytes shed.
+    pub fn compact(&self, threshold: f64) -> Result<u64> {
+        let mut shed = 0u64;
+        for s in 0..self.slots.len() {
+            shed += self.compact_slot(s, threshold)?;
+        }
+        Ok(shed)
+    }
+
+    fn compact_slot(&self, s: usize, threshold: f64) -> Result<u64> {
+        let mut index = self.index.write();
+        let mut slot = self.slots[s].lock();
+        let dead = slot.len - slot.live_bytes;
+        if dead == 0 || (dead as f64) < threshold * (slot.len as f64) {
+            return Ok(0);
+        }
+        // Rebuild the slot's log from its live chunks, in file order.
+        let mut live: Vec<(ChunkId, IndexEntry)> = index
+            .iter()
+            .filter(|(_, e)| e.slot as usize == s)
+            .map(|(&c, &e)| (c, e))
+            .collect();
+        live.sort_unstable_by_key(|(_, e)| e.payload_offset);
+        let mut contents = Vec::with_capacity(slot.live_bytes as usize);
+        let mut moved: Vec<(ChunkId, u64)> = Vec::with_capacity(live.len());
+        for (chunk, entry) in &live {
+            let mut payload = vec![0u8; entry.len as usize];
+            slot.read_exact_at(entry.payload_offset, &mut payload, "compact read")?;
+            let mut body = Vec::with_capacity(24);
+            body.extend_from_slice(&chunk.raw().to_be_bytes());
+            body.extend_from_slice(&entry.checksum.to_be_bytes());
+            body.extend_from_slice(&entry.len.to_be_bytes());
+            append_record(&mut contents, REC_PUT, &body);
+            moved.push((*chunk, contents.len() as u64));
+            contents.extend_from_slice(&payload);
+        }
+        let slot_dir = self.dir.join("slots").join(format!("{s:03}"));
+        let part = slot_dir.join("000.part");
+        let staged = slot_dir.join("000.part.compact");
+        let mut f = File::create(&staged).map_err(|e| Error::io("compact create", e))?;
+        f.write_all(&contents)
+            .and_then(|_| f.sync_data())
+            .map_err(|e| Error::io("compact write", e))?;
+        std::fs::rename(&staged, &part).map_err(|e| Error::io("compact rename", e))?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&part)
+            .map_err(|e| Error::io("compact reopen", e))?;
+        let old_len = slot.len;
+        slot.file = file;
+        slot.len = contents.len() as u64;
+        slot.live_bytes = contents.len() as u64;
+        slot.unsynced = 0;
+        for (chunk, offset) in moved {
+            if let Some(e) = index.get_mut(&chunk) {
+                e.payload_offset = offset;
+            }
+        }
+        Ok(old_len - contents.len() as u64)
     }
 
     /// Flips one payload byte **on disk**, leaving the logged checksum
@@ -624,6 +797,10 @@ impl ChunkStore for DiskProvider {
 
     fn evict_chunk(&self, chunk: ChunkId) -> u64 {
         DiskProvider::evict_chunk(self, chunk)
+    }
+
+    fn evict_chunk_batch(&self, chunks: &[ChunkId]) -> u64 {
+        DiskProvider::evict_chunk_batch(self, chunks)
     }
 
     fn checksum_of(&self, chunk: ChunkId) -> Option<u64> {
@@ -892,5 +1069,95 @@ mod tests {
         .unwrap();
         assert_eq!(disk.id(), ProviderId::new(3));
         assert!(tmp.path().join("provider-3").join("superblock").exists());
+    }
+
+    #[test]
+    fn batch_evict_reclaims_and_survives_reopen() {
+        let tmp = TempDir::new("atomio-diskprov");
+        {
+            let prov = open(tmp.path());
+            run_actors(1, |_, p| {
+                for i in 0..12u64 {
+                    prov.put_chunk(p, ChunkId::new(i), Bytes::from(vec![i as u8; 128]))
+                        .unwrap();
+                }
+            });
+            let victims: Vec<ChunkId> = (0..8).map(ChunkId::new).collect();
+            assert_eq!(prov.evict_chunk_batch(&victims), 8 * 128);
+            // Unknown ids are ignored, not double-counted.
+            assert_eq!(prov.evict_chunk_batch(&victims), 0);
+            assert_eq!(prov.chunk_count(), 4);
+            assert_eq!(prov.bytes_stored(), 4 * 128);
+        }
+        let prov = open(tmp.path());
+        assert_eq!(prov.chunk_count(), 4);
+        assert_eq!(prov.bytes_stored(), 4 * 128);
+        for i in 0..8u64 {
+            assert!(!prov.has_chunk(ChunkId::new(i)));
+        }
+        let (res, _) = run_actors(1, |_, p| prov.get_chunk(p, ChunkId::new(10)));
+        assert_eq!(res[0].as_ref().unwrap().as_ref(), &[10u8; 128][..]);
+    }
+
+    #[test]
+    fn compaction_sheds_dead_bytes_and_preserves_reads() {
+        let tmp = TempDir::new("atomio-diskprov");
+        {
+            let prov = open(tmp.path());
+            run_actors(1, |_, p| {
+                for i in 0..16u64 {
+                    prov.put_chunk(p, ChunkId::new(i), Bytes::from(vec![i as u8; 256]))
+                        .unwrap();
+                }
+            });
+            let before: u64 = prov.slot_usage().iter().map(|u| u.file_bytes).sum();
+            let victims: Vec<ChunkId> = (0..12).map(ChunkId::new).collect();
+            // The batch path auto-compacts slots past the dead-fraction
+            // threshold; force the rest with an explicit full pass.
+            prov.evict_chunk_batch(&victims);
+            prov.compact(0.0).unwrap();
+            assert_eq!(prov.dead_bytes(), 0);
+            let after: u64 = prov.slot_usage().iter().map(|u| u.file_bytes).sum();
+            assert!(
+                after < before,
+                "compaction must shrink part files ({before} -> {after})"
+            );
+            let (res, _) = run_actors(1, |_, p| prov.get_chunk(p, ChunkId::new(14)));
+            assert_eq!(res[0].as_ref().unwrap().as_ref(), &[14u8; 256][..]);
+        }
+        // The compacted layout is itself a valid, replayable log.
+        let prov = open(tmp.path());
+        assert_eq!(prov.chunk_count(), 4);
+        assert_eq!(prov.dead_bytes(), 0);
+        let (res, _) = run_actors(1, |_, p| prov.get_chunk(p, ChunkId::new(15)));
+        assert_eq!(res[0].as_ref().unwrap().as_ref(), &[15u8; 256][..]);
+    }
+
+    #[test]
+    fn live_byte_accounting_matches_across_install_evict_recovery() {
+        let tmp = TempDir::new("atomio-diskprov");
+        let expect_live = |prov: &DiskProvider, chunks: u64, payload: u64| {
+            let live: u64 = prov.slot_usage().iter().map(|u| u.live_bytes).sum();
+            assert_eq!(live, chunks * PUT_FRAME_BYTES + payload);
+        };
+        {
+            let prov = open(tmp.path());
+            run_actors(1, |_, p| {
+                for i in 0..10u64 {
+                    prov.put_chunk(p, ChunkId::new(i), Bytes::from(vec![i as u8; 64]))
+                        .unwrap();
+                }
+            });
+            expect_live(&prov, 10, 10 * 64);
+            prov.evict_chunk(ChunkId::new(0));
+            expect_live(&prov, 9, 9 * 64);
+        }
+        let prov = open(tmp.path());
+        expect_live(&prov, 9, 9 * 64);
+        assert_eq!(
+            prov.dead_bytes(),
+            PUT_FRAME_BYTES + 64 + (RECORD_HEADER_BYTES as u64 + 8),
+            "one dead PUT frame+payload plus its tombstone record"
+        );
     }
 }

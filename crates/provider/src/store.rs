@@ -55,6 +55,14 @@ pub trait ChunkStore: Send + Sync + std::fmt::Debug {
     /// Deletes a chunk, returning the payload bytes reclaimed.
     fn evict_chunk(&self, chunk: ChunkId) -> u64;
 
+    /// Deletes a batch of chunks, returning the total payload bytes
+    /// reclaimed — the GC sweep's unit of work. The default loops over
+    /// [`Self::evict_chunk`]; remote proxies override it with a single
+    /// batched RPC.
+    fn evict_chunk_batch(&self, chunks: &[ChunkId]) -> u64 {
+        chunks.iter().map(|&c| self.evict_chunk(c)).sum()
+    }
+
     /// The ingest-time checksum of a chunk, if present.
     fn checksum_of(&self, chunk: ChunkId) -> Option<u64>;
 

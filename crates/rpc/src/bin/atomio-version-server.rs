@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! atomio-version-server <listen-addr> [--chunk-size BYTES]
+//!     [--retention keep-all|keep-last:N|keep-above:V] [--lease-ttl-ms N]
 //!     [--data-dir PATH] [--fsync per-publish|group:N|deferred]
 //!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
@@ -21,9 +22,10 @@ use std::sync::Arc;
 
 fn main() {
     run_server_binary("atomio-version-server", None, true, |args| {
-        Arc::new(VersionService::with_backend(
-            args.chunk_size,
-            args.backend(),
-        ))
+        Arc::new(
+            VersionService::with_backend(args.chunk_size, args.backend())
+                .with_retention(args.retention)
+                .with_lease_ttl_cap(args.lease_ttl_cap_ms),
+        )
     });
 }

@@ -23,8 +23,10 @@ use atomio_meta::{Node, NodeKey, NodeStore, VersionHistory};
 use atomio_provider::ChunkStore;
 use atomio_simgrid::clock::SimTime;
 use atomio_simgrid::{CostModel, Participant, Resource};
-use atomio_types::{ByteRange, ChunkId, Error, ExtentList, ProviderId, Result, VersionId};
-use atomio_version::{SnapshotRecord, Ticket, VersionOracle};
+use atomio_types::{
+    ByteRange, ChunkId, Error, ExtentList, ProviderId, Result, RetentionPolicy, VersionId,
+};
+use atomio_version::{GcFloor, LeaseGrant, SnapshotRecord, Ticket, VersionOracle};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -220,6 +222,17 @@ impl ChunkStore for RemoteProvider {
         }
     }
 
+    fn evict_chunk_batch(&self, chunks: &[ChunkId]) -> u64 {
+        let request = Request::ProviderEvictBatch {
+            provider: self.id,
+            chunks: chunks.to_vec(),
+        };
+        match self.call(&request, &[]) {
+            Ok((Response::Count { value }, _)) => value,
+            _ => 0,
+        }
+    }
+
     fn checksum_of(&self, chunk: ChunkId) -> Option<u64> {
         let request = Request::ProviderChecksumOf {
             provider: self.id,
@@ -309,6 +322,16 @@ impl NodeStore for RemoteMetaStore {
 
     fn evict(&self, key: NodeKey) {
         let _ = self.transport.call(&Request::MetaEvict { key }, &[]);
+    }
+
+    fn evict_batch(&self, keys: &[NodeKey]) -> u64 {
+        let request = Request::MetaEvictBatch {
+            keys: keys.to_vec(),
+        };
+        match self.transport.call(&request, &[]) {
+            Ok((Response::Count { value }, _)) => value,
+            _ => 0,
+        }
     }
 
     fn list_keys(&self) -> Vec<NodeKey> {
@@ -429,6 +452,64 @@ impl RemoteVersionManager {
             (other, _) => Err(unexpected("Snapshot", other)),
         }
     }
+
+    /// Sets the blob's retention policy on the server.
+    pub fn set_retention(&self, policy: RetentionPolicy) -> Result<()> {
+        let request = Request::VmSetRetention {
+            blob: self.blob,
+            policy,
+        };
+        match self.transport.call(&request, &[])? {
+            (Response::Unit, _) => Ok(()),
+            (other, _) => Err(unexpected("Unit", other)),
+        }
+    }
+
+    fn lease_call(&self, request: Request) -> Result<LeaseGrant> {
+        match self.transport.call(&request, &[])? {
+            (Response::Lease { grant }, _) => Ok(grant),
+            (other, _) => Err(unexpected("Lease", other)),
+        }
+    }
+
+    /// Acquires a snapshot lease (TTL may be clamped by the server).
+    pub fn lease_acquire(&self, version: VersionId, ttl_ms: u64) -> Result<LeaseGrant> {
+        self.lease_call(Request::VmLeaseAcquire {
+            blob: self.blob,
+            version,
+            ttl_ms,
+        })
+    }
+
+    /// Extends a live lease.
+    pub fn lease_renew(&self, lease: u64, ttl_ms: u64) -> Result<LeaseGrant> {
+        self.lease_call(Request::VmLeaseRenew {
+            blob: self.blob,
+            lease,
+            ttl_ms,
+        })
+    }
+
+    /// Releases a lease (idempotent).
+    pub fn lease_release(&self, lease: u64) -> Result<()> {
+        let request = Request::VmLeaseRelease {
+            blob: self.blob,
+            lease,
+        };
+        match self.transport.call(&request, &[])? {
+            (Response::Unit, _) => Ok(()),
+            (other, _) => Err(unexpected("Unit", other)),
+        }
+    }
+
+    /// The server-side reclamation floor plus lease gauges.
+    pub fn gc_floor(&self) -> Result<GcFloor> {
+        let request = Request::VmGcFloor { blob: self.blob };
+        match self.transport.call(&request, &[])? {
+            (Response::GcFloor { info }, _) => Ok(info),
+            (other, _) => Err(unexpected("GcFloor", other)),
+        }
+    }
 }
 
 /// The oracle seam: a `Store` built with
@@ -473,5 +554,30 @@ impl VersionOracle for RemoteVersionManager {
 
     fn snapshot(&self, _p: &Participant, version: VersionId) -> Result<SnapshotRecord> {
         RemoteVersionManager::snapshot(self, version)
+    }
+
+    fn set_retention(&self, _p: &Participant, policy: RetentionPolicy) -> Result<()> {
+        RemoteVersionManager::set_retention(self, policy)
+    }
+
+    fn lease_acquire(
+        &self,
+        _p: &Participant,
+        version: VersionId,
+        ttl_ms: u64,
+    ) -> Result<LeaseGrant> {
+        RemoteVersionManager::lease_acquire(self, version, ttl_ms)
+    }
+
+    fn lease_renew(&self, _p: &Participant, lease: u64, ttl_ms: u64) -> Result<LeaseGrant> {
+        RemoteVersionManager::lease_renew(self, lease, ttl_ms)
+    }
+
+    fn lease_release(&self, _p: &Participant, lease: u64) -> Result<()> {
+        RemoteVersionManager::lease_release(self, lease)
+    }
+
+    fn gc_floor(&self, _p: &Participant) -> Result<GcFloor> {
+        RemoteVersionManager::gc_floor(self)
     }
 }

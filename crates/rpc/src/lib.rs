@@ -459,6 +459,8 @@ mod tests {
             ("--chunk-size", "1"),
             ("--data-dir", "/tmp/atomio-data"),
             ("--fsync", "per-publish"),
+            ("--retention", "keep-last:2"),
+            ("--lease-ttl-ms", "60000"),
             ("--workers", "1"),
             ("--pool-conns", "1"),
             ("--mux-streams-per-conn", "1"),

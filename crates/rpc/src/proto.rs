@@ -9,8 +9,8 @@
 //! process.
 
 use atomio_meta::{Node, NodeKey, WriteSummary};
-use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result, VersionId};
-use atomio_version::{SnapshotRecord, Ticket};
+use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result, RetentionPolicy, VersionId};
+use atomio_version::{GcFloor, LeaseGrant, SnapshotRecord, Ticket};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Version tag carried by every frame (see [`crate::wire`]).
@@ -118,6 +118,14 @@ pub enum Request {
         /// The chunk to look up.
         chunk: ChunkId,
     },
+    /// Delete a batch of chunks in one frame (the GC sweep's wire
+    /// form), returning total bytes reclaimed.
+    ProviderEvictBatch {
+        /// Target provider.
+        provider: ProviderId,
+        /// The chunks to delete.
+        chunks: Vec<ChunkId>,
+    },
     /// Bit-rot injection hook (integrity tests).
     ProviderCorruptChunk {
         /// Target provider.
@@ -148,6 +156,12 @@ pub enum Request {
     MetaEvict {
         /// The key to delete.
         key: NodeKey,
+    },
+    /// Delete a batch of nodes in one frame (GC sweep), returning the
+    /// number actually evicted.
+    MetaEvictBatch {
+        /// The keys to delete.
+        keys: Vec<NodeKey>,
     },
     /// Every stored key (test/GC support).
     MetaListKeys,
@@ -198,6 +212,43 @@ pub enum Request {
         blob: u64,
         /// The version to query.
         version: VersionId,
+    },
+    /// Set the blob's retention policy.
+    VmSetRetention {
+        /// The blob to configure.
+        blob: u64,
+        /// How much history collection must preserve.
+        policy: RetentionPolicy,
+    },
+    /// Acquire a time-bounded snapshot lease.
+    VmLeaseAcquire {
+        /// The blob to lease on.
+        blob: u64,
+        /// The published version to pin.
+        version: VersionId,
+        /// Lease TTL in server-clock milliseconds.
+        ttl_ms: u64,
+    },
+    /// Extend a live lease.
+    VmLeaseRenew {
+        /// The blob the lease is on.
+        blob: u64,
+        /// The lease to extend.
+        lease: u64,
+        /// New TTL from now, in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Release a lease (idempotent).
+    VmLeaseRelease {
+        /// The blob the lease is on.
+        blob: u64,
+        /// The lease to release.
+        lease: u64,
+    },
+    /// The manager-side reclamation floor plus lease gauges.
+    VmGcFloor {
+        /// The blob to query.
+        blob: u64,
     },
 }
 
@@ -274,6 +325,16 @@ pub enum Response {
     Snapshot {
         /// The record.
         record: SnapshotRecord,
+    },
+    /// A granted (or renewed) snapshot lease.
+    Lease {
+        /// The grant: id, pinned version, absolute expiry.
+        grant: LeaseGrant,
+    },
+    /// The reclamation floor plus lease gauges.
+    GcFloor {
+        /// The floor record.
+        info: GcFloor,
     },
     /// Operation-level failure.
     Fail {
@@ -403,6 +464,10 @@ impl Serialize for Request {
                 "ProviderEvictChunk",
                 vec![field("provider", provider), field("chunk", chunk)],
             ),
+            ProviderEvictBatch { provider, chunks } => tagged(
+                "ProviderEvictBatch",
+                vec![field("provider", provider), field("chunks", chunks)],
+            ),
             ProviderChecksumOf { provider, chunk } => tagged(
                 "ProviderChecksumOf",
                 vec![field("provider", provider), field("chunk", chunk)],
@@ -424,6 +489,7 @@ impl Serialize for Request {
             MetaContains { key } => tagged("MetaContains", vec![field("key", key)]),
             MetaNodeCount => tagged("MetaNodeCount", vec![]),
             MetaEvict { key } => tagged("MetaEvict", vec![field("key", key)]),
+            MetaEvictBatch { keys } => tagged("MetaEvictBatch", vec![field("keys", keys)]),
             MetaListKeys => tagged("MetaListKeys", vec![]),
             VmTicket {
                 blob,
@@ -462,6 +528,39 @@ impl Serialize for Request {
                 "VmSnapshot",
                 vec![field("blob", blob), field("version", version)],
             ),
+            VmSetRetention { blob, policy } => tagged(
+                "VmSetRetention",
+                vec![field("blob", blob), field("policy", policy)],
+            ),
+            VmLeaseAcquire {
+                blob,
+                version,
+                ttl_ms,
+            } => tagged(
+                "VmLeaseAcquire",
+                vec![
+                    field("blob", blob),
+                    field("version", version),
+                    field("ttl_ms", ttl_ms),
+                ],
+            ),
+            VmLeaseRenew {
+                blob,
+                lease,
+                ttl_ms,
+            } => tagged(
+                "VmLeaseRenew",
+                vec![
+                    field("blob", blob),
+                    field("lease", lease),
+                    field("ttl_ms", ttl_ms),
+                ],
+            ),
+            VmLeaseRelease { blob, lease } => tagged(
+                "VmLeaseRelease",
+                vec![field("blob", blob), field("lease", lease)],
+            ),
+            VmGcFloor { blob } => tagged("VmGcFloor", vec![field("blob", blob)]),
         }
     }
 }
@@ -511,6 +610,10 @@ impl Deserialize for Request {
                 provider: get(v, "provider")?,
                 chunk: get(v, "chunk")?,
             },
+            "ProviderEvictBatch" => ProviderEvictBatch {
+                provider: get(v, "provider")?,
+                chunks: get(v, "chunks")?,
+            },
             "ProviderChecksumOf" => ProviderChecksumOf {
                 provider: get(v, "provider")?,
                 chunk: get(v, "chunk")?,
@@ -532,6 +635,9 @@ impl Deserialize for Request {
             "MetaNodeCount" => MetaNodeCount,
             "MetaEvict" => MetaEvict {
                 key: get(v, "key")?,
+            },
+            "MetaEvictBatch" => MetaEvictBatch {
+                keys: get(v, "keys")?,
             },
             "MetaListKeys" => MetaListKeys,
             "VmTicket" => VmTicket {
@@ -559,6 +665,27 @@ impl Deserialize for Request {
             "VmSnapshot" => VmSnapshot {
                 blob: get(v, "blob")?,
                 version: get(v, "version")?,
+            },
+            "VmSetRetention" => VmSetRetention {
+                blob: get(v, "blob")?,
+                policy: get(v, "policy")?,
+            },
+            "VmLeaseAcquire" => VmLeaseAcquire {
+                blob: get(v, "blob")?,
+                version: get(v, "version")?,
+                ttl_ms: get(v, "ttl_ms")?,
+            },
+            "VmLeaseRenew" => VmLeaseRenew {
+                blob: get(v, "blob")?,
+                lease: get(v, "lease")?,
+                ttl_ms: get(v, "ttl_ms")?,
+            },
+            "VmLeaseRelease" => VmLeaseRelease {
+                blob: get(v, "blob")?,
+                lease: get(v, "lease")?,
+            },
+            "VmGcFloor" => VmGcFloor {
+                blob: get(v, "blob")?,
             },
             other => return Err(DeError::new(format!("unknown request tag {other:?}"))),
         })
@@ -606,6 +733,8 @@ impl Serialize for Response {
                 ],
             ),
             Snapshot { record } => tagged("Snapshot", vec![field("record", record)]),
+            Lease { grant } => tagged("Lease", vec![field("grant", grant)]),
+            GcFloor { info } => tagged("GcFloor", vec![field("info", info)]),
             Fail { error } => tagged("Fail", vec![field("error", error)]),
         }
     }
@@ -655,6 +784,12 @@ impl Deserialize for Response {
             "Snapshot" => Snapshot {
                 record: get(v, "record")?,
             },
+            "Lease" => Lease {
+                grant: get(v, "grant")?,
+            },
+            "GcFloor" => GcFloor {
+                info: get(v, "info")?,
+            },
             "Fail" => Fail {
                 error: get(v, "error")?,
             },
@@ -701,6 +836,33 @@ mod tests {
             items: vec![(ChunkId::new(5), ByteRange::new(0, 8))],
         });
         roundtrip_req(&Request::MetaNodeCount);
+        roundtrip_req(&Request::ProviderEvictBatch {
+            provider: ProviderId::new(2),
+            chunks: vec![ChunkId::new(3), ChunkId::new(8)],
+        });
+        roundtrip_req(&Request::MetaEvictBatch {
+            keys: vec![NodeKey {
+                blob: atomio_types::BlobId::new(1),
+                version: VersionId::new(2),
+                range: ByteRange::new(0, 64),
+            }],
+        });
+        roundtrip_req(&Request::VmSetRetention {
+            blob: 1,
+            policy: RetentionPolicy::KeepLast(2),
+        });
+        roundtrip_req(&Request::VmLeaseAcquire {
+            blob: 1,
+            version: VersionId::new(4),
+            ttl_ms: 5_000,
+        });
+        roundtrip_req(&Request::VmLeaseRenew {
+            blob: 1,
+            lease: 9,
+            ttl_ms: 5_000,
+        });
+        roundtrip_req(&Request::VmLeaseRelease { blob: 1, lease: 9 });
+        roundtrip_req(&Request::VmGcFloor { blob: 1 });
         roundtrip_req(&Request::VmTicket {
             blob: 4,
             extents: ExtentList::from_pairs([(0u64, 64u64), (128, 64)]),
@@ -738,6 +900,20 @@ mod tests {
             ],
         });
         roundtrip_resp(&Response::Checksum { value: None });
+        roundtrip_resp(&Response::Lease {
+            grant: LeaseGrant {
+                lease: 7,
+                version: VersionId::new(3),
+                expires_at_ms: 12_345,
+            },
+        });
+        roundtrip_resp(&Response::GcFloor {
+            info: GcFloor {
+                floor: VersionId::new(5),
+                leases_active: 2,
+                lease_expirations: 1,
+            },
+        });
         roundtrip_resp(&Response::Checksum {
             value: Some(0xDEAD),
         });

@@ -34,7 +34,8 @@ use atomio_meta::{node_store_for, LocalNodeStore, TreeConfig, VersionHistory};
 use atomio_provider::{chunk_store_for, ChunkStore, DataProvider};
 use atomio_simgrid::{ClientNics, CostModel, FaultInjector};
 use atomio_types::{
-    BackendConfig, ByteRange, Error, FsyncPolicy, ProviderId, Result, TransportErrorKind,
+    BackendConfig, ByteRange, Error, FsyncPolicy, ProviderId, Result, RetentionPolicy,
+    TransportErrorKind,
 };
 use atomio_version::{TicketMode, VersionManager};
 use bytes::Bytes;
@@ -281,18 +282,30 @@ impl Service for ProviderService {
                 }
                 Err(e) => fail(e),
             },
+            ProviderEvictBatch { provider, chunks } => match self.provider(provider) {
+                Ok(s) => ok(Response::Count {
+                    value: s.evict_chunk_batch(&chunks),
+                }),
+                Err(e) => fail(e),
+            },
             MetaPutBatch { .. }
             | MetaGetBatch { .. }
             | MetaContains { .. }
             | MetaNodeCount
             | MetaEvict { .. }
+            | MetaEvictBatch { .. }
             | MetaListKeys
             | VmTicket { .. }
             | VmTicketAppend { .. }
             | VmPublish { .. }
             | VmIsPublished { .. }
             | VmLatest { .. }
-            | VmSnapshot { .. } => unsupported("metadata/version op sent to a provider server"),
+            | VmSnapshot { .. }
+            | VmSetRetention { .. }
+            | VmLeaseAcquire { .. }
+            | VmLeaseRenew { .. }
+            | VmLeaseRelease { .. }
+            | VmGcFloor { .. } => unsupported("metadata/version op sent to a provider server"),
         }
     }
 }
@@ -306,8 +319,14 @@ impl Service for ProviderService {
 pub struct VersionService {
     chunk_size: u64,
     backend: BackendConfig,
+    retention: RetentionPolicy,
+    lease_ttl_cap_ms: u64,
     vms: Mutex<HashMap<u64, Arc<VersionManager>>>,
 }
+
+/// Largest lease TTL a server grants by default (10 minutes): a crashed
+/// reader can pin history for at most this long.
+pub const DEFAULT_LEASE_TTL_CAP_MS: u64 = 600_000;
 
 impl VersionService {
     /// Creates the in-memory service; version managers use `chunk_size`
@@ -319,14 +338,42 @@ impl VersionService {
     /// Creates the service over the chosen backend — with a disk
     /// backend each blob's manager keeps a durable publish log under
     /// `<dir>/version/blob-<id>` and replays it on reopen, so granted
-    /// version numbers and published snapshots survive a server
-    /// restart.
+    /// version numbers, published snapshots, retention policies, and
+    /// live leases survive a server restart.
     pub fn with_backend(chunk_size: u64, backend: BackendConfig) -> Self {
         VersionService {
             chunk_size,
             backend,
+            retention: RetentionPolicy::default(),
+            lease_ttl_cap_ms: DEFAULT_LEASE_TTL_CAP_MS,
             vms: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Sets the deployment's default retention policy (the binaries'
+    /// `--retention` flag). Applied to each blob whose manager has no
+    /// policy of its own — an explicitly set (or durably recovered)
+    /// per-blob policy wins.
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Caps granted lease TTLs at `cap_ms` (the binaries'
+    /// `--lease-ttl-ms` flag): requests for longer leases are clamped,
+    /// bounding how long a crashed reader can pin history.
+    pub fn with_lease_ttl_cap(mut self, cap_ms: u64) -> Self {
+        self.lease_ttl_cap_ms = cap_ms.max(1);
+        self
+    }
+
+    /// Wall-clock milliseconds for lease bookkeeping — network servers
+    /// have no virtual clock, so lease TTLs run on real time.
+    fn now_ms() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
     }
 
     /// The hosted version manager for `blob` (lazily created, like a
@@ -357,6 +404,13 @@ impl VersionService {
                 *fsync,
             )?,
         });
+        // The deployment default applies only where no per-blob policy
+        // exists (freshly created, or recovered with none logged).
+        if self.retention != RetentionPolicy::default()
+            && vm.retention() == RetentionPolicy::default()
+        {
+            vm.set_retention_local(self.retention)?;
+        }
         vms.insert(blob, Arc::clone(&vm));
         Ok(vm)
     }
@@ -419,6 +473,55 @@ impl Service for VersionService {
                     Err(e) => fail(e),
                 }
             }
+            VmSetRetention { blob, policy } => {
+                match self.vm(blob).and_then(|vm| vm.set_retention_local(policy)) {
+                    Ok(()) => ok(Response::Unit),
+                    Err(e) => fail(e),
+                }
+            }
+            VmLeaseAcquire {
+                blob,
+                version,
+                ttl_ms,
+            } => {
+                let ttl = ttl_ms.min(self.lease_ttl_cap_ms);
+                match self
+                    .vm(blob)
+                    .and_then(|vm| vm.lease_acquire_local(version, ttl, Self::now_ms()))
+                {
+                    Ok(grant) => ok(Response::Lease { grant }),
+                    Err(e) => fail(e),
+                }
+            }
+            VmLeaseRenew {
+                blob,
+                lease,
+                ttl_ms,
+            } => {
+                let ttl = ttl_ms.min(self.lease_ttl_cap_ms);
+                match self
+                    .vm(blob)
+                    .and_then(|vm| vm.lease_renew_local(lease, ttl, Self::now_ms()))
+                {
+                    Ok(grant) => ok(Response::Lease { grant }),
+                    Err(e) => fail(e),
+                }
+            }
+            VmLeaseRelease { blob, lease } => {
+                match self
+                    .vm(blob)
+                    .and_then(|vm| vm.lease_release_local(lease, Self::now_ms()))
+                {
+                    Ok(()) => ok(Response::Unit),
+                    Err(e) => fail(e),
+                }
+            }
+            VmGcFloor { blob } => match self.vm(blob) {
+                Ok(vm) => ok(Response::GcFloor {
+                    info: vm.gc_floor_local(Self::now_ms()),
+                }),
+                Err(e) => fail(e),
+            },
             _ => unsupported("chunk/metadata op sent to a version server"),
         }
     }
@@ -472,6 +575,20 @@ impl MetaService {
     pub fn version_service(&self) -> &VersionService {
         &self.versions
     }
+
+    /// Sets the default retention policy of the nested version service
+    /// (see [`VersionService::with_retention`]).
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.versions = self.versions.with_retention(retention);
+        self
+    }
+
+    /// Caps lease TTLs of the nested version service (see
+    /// [`VersionService::with_lease_ttl_cap`]).
+    pub fn with_lease_ttl_cap(mut self, cap_ms: u64) -> Self {
+        self.versions = self.versions.with_lease_ttl_cap(cap_ms);
+        self
+    }
 }
 
 impl Service for MetaService {
@@ -500,6 +617,9 @@ impl Service for MetaService {
                 self.store.evict(key);
                 ok(Response::Unit)
             }
+            MetaEvictBatch { keys } => ok(Response::Count {
+                value: self.store.evict_batch(&keys),
+            }),
             MetaListKeys => ok(Response::Keys {
                 keys: self.store.list_keys(),
             }),
@@ -508,7 +628,12 @@ impl Service for MetaService {
             | VmPublish { .. }
             | VmIsPublished { .. }
             | VmLatest { .. }
-            | VmSnapshot { .. } => self.versions.handle(request, payload),
+            | VmSnapshot { .. }
+            | VmSetRetention { .. }
+            | VmLeaseAcquire { .. }
+            | VmLeaseRenew { .. }
+            | VmLeaseRelease { .. }
+            | VmGcFloor { .. } => self.versions.handle(request, payload),
             PutChunk { .. }
             | PutChunkBatch { .. }
             | GetChunk { .. }
@@ -518,6 +643,7 @@ impl Service for MetaService {
             | ProviderChunkCount { .. }
             | ProviderBytesStored { .. }
             | ProviderEvictChunk { .. }
+            | ProviderEvictBatch { .. }
             | ProviderChecksumOf { .. }
             | ProviderCorruptChunk { .. } => unsupported("chunk op sent to a metadata server"),
         }
@@ -790,6 +916,13 @@ pub struct ServerArgs {
     /// `--fsync per-publish|group:N|deferred`: durability policy of a
     /// disk backend (ignored without `--data-dir`).
     pub fsync: FsyncPolicy,
+    /// `--retention keep-all|keep-last:N|keep-above:V`: the default
+    /// per-blob retention policy (version-capable roles only; the
+    /// provider role rejects it).
+    pub retention: RetentionPolicy,
+    /// `--lease-ttl-ms N`: cap on granted snapshot-lease TTLs
+    /// (version-capable roles only).
+    pub lease_ttl_cap_ms: u64,
     /// Transport/dispatcher tuning assembled from the `--workers`,
     /// `--read-timeout-ms`, `--write-timeout-ms`, and `--backoff-ms`
     /// style flags (defaults from [`RpcConfig::default`]).
@@ -806,9 +939,10 @@ impl ServerArgs {
     /// `--read-timeout-ms n`, `--write-timeout-ms n`,
     /// `--connect-retries n`, `--backoff-ms n`.
     ///
-    /// `--chunk-size` is role-gated: roles without chunk geometry (the
-    /// provider server) pass `accepts_chunk_size = false` and the flag
-    /// is rejected instead of silently ignored —
+    /// `--chunk-size`, `--retention`, and `--lease-ttl-ms` are
+    /// role-gated: roles without version-manager state (the provider
+    /// server) pass `accepts_chunk_size = false` and the flags are
+    /// rejected instead of silently ignored —
     /// [`server_usage`] must advertise exactly what parses.
     pub fn parse(
         args: impl IntoIterator<Item = String>,
@@ -824,6 +958,8 @@ impl ServerArgs {
             chunk_size: 64 * 1024,
             data_dir: None,
             fsync: FsyncPolicy::default(),
+            retention: RetentionPolicy::default(),
+            lease_ttl_cap_ms: DEFAULT_LEASE_TTL_CAP_MS,
             cfg: RpcConfig::default(),
         };
         while let Some(flag) = args.next() {
@@ -837,6 +973,17 @@ impl ServerArgs {
                     return Err("--chunk-size: this role has no chunk geometry".into());
                 }
                 parsed.chunk_size = value.parse().map_err(|_| bad())?;
+            } else if flag == "--retention" {
+                if !accepts_chunk_size {
+                    return Err("--retention: this role hosts no version managers".into());
+                }
+                parsed.retention =
+                    RetentionPolicy::parse(&value).map_err(|e| format!("bad {flag}: {e}"))?;
+            } else if flag == "--lease-ttl-ms" {
+                if !accepts_chunk_size {
+                    return Err("--lease-ttl-ms: this role hosts no version managers".into());
+                }
+                parsed.lease_ttl_cap_ms = value.parse().map_err(|_| bad())?;
             } else if flag == "--data-dir" {
                 parsed.data_dir = Some(PathBuf::from(&value));
             } else if flag == "--fsync" {
@@ -911,6 +1058,8 @@ pub fn server_usage(name: &str, count_flag: Option<&str>, accepts_chunk_size: bo
     }
     if accepts_chunk_size {
         usage.push_str(" [--chunk-size BYTES]");
+        usage.push_str(" [--retention keep-all|keep-last:N|keep-above:V]");
+        usage.push_str(" [--lease-ttl-ms N]");
     }
     usage.push_str(" [--data-dir PATH] [--fsync per-publish|group:N|deferred]");
     for flag in SHARED_FLAGS {

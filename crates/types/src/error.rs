@@ -63,6 +63,11 @@ pub enum Error {
         pending_bytes: u64,
         capacity: u64,
     },
+    /// A snapshot lease expired (or was never granted): the version it
+    /// pinned may have been reclaimed, so the read is refused with a
+    /// typed error instead of risking torn bytes. Re-acquire a lease on
+    /// a retained snapshot to continue.
+    LeaseExpired { lease: u64, version: VersionId },
     /// A transport-level failure talking to a remote service. The kind
     /// distinguishes causes so retry policy can branch (a timeout is worth
     /// retrying on the same endpoint; connection-refused is not).
@@ -180,6 +185,9 @@ impl fmt::Display for Error {
                 f,
                 "{resource} is busy: {pending_bytes} of {capacity} bytes pending"
             ),
+            Error::LeaseExpired { lease, version } => {
+                write!(f, "lease {lease} on snapshot {version} has expired")
+            }
             Error::Transport { kind, detail } => {
                 write!(f, "transport failure ({kind}): {detail}")
             }
@@ -284,6 +292,13 @@ impl Serialize for Error {
                     ("capacity".into(), capacity.to_value()),
                 ],
             ),
+            Error::LeaseExpired { lease, version } => tagged(
+                "LeaseExpired",
+                vec![
+                    ("lease".into(), lease.to_value()),
+                    ("version".into(), version.to_value()),
+                ],
+            ),
             Error::Transport { kind, detail } => tagged(
                 "Transport",
                 vec![
@@ -350,6 +365,10 @@ impl Deserialize for Error {
                 resource: String::from_value(field("resource"))?,
                 pending_bytes: u64::from_value(field("pending_bytes"))?,
                 capacity: u64::from_value(field("capacity"))?,
+            },
+            "LeaseExpired" => Error::LeaseExpired {
+                lease: u64::from_value(field("lease"))?,
+                version: VersionId::from_value(field("version"))?,
             },
             "Transport" => Error::Transport {
                 kind: {
@@ -436,6 +455,10 @@ mod tests {
                 resource: "wal".into(),
                 pending_bytes: 4096,
                 capacity: 1024,
+            },
+            Error::LeaseExpired {
+                lease: 11,
+                version: VersionId::new(3),
             },
             Error::Transport {
                 kind: TransportErrorKind::Timeout,

@@ -21,6 +21,7 @@ pub mod extent;
 pub mod ids;
 pub mod range;
 pub mod record;
+pub mod retention;
 pub mod stamp;
 pub mod tempdir;
 
@@ -30,3 +31,4 @@ pub use error::{Error, Result, TransportErrorKind};
 pub use extent::ExtentList;
 pub use ids::{BlobId, ChunkId, ClientId, NodeId, ProviderId, VersionId};
 pub use range::ByteRange;
+pub use retention::RetentionPolicy;

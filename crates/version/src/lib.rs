@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod lease;
 pub mod log;
 pub mod manager;
 pub mod oracle;
 
-pub use log::{LogStats, PublishLog, PublishRecord};
-pub use manager::{PublicationStats, SnapshotRecord, Ticket, TicketMode, VersionManager};
+pub use lease::{LeaseGrant, LeaseManager};
+pub use log::{LogReplay, LogStats, PublishLog, PublishRecord};
+pub use manager::{GcFloor, PublicationStats, SnapshotRecord, Ticket, TicketMode, VersionManager};
 pub use oracle::VersionOracle;

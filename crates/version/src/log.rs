@@ -15,10 +15,11 @@
 //! list (rebuilding the [`VersionHistory`](atomio_meta::VersionHistory)
 //! that later writers link their shadow trees against).
 
+use crate::lease::LeaseGrant;
 use atomio_meta::disk::{decode_opt_key, push_opt_key};
 use atomio_meta::NodeKey;
 use atomio_types::record::{append_record, load_or_init_superblock, scan_records, ByteReader};
-use atomio_types::{Error, ExtentList, FsyncPolicy, Result, VersionId};
+use atomio_types::{Error, ExtentList, FsyncPolicy, Result, RetentionPolicy, VersionId};
 use parking_lot::Mutex;
 use std::fs::OpenOptions;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -26,6 +27,16 @@ use std::path::PathBuf;
 
 /// Log record: one published snapshot.
 const REC_PUBLISH: u8 = 1;
+
+/// Log record: the blob's retention policy changed (last one wins).
+const REC_RETENTION: u8 = 2;
+
+/// Log record: a snapshot lease was granted or renewed (last grant per
+/// lease id wins — a renewal is re-logged with the extended expiry).
+const REC_LEASE: u8 = 3;
+
+/// Log record: a lease was released before its TTL lapsed.
+const REC_LEASE_RELEASE: u8 = 4;
 
 /// Superblock tag marking a directory as a publish log ("vers").
 const VERSION_TAG: u64 = 0x7665_7273;
@@ -84,6 +95,71 @@ fn decode_publish(body: &[u8]) -> Option<PublishRecord> {
     })
 }
 
+fn encode_retention(policy: RetentionPolicy) -> Vec<u8> {
+    let (tag, value): (u8, u64) = match policy {
+        RetentionPolicy::KeepAll => (1, 0),
+        RetentionPolicy::KeepLast(n) => (2, n),
+        RetentionPolicy::KeepAbove(v) => (3, v.raw()),
+    };
+    let mut body = Vec::with_capacity(9);
+    body.push(tag);
+    body.extend_from_slice(&value.to_be_bytes());
+    body
+}
+
+fn decode_retention(body: &[u8]) -> Option<RetentionPolicy> {
+    let mut r = ByteReader::new(body);
+    let tag = r.u8()?;
+    let value = r.u64()?;
+    if !r.done() {
+        return None;
+    }
+    match tag {
+        1 => Some(RetentionPolicy::KeepAll),
+        2 if value > 0 => Some(RetentionPolicy::KeepLast(value)),
+        3 => Some(RetentionPolicy::KeepAbove(VersionId::new(value))),
+        _ => None,
+    }
+}
+
+fn encode_lease(grant: &LeaseGrant) -> Vec<u8> {
+    let mut body = Vec::with_capacity(24);
+    body.extend_from_slice(&grant.lease.to_be_bytes());
+    body.extend_from_slice(&grant.version.raw().to_be_bytes());
+    body.extend_from_slice(&grant.expires_at_ms.to_be_bytes());
+    body
+}
+
+fn decode_lease(body: &[u8]) -> Option<LeaseGrant> {
+    let mut r = ByteReader::new(body);
+    let grant = LeaseGrant {
+        lease: r.u64()?,
+        version: VersionId::new(r.u64()?),
+        expires_at_ms: r.u64()?,
+    };
+    if !r.done() {
+        return None;
+    }
+    Some(grant)
+}
+
+/// Everything a recovering version manager reads back out of the log:
+/// the dense published prefix plus the reclamation state riding in it.
+#[derive(Debug, Default)]
+pub struct LogReplay {
+    /// Published snapshots, in publish (= version) order.
+    pub publishes: Vec<PublishRecord>,
+    /// The blob's retention policy, if one was ever logged.
+    pub retention: Option<RetentionPolicy>,
+    /// Leases granted and never released as of the crash, in id order.
+    /// Expiry is *not* applied here — the recovering manager restores
+    /// them and lets its own clock lapse any that are stale.
+    pub leases: Vec<LeaseGrant>,
+    /// The largest lease id ever logged (released or not), so the
+    /// allocator never reissues an id.
+    pub max_lease_id: u64,
+}
+
 /// Counters describing a log's fsync behaviour — the E9d ablation reads
 /// these to relate ack latency to the durability window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,17 +191,16 @@ pub struct PublishLog {
 
 impl PublishLog {
     /// Opens (creating or recovering) the publish log under `dir`,
-    /// returning the log plus every whole record already on disk, in
-    /// publish order. A torn tail record is truncated away: the publish
-    /// it described was never acknowledged as durable.
+    /// returning the log plus the replayed state: every whole publish
+    /// record in publish order, the last retention policy logged, and
+    /// the leases still outstanding. A torn tail record is truncated
+    /// away: the operation it described was never acknowledged as
+    /// durable.
     ///
     /// # Errors
     /// [`Error::Internal`] on I/O failure, a foreign or corrupt
     /// superblock, or a malformed (non-torn) record.
-    pub fn open(
-        dir: impl Into<PathBuf>,
-        policy: FsyncPolicy,
-    ) -> Result<(Self, Vec<PublishRecord>)> {
+    pub fn open(dir: impl Into<PathBuf>, policy: FsyncPolicy) -> Result<(Self, LogReplay)> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| Error::io(format!("publish log dir {}", dir.display()), e))?;
@@ -146,25 +221,46 @@ impl PublishLog {
                 .and_then(|_| file.sync_data())
                 .map_err(|e| Error::io("publish log truncate torn tail", e))?;
         }
-        let mut records = Vec::with_capacity(scan.records.len());
+        let mut replay = LogReplay::default();
+        let malformed = || Error::Internal("publish log: malformed record".into());
+        let mut live: std::collections::BTreeMap<u64, LeaseGrant> = Default::default();
         for rec in &scan.records {
-            if rec.kind != REC_PUBLISH {
-                return Err(Error::Internal(format!(
-                    "publish log: unknown record kind {}",
-                    rec.kind
-                )));
+            match rec.kind {
+                REC_PUBLISH => {
+                    let rec = decode_publish(&rec.body).ok_or_else(malformed)?;
+                    // The dense-ordering invariant applies to publishes
+                    // only: reclamation records interleave freely.
+                    if rec.version.raw() != replay.publishes.len() as u64 + 1 {
+                        return Err(Error::Internal(format!(
+                            "publish log: record {} out of order (expected v{})",
+                            rec.version,
+                            replay.publishes.len() + 1
+                        )));
+                    }
+                    replay.publishes.push(rec);
+                }
+                REC_RETENTION => {
+                    replay.retention = Some(decode_retention(&rec.body).ok_or_else(malformed)?);
+                }
+                REC_LEASE => {
+                    let grant = decode_lease(&rec.body).ok_or_else(malformed)?;
+                    replay.max_lease_id = replay.max_lease_id.max(grant.lease);
+                    live.insert(grant.lease, grant);
+                }
+                REC_LEASE_RELEASE => {
+                    let mut r = ByteReader::new(&rec.body);
+                    let lease = r.u64().filter(|_| r.done()).ok_or_else(malformed)?;
+                    replay.max_lease_id = replay.max_lease_id.max(lease);
+                    live.remove(&lease);
+                }
+                other => {
+                    return Err(Error::Internal(format!(
+                        "publish log: unknown record kind {other}"
+                    )));
+                }
             }
-            let rec = decode_publish(&rec.body)
-                .ok_or_else(|| Error::Internal("publish log: malformed record".into()))?;
-            if rec.version.raw() != records.len() as u64 + 1 {
-                return Err(Error::Internal(format!(
-                    "publish log: record {} out of order (expected v{})",
-                    rec.version,
-                    records.len() + 1
-                )));
-            }
-            records.push(rec);
         }
+        replay.leases = live.into_values().collect();
         Ok((
             PublishLog {
                 state: Mutex::new(LogState {
@@ -175,14 +271,33 @@ impl PublishLog {
                 }),
                 policy,
             },
-            records,
+            replay,
         ))
     }
 
     /// Appends one publish record, fsyncing per the log's policy.
     pub fn append(&self, rec: &PublishRecord) -> Result<()> {
+        self.append_framed(REC_PUBLISH, &encode_publish(rec))
+    }
+
+    /// Logs a retention-policy change (last one wins on replay).
+    pub fn append_retention(&self, policy: RetentionPolicy) -> Result<()> {
+        self.append_framed(REC_RETENTION, &encode_retention(policy))
+    }
+
+    /// Logs a lease grant or renewal (the latest record per id wins).
+    pub fn append_lease(&self, grant: &LeaseGrant) -> Result<()> {
+        self.append_framed(REC_LEASE, &encode_lease(grant))
+    }
+
+    /// Logs an explicit lease release.
+    pub fn append_lease_release(&self, lease: u64) -> Result<()> {
+        self.append_framed(REC_LEASE_RELEASE, &lease.to_be_bytes())
+    }
+
+    fn append_framed(&self, kind: u8, body: &[u8]) -> Result<()> {
         let mut framed = Vec::new();
-        append_record(&mut framed, REC_PUBLISH, &encode_publish(rec));
+        append_record(&mut framed, kind, body);
         let mut st = self.state.lock();
         let at = st.len;
         st.file
@@ -266,7 +381,7 @@ mod tests {
         let tmp = TempDir::new("atomio-publog");
         {
             let (log, replay) = PublishLog::open(tmp.path(), FsyncPolicy::PerPublish).unwrap();
-            assert!(replay.is_empty());
+            assert!(replay.publishes.is_empty());
             for v in 1..=5 {
                 log.append(&rec(v)).unwrap();
             }
@@ -274,8 +389,8 @@ mod tests {
             assert_eq!(log.stats().syncs, 5);
         }
         let (_, replay) = PublishLog::open(tmp.path(), FsyncPolicy::PerPublish).unwrap();
-        assert_eq!(replay.len(), 5);
-        assert_eq!(replay[2], rec(3));
+        assert_eq!(replay.publishes.len(), 5);
+        assert_eq!(replay.publishes[2], rec(3));
     }
 
     #[test]
@@ -298,12 +413,58 @@ mod tests {
         drop(f);
 
         let (log, replay) = PublishLog::open(tmp.path(), FsyncPolicy::PerPublish).unwrap();
-        assert_eq!(replay.len(), 2);
+        assert_eq!(replay.publishes.len(), 2);
         // v3's number is free again: a re-publish appends cleanly.
         log.append(&rec(3)).unwrap();
         drop(log);
         let (_, replay) = PublishLog::open(tmp.path(), FsyncPolicy::PerPublish).unwrap();
-        assert_eq!(replay.len(), 3);
+        assert_eq!(replay.publishes.len(), 3);
+    }
+
+    #[test]
+    fn retention_and_lease_records_replay_interleaved_with_publishes() {
+        let tmp = TempDir::new("atomio-publog");
+        {
+            let (log, _) = PublishLog::open(tmp.path(), FsyncPolicy::PerPublish).unwrap();
+            log.append(&rec(1)).unwrap();
+            log.append_retention(RetentionPolicy::KeepLast(4)).unwrap();
+            log.append_lease(&LeaseGrant {
+                lease: 1,
+                version: VersionId::new(1),
+                expires_at_ms: 5_000,
+            })
+            .unwrap();
+            log.append(&rec(2)).unwrap();
+            log.append_lease(&LeaseGrant {
+                lease: 2,
+                version: VersionId::new(2),
+                expires_at_ms: 6_000,
+            })
+            .unwrap();
+            // Renewal re-logs lease 1 with a later expiry; lease 2 is
+            // released cleanly.
+            log.append_lease(&LeaseGrant {
+                lease: 1,
+                version: VersionId::new(1),
+                expires_at_ms: 9_000,
+            })
+            .unwrap();
+            log.append_lease_release(2).unwrap();
+            log.append_retention(RetentionPolicy::KeepLast(2)).unwrap();
+        }
+        let (_, replay) = PublishLog::open(tmp.path(), FsyncPolicy::PerPublish).unwrap();
+        assert_eq!(replay.publishes.len(), 2, "dense publish prefix intact");
+        assert_eq!(replay.retention, Some(RetentionPolicy::KeepLast(2)));
+        assert_eq!(
+            replay.leases,
+            vec![LeaseGrant {
+                lease: 1,
+                version: VersionId::new(1),
+                expires_at_ms: 9_000,
+            }],
+            "renewal superseded the first grant; release dropped lease 2"
+        );
+        assert_eq!(replay.max_lease_id, 2);
     }
 
     #[test]

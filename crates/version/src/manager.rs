@@ -1,9 +1,10 @@
 //! Version manager implementation.
 
+use crate::lease::{LeaseGrant, LeaseManager};
 use atomio_meta::history::WriteSummary;
 use atomio_meta::{NodeKey, TreeConfig, VersionHistory};
 use atomio_simgrid::{CostModel, Participant, Resource};
-use atomio_types::{Error, ExtentList, Result, VersionId};
+use atomio_types::{Error, ExtentList, Result, RetentionPolicy, VersionId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -66,6 +67,10 @@ struct VmState {
     /// Per-ticket sizes (index `v - 1`) so records can be completed at
     /// publication time.
     ticket_sizes: Vec<u64>,
+    /// Live snapshot leases pinning historic versions against GC.
+    leases: LeaseManager,
+    /// How much history collection must preserve regardless of leases.
+    retention: RetentionPolicy,
 }
 
 /// The version-manager service.
@@ -128,8 +133,16 @@ impl VersionManager {
             "durable recovery rebuilds the history from the log"
         );
         let (log, replay) = crate::log::PublishLog::open(dir, fsync)?;
-        let mut st = VmState::default();
-        for rec in replay {
+        let mut st = VmState {
+            retention: replay.retention.unwrap_or_default(),
+            ..Default::default()
+        };
+        for grant in &replay.leases {
+            st.leases
+                .restore(grant.lease, grant.version, grant.expires_at_ms);
+        }
+        st.leases.reserve_ids(replay.max_lease_id);
+        for rec in replay.publishes {
             history.append(WriteSummary {
                 version: rec.version,
                 extents: Arc::new(rec.extents.clone()),
@@ -437,6 +450,167 @@ impl VersionManager {
             parked: st.pending.len(),
         }
     }
+
+    // -----------------------------------------------------------------
+    // Reclamation surface: retention policy, snapshot leases, GC floor.
+    // Participant-carrying wrappers charge one RPC round plus a
+    // meta-op of manager CPU (same as every other client-facing call);
+    // `_local` variants are the participant-free server-side halves,
+    // taking `now_ms` from whichever clock the deployment runs on
+    // (virtual in-process, wall clock on a network server).
+    // -----------------------------------------------------------------
+
+    /// Virtual-clock milliseconds for the in-process wrappers.
+    fn vnow_ms(p: &Participant) -> u64 {
+        p.now_ns() / 1_000_000
+    }
+
+    /// Sets the blob's retention policy (durably, when logged).
+    pub fn set_retention(&self, p: &Participant, policy: RetentionPolicy) -> Result<()> {
+        p.sleep(self.cost.rpc_round_trip());
+        self.cpu.serve(p, self.cost.meta_op);
+        self.set_retention_local(policy)
+    }
+
+    /// [`Self::set_retention`] without simulated cost.
+    pub fn set_retention_local(&self, policy: RetentionPolicy) -> Result<()> {
+        let mut st = self.state.lock();
+        st.retention = policy;
+        if let Some(log) = &self.log {
+            log.append_retention(policy)?;
+        }
+        Ok(())
+    }
+
+    /// The blob's current retention policy.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.state.lock().retention
+    }
+
+    /// Grants a snapshot lease on a **published** version, pinning it
+    /// (and everything below it) against collection for `ttl_ms`.
+    pub fn lease_acquire(
+        &self,
+        p: &Participant,
+        version: VersionId,
+        ttl_ms: u64,
+    ) -> Result<LeaseGrant> {
+        p.sleep(self.cost.rpc_round_trip());
+        self.cpu.serve(p, self.cost.meta_op);
+        self.lease_acquire_local(version, ttl_ms, Self::vnow_ms(p))
+    }
+
+    /// [`Self::lease_acquire`] without simulated cost.
+    ///
+    /// # Errors
+    /// [`Error::VersionNotFound`] when `version` is not a published
+    /// (non-initial) snapshot — an unpublished or reclaimed version
+    /// cannot be pinned.
+    pub fn lease_acquire_local(
+        &self,
+        version: VersionId,
+        ttl_ms: u64,
+        now_ms: u64,
+    ) -> Result<LeaseGrant> {
+        let mut st = self.state.lock();
+        if version.is_initial() || version.raw() > st.published {
+            return Err(Error::VersionNotFound {
+                blob: atomio_types::BlobId::new(0),
+                version,
+            });
+        }
+        let grant = st.leases.acquire(version, ttl_ms, now_ms);
+        if let Some(log) = &self.log {
+            log.append_lease(&grant)?;
+        }
+        Ok(grant)
+    }
+
+    /// Extends a live lease's TTL; refuses with a typed error once it
+    /// has lapsed (the snapshot may already be reclaimed).
+    pub fn lease_renew(&self, p: &Participant, lease: u64, ttl_ms: u64) -> Result<LeaseGrant> {
+        p.sleep(self.cost.rpc_round_trip());
+        self.cpu.serve(p, self.cost.meta_op);
+        self.lease_renew_local(lease, ttl_ms, Self::vnow_ms(p))
+    }
+
+    /// [`Self::lease_renew`] without simulated cost.
+    ///
+    /// # Errors
+    /// [`Error::LeaseExpired`] when the lease lapsed or never existed
+    /// (`version` in the error is [`VersionId::INITIAL`] when the
+    /// pinned snapshot is no longer known).
+    pub fn lease_renew_local(&self, lease: u64, ttl_ms: u64, now_ms: u64) -> Result<LeaseGrant> {
+        let mut st = self.state.lock();
+        let grant = st
+            .leases
+            .renew(lease, ttl_ms, now_ms)
+            .ok_or(Error::LeaseExpired {
+                lease,
+                version: VersionId::INITIAL,
+            })?;
+        if let Some(log) = &self.log {
+            log.append_lease(&grant)?;
+        }
+        Ok(grant)
+    }
+
+    /// Releases a lease. Idempotent: releasing an expired or unknown
+    /// lease succeeds — the pin is gone either way.
+    pub fn lease_release(&self, p: &Participant, lease: u64) -> Result<()> {
+        p.sleep(self.cost.rpc_round_trip());
+        self.cpu.serve(p, self.cost.meta_op);
+        self.lease_release_local(lease, Self::vnow_ms(p))
+    }
+
+    /// [`Self::lease_release`] without simulated cost.
+    pub fn lease_release_local(&self, lease: u64, now_ms: u64) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.leases.release(lease, now_ms).is_some() {
+            if let Some(log) = &self.log {
+                log.append_lease_release(lease)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The reclamation floor as this manager sees it: the minimum of
+    /// the retention floor (relative to the latest published snapshot)
+    /// and the oldest live lease. The collector may retire versions
+    /// strictly below it; the caller must still clamp by any WAL base
+    /// version it holds — the manager cannot see host-side logs.
+    pub fn gc_floor(&self, p: &Participant) -> Result<GcFloor> {
+        p.sleep(self.cost.rpc_round_trip());
+        self.cpu.serve(p, self.cost.meta_op);
+        Ok(self.gc_floor_local(Self::vnow_ms(p)))
+    }
+
+    /// [`Self::gc_floor`] without simulated cost.
+    pub fn gc_floor_local(&self, now_ms: u64) -> GcFloor {
+        let mut st = self.state.lock();
+        let latest = VersionId::new(st.published);
+        let mut floor = st.retention.floor(latest);
+        if let Some(leased) = st.leases.oldest_live(now_ms) {
+            floor = floor.min(leased);
+        }
+        GcFloor {
+            floor,
+            leases_active: st.leases.active(now_ms),
+            lease_expirations: st.leases.expirations(),
+        }
+    }
+}
+
+/// The manager's contribution to the reclamation floor, plus the lease
+/// gauges the GC stats block reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcFloor {
+    /// Collection may retire versions strictly below this.
+    pub floor: VersionId,
+    /// Live leases at the time of the query.
+    pub leases_active: u64,
+    /// Leases that lapsed (TTL passed without release) since creation.
+    pub lease_expirations: u64,
 }
 
 /// Counters describing the publication pipeline's state.
@@ -770,6 +944,83 @@ mod tests {
             // The append crosses the recovered 512-byte capacity, which
             // must grow exactly as it would have without the restart.
             assert_eq!(t3.capacity, 1024);
+        });
+    }
+
+    #[test]
+    fn gc_floor_is_min_of_retention_and_oldest_lease() {
+        let m = vm(TicketMode::Pipelined);
+        run_actors(1, |_, p| {
+            for k in 0..6u64 {
+                let t = m.ticket(p, &extents(&[(k * 64, 64)])).unwrap();
+                m.publish(p, t, root_for(t)).unwrap();
+            }
+            // KeepAll default: floor stays at 1.
+            assert_eq!(m.gc_floor(p).unwrap().floor, VersionId::new(1));
+            m.set_retention(p, RetentionPolicy::KeepLast(2)).unwrap();
+            assert_eq!(m.gc_floor(p).unwrap().floor, VersionId::new(5));
+            // A lease on v3 drags the floor down while live.
+            let g = m.lease_acquire(p, VersionId::new(3), 60_000).unwrap();
+            let f = m.gc_floor(p).unwrap();
+            assert_eq!(f.floor, VersionId::new(3));
+            assert_eq!(f.leases_active, 1);
+            m.lease_release(p, g.lease).unwrap();
+            assert_eq!(m.gc_floor(p).unwrap().floor, VersionId::new(5));
+            // Leasing an unpublished or initial version is refused.
+            assert!(matches!(
+                m.lease_acquire(p, VersionId::new(99), 1_000),
+                Err(Error::VersionNotFound { .. })
+            ));
+            assert!(matches!(
+                m.lease_acquire(p, VersionId::INITIAL, 1_000),
+                Err(Error::VersionNotFound { .. })
+            ));
+            // An expired lease renews into a typed error and unpins.
+            let g = m.lease_acquire(p, VersionId::new(2), 1).unwrap();
+            p.sleep(Duration::from_millis(5));
+            assert!(matches!(
+                m.lease_renew(p, g.lease, 1_000),
+                Err(Error::LeaseExpired { .. })
+            ));
+            let f = m.gc_floor(p).unwrap();
+            assert_eq!(f.floor, VersionId::new(5));
+            assert_eq!(f.lease_expirations, 1);
+        });
+    }
+
+    #[test]
+    fn durable_manager_recovers_leases_and_retention() {
+        let tmp = atomio_types::tempdir::TempDir::new("atomio-vm");
+        let lease_id = {
+            let m = durable_vm(tmp.path(), atomio_types::FsyncPolicy::PerPublish);
+            run_actors(1, |_, p| {
+                for k in 0..3u64 {
+                    let t = m.ticket(p, &extents(&[(k * 64, 64)])).unwrap();
+                    m.publish(p, t, root_for(t)).unwrap();
+                }
+                m.set_retention(p, RetentionPolicy::KeepLast(1)).unwrap();
+                let g = m.lease_acquire(p, VersionId::new(1), 3_600_000).unwrap();
+                let released = m.lease_acquire(p, VersionId::new(2), 3_600_000).unwrap();
+                m.lease_release(p, released.lease).unwrap();
+                g.lease
+            })
+            .0[0]
+            // Hard drop, no flush (PerPublish synced every record).
+        };
+        let m = durable_vm(tmp.path(), atomio_types::FsyncPolicy::PerPublish);
+        assert_eq!(m.retention(), RetentionPolicy::KeepLast(1));
+        run_actors(1, |_, p| {
+            // The live lease still pins v1 across the restart.
+            let f = m.gc_floor(p).unwrap();
+            assert_eq!(f.floor, VersionId::new(1));
+            assert_eq!(f.leases_active, 1);
+            m.lease_renew(p, lease_id, 3_600_000).unwrap();
+            // Fresh grants never reuse a logged id.
+            let g = m.lease_acquire(p, VersionId::new(3), 1_000).unwrap();
+            assert!(g.lease > lease_id + 1);
+            m.lease_release(p, lease_id).unwrap();
+            m.lease_release(p, g.lease).unwrap();
+            assert_eq!(m.gc_floor(p).unwrap().floor, VersionId::new(3));
         });
     }
 

@@ -9,10 +9,11 @@
 //! contract `Blob::commit_write` is written against — the third
 //! independently deployable service plugs in here.
 
-use crate::manager::{SnapshotRecord, Ticket, VersionManager};
+use crate::lease::LeaseGrant;
+use crate::manager::{GcFloor, SnapshotRecord, Ticket, VersionManager};
 use atomio_meta::{NodeKey, VersionHistory};
 use atomio_simgrid::Participant;
-use atomio_types::{ExtentList, Result, VersionId};
+use atomio_types::{ExtentList, Result, RetentionPolicy, VersionId};
 use std::sync::Arc;
 
 /// The version-manager surface the blob write/read path depends on.
@@ -49,6 +50,26 @@ pub trait VersionOracle: Send + Sync + std::fmt::Debug {
 
     /// Looks up a specific published snapshot.
     fn snapshot(&self, p: &Participant, version: VersionId) -> Result<SnapshotRecord>;
+
+    /// Sets the blob's retention policy (how much history the collector
+    /// must preserve regardless of leases).
+    fn set_retention(&self, p: &Participant, policy: RetentionPolicy) -> Result<()>;
+
+    /// Acquires a time-bounded snapshot lease pinning `version` (and
+    /// everything at or above it) against collection.
+    fn lease_acquire(&self, p: &Participant, version: VersionId, ttl_ms: u64)
+        -> Result<LeaseGrant>;
+
+    /// Extends a live lease; [`atomio_types::Error::LeaseExpired`] once
+    /// it has lapsed.
+    fn lease_renew(&self, p: &Participant, lease: u64, ttl_ms: u64) -> Result<LeaseGrant>;
+
+    /// Releases a lease (idempotent).
+    fn lease_release(&self, p: &Participant, lease: u64) -> Result<()>;
+
+    /// The manager-side reclamation floor: `min(retention floor, oldest
+    /// live lease)`. Callers still clamp by any host-side WAL base.
+    fn gc_floor(&self, p: &Participant) -> Result<GcFloor>;
 }
 
 impl VersionOracle for VersionManager {
@@ -83,6 +104,31 @@ impl VersionOracle for VersionManager {
 
     fn snapshot(&self, p: &Participant, version: VersionId) -> Result<SnapshotRecord> {
         VersionManager::snapshot(self, p, version)
+    }
+
+    fn set_retention(&self, p: &Participant, policy: RetentionPolicy) -> Result<()> {
+        VersionManager::set_retention(self, p, policy)
+    }
+
+    fn lease_acquire(
+        &self,
+        p: &Participant,
+        version: VersionId,
+        ttl_ms: u64,
+    ) -> Result<LeaseGrant> {
+        VersionManager::lease_acquire(self, p, version, ttl_ms)
+    }
+
+    fn lease_renew(&self, p: &Participant, lease: u64, ttl_ms: u64) -> Result<LeaseGrant> {
+        VersionManager::lease_renew(self, p, lease, ttl_ms)
+    }
+
+    fn lease_release(&self, p: &Participant, lease: u64) -> Result<()> {
+        VersionManager::lease_release(self, p, lease)
+    }
+
+    fn gc_floor(&self, p: &Participant) -> Result<GcFloor> {
+        VersionManager::gc_floor(self, p)
     }
 }
 

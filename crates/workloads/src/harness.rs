@@ -6,13 +6,17 @@
 //! is timed in virtual time, read back, and checked for MPI-atomicity by
 //! the verifier.
 
+use crate::checkpoint::CheckpointWorkload;
 use crate::verify::{check_serializable_from, Violation, WriteRecord};
+use atomio_core::{Blob, GcCoordinator};
 use atomio_mpiio::adio::AdioDriver;
+use atomio_mpiio::comm::Communicator;
 use atomio_simgrid::clock::run_actors_on;
-use atomio_simgrid::SimClock;
+use atomio_simgrid::{CostModel, SimClock};
 use atomio_types::stamp::WriteStamp;
 use atomio_types::{ByteRange, ClientId, ExtentList};
 use bytes::Bytes;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -135,6 +139,162 @@ pub fn run_write_round_from(
     }
 }
 
+/// How reclamation runs relative to the writers in
+/// [`run_checkpoint_with_gc`] — the three arms of the E10 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcMode {
+    /// No reclamation at all: the storage-growth baseline.
+    Off,
+    /// Rank 0 collects to the floor between iterations while every
+    /// other rank waits at a barrier — the classic offline collector.
+    StopTheWorld,
+    /// A dedicated collector actor runs capped passes continuously
+    /// while the writers write, never stalling them.
+    Concurrent,
+}
+
+/// Outcome of one GC-under-load checkpoint run.
+#[derive(Debug, Clone, Copy)]
+pub struct GcLoadOutcome {
+    /// Virtual time until every rank finished its last iteration.
+    pub elapsed: Duration,
+    /// Worst single-iteration barrier-to-barrier latency across ranks —
+    /// in `StopTheWorld` mode this includes the collection stall.
+    pub iter_ack_max: Duration,
+    /// Payload bytes written over the whole run.
+    pub total_bytes: u64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Snapshots retired by the collector during the run.
+    pub versions_retired: u64,
+    /// Chunks evicted from the providers.
+    pub chunks_evicted: u64,
+    /// Payload bytes reclaimed.
+    pub bytes_reclaimed: u64,
+    /// Collection passes executed.
+    pub gc_passes: u64,
+}
+
+impl GcLoadOutcome {
+    /// Reclaim throughput in MiB per simulated second of the whole run.
+    pub fn reclaim_mib_s(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes_reclaimed as f64 / (1024.0 * 1024.0) / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Drives `iterations` checkpoint dumps against `blob` while a collector
+/// reclaims superseded snapshots per `mode` — the engine behind the E10
+/// ablation and the distributed GC stress tests.
+///
+/// The blob's retention policy (and any live leases) decide what the
+/// collector may take; this helper only decides *when* it runs. In
+/// [`GcMode::Concurrent`] an extra virtual-clock actor interleaves
+/// capped [`GcCoordinator::run_pass`] calls with the writers and keeps
+/// collecting until the floor is drained after the last rank finishes,
+/// so the run always ends fully reclaimed; [`GcMode::StopTheWorld`]
+/// reaches the same end state by stalling every rank behind rank 0's
+/// collection each iteration.
+pub fn run_checkpoint_with_gc(
+    clock: &SimClock,
+    blob: &Blob,
+    workload: &CheckpointWorkload,
+    iterations: u64,
+    mode: GcMode,
+) -> GcLoadOutcome {
+    assert!(iterations > 0, "need at least one iteration");
+    let n = workload.ranks;
+    let concurrent = mode == GcMode::Concurrent;
+    let actors = n + usize::from(concurrent);
+    let comm = Communicator::new(n, CostModel::zero());
+    let writers_done = Arc::new(AtomicUsize::new(0));
+    let start = clock.now();
+    let results = run_actors_on(clock, actors, |i, p| {
+        if i == n {
+            // The collector actor: capped passes, interleaved with the
+            // writers, then a final drain to the floor once they stop.
+            let mut gc = GcCoordinator::new(blob.clone());
+            let mut passes = 0u64;
+            let mut report = GcLoadOutcome::zero();
+            loop {
+                let done = writers_done.load(Ordering::Acquire) == n;
+                let r = gc.run_pass(p).expect("concurrent GC pass failed");
+                passes += 1;
+                report.versions_retired += r.report.versions_retired;
+                report.chunks_evicted += r.report.chunks_evicted;
+                report.bytes_reclaimed += r.report.bytes_reclaimed;
+                if done && r.report.versions_retired == 0 {
+                    break;
+                }
+                p.sleep(Duration::from_micros(100));
+            }
+            report.gc_passes = passes;
+            return (Duration::ZERO, Duration::ZERO, report);
+        }
+        let extents = workload.extents_for(i);
+        let mut stw =
+            (i == 0 && mode == GcMode::StopTheWorld).then(|| GcCoordinator::new(blob.clone()));
+        let mut gc_totals = GcLoadOutcome::zero();
+        let mut iter_ack_max = Duration::ZERO;
+        for iter in 0..iterations {
+            comm.barrier(p);
+            let t0 = p.now();
+            let stamp = WriteStamp::new(ClientId::new(i as u64), iter);
+            let payload = Bytes::from(stamp.payload_for(&extents));
+            blob.write_list(p, &extents, payload)
+                .unwrap_or_else(|e| panic!("rank {i} iteration {iter} failed: {e}"));
+            if mode == GcMode::StopTheWorld {
+                // Everyone stalls behind rank 0's collection — the
+                // stall lands inside the measured iteration latency.
+                comm.barrier(p);
+                if let Some(gc) = stw.as_mut() {
+                    let r = gc.run_to_floor(p).expect("stop-the-world GC failed");
+                    gc_totals.versions_retired += r.report.versions_retired;
+                    gc_totals.chunks_evicted += r.report.chunks_evicted;
+                    gc_totals.bytes_reclaimed += r.report.bytes_reclaimed;
+                    gc_totals.gc_passes += 1;
+                }
+            }
+            comm.barrier(p);
+            iter_ack_max = iter_ack_max.max(p.now() - t0);
+        }
+        writers_done.fetch_add(1, Ordering::Release);
+        (iter_ack_max, p.now() - start, gc_totals)
+    });
+    let ranks = &results[..n];
+    let mut out = GcLoadOutcome {
+        elapsed: ranks.iter().map(|r| r.1).max().unwrap(),
+        iter_ack_max: ranks.iter().map(|r| r.0).max().unwrap(),
+        total_bytes: iterations * (0..n).map(|r| workload.bytes_for(r)).sum::<u64>(),
+        iterations,
+        ..GcLoadOutcome::zero()
+    };
+    for (_, _, gc) in results.iter() {
+        out.versions_retired += gc.versions_retired;
+        out.chunks_evicted += gc.chunks_evicted;
+        out.bytes_reclaimed += gc.bytes_reclaimed;
+        out.gc_passes += gc.gc_passes;
+    }
+    out
+}
+
+impl GcLoadOutcome {
+    fn zero() -> Self {
+        GcLoadOutcome {
+            elapsed: Duration::ZERO,
+            iter_ack_max: Duration::ZERO,
+            total_bytes: 0,
+            iterations: 0,
+            versions_retired: 0,
+            chunks_evicted: 0,
+            bytes_reclaimed: 0,
+            gc_passes: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +392,66 @@ mod tests {
         let _ = run_write_round(&clock2, &driver2, &round1, true, 1, false);
         let r2_zero = run_write_round(&clock2, &driver2, &round2, true, 2, true);
         assert!(r2_zero.violation.is_some());
+    }
+
+    #[test]
+    fn gc_under_load_reclaims_without_corrupting_reads() {
+        use atomio_types::RetentionPolicy;
+        let store = Store::new(
+            StoreConfig::default()
+                .with_zero_cost()
+                .with_chunk_size(256)
+                .with_data_providers(4)
+                .with_retention(RetentionPolicy::KeepLast(1)),
+        );
+        let blob = store.create_blob();
+        let w = CheckpointWorkload::new(4, 4, 64, 1);
+        let clock = SimClock::new();
+        let out = run_checkpoint_with_gc(&clock, &blob, &w, 6, GcMode::Concurrent);
+        assert_eq!(out.iterations, 6);
+        assert!(
+            out.versions_retired > 0 && out.bytes_reclaimed > 0,
+            "concurrent GC reclaimed nothing: {out:?}"
+        );
+        // The retained snapshot still reads back whole: the last
+        // iteration's halo-merged state, one complete cell value per
+        // rank region (GC never tears what retention keeps).
+        let state = run_actors_on(&clock, 1, |_, p| {
+            blob.read(p, 0, w.file_bytes()).expect("read after GC")
+        })
+        .pop()
+        .unwrap();
+        assert_eq!(state.len() as u64, w.file_bytes());
+        let stw_store = Store::new(
+            StoreConfig::default()
+                .with_zero_cost()
+                .with_chunk_size(256)
+                .with_data_providers(4)
+                .with_retention(RetentionPolicy::KeepLast(1)),
+        );
+        let stw = run_checkpoint_with_gc(
+            &SimClock::new(),
+            &stw_store.create_blob(),
+            &w,
+            6,
+            GcMode::StopTheWorld,
+        );
+        assert!(stw.versions_retired > 0);
+        let off_store = Store::new(
+            StoreConfig::default()
+                .with_zero_cost()
+                .with_chunk_size(256)
+                .with_data_providers(4),
+        );
+        let off = run_checkpoint_with_gc(
+            &SimClock::new(),
+            &off_store.create_blob(),
+            &w,
+            6,
+            GcMode::Off,
+        );
+        assert_eq!(off.versions_retired, 0);
+        assert_eq!(off.gc_passes, 0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod tile;
 pub mod verify;
 
 pub use checkpoint::{run_checkpoint_burst, BurstOutcome, CheckpointWorkload};
-pub use harness::{run_write_round, RoundOutcome};
+pub use harness::{run_checkpoint_with_gc, run_write_round, GcLoadOutcome, GcMode, RoundOutcome};
 pub use overlap::OverlapWorkload;
 pub use tile::TileWorkload;
 pub use verify::{check_serializable, check_serializable_from, Violation, WriteRecord};

@@ -49,6 +49,9 @@ if [[ "${VERIFY_TCP:-0}" == "1" ]]; then
     echo "== transport-tcp: WAL drain equivalence incl. mid-drain server kill (localhost sockets) =="
     cargo test -q --offline --test wal_equivalence
 
+    echo "== transport-tcp: lease-based GC beside live writers (localhost sockets) =="
+    cargo test -q --offline --test gc_distributed
+
     echo "== transport-tcp: rpc unit suite under thread contention =="
     cargo test -q --offline -p atomio-rpc -- --test-threads=16
 fi
@@ -70,6 +73,9 @@ if [[ "${VERIFY_DISK:-0}" == "1" ]]; then
 
     echo "== disk: WAL drain equivalence on the disk backend (ATOMIO_DISK=1) =="
     ATOMIO_DISK=1 cargo test -q --offline --test wal_equivalence
+
+    echo "== disk: lease-based GC incl. lease/retention crash recovery (ATOMIO_DISK=1) =="
+    ATOMIO_DISK=1 cargo test -q --offline --test gc_distributed
 fi
 
 echo "verify: all gates passed"

@@ -1,0 +1,413 @@
+//! Distributed lease-based reclamation: the collector must run
+//! *concurrently* with live overlapping writers — on the in-process
+//! Loopback transport and on the full three-service TCP deployment —
+//! without ever reclaiming a chunk reachable from a retained or leased
+//! snapshot, and the lease/retention state must be as durable as the
+//! publish decisions it guards.
+//!
+//! Three scenarios:
+//!
+//! 1. **GC beside the 9-writer stress**: while nine ranks atomically
+//!    write overlapping ghost-extended tiles, a collector actor runs
+//!    capped passes under `KeepLast(2)` with a reader's lease pinning an
+//!    early snapshot. The leased snapshot reads back bit-exact during
+//!    and after collection, the final dataset stays serializable, and
+//!    only unpinned sub-floor versions lose their state.
+//! 2. **Lease expiry mid-read**: a reader whose lease lapses while the
+//!    collector takes its snapshot gets the typed
+//!    [`Error::LeaseExpired`] — never torn bytes.
+//! 3. **Crash durability**: killing the version server and rebuilding it
+//!    fresh from the Disk backend preserves both the blob's retention
+//!    policy and the live lease — the recovered floor is identical.
+
+use atomio::core::{GcCoordinator, ReadVersion, Store, StoreConfig, TransportMode};
+use atomio::provider::{chunk_store_for, ChunkStore, ProviderManager};
+use atomio::rpc::{
+    dial, MetaService, ProviderService, RemoteMetaStore, RemoteProvider, RemoteVersionManager,
+    RpcConfig, RpcMode, RpcServer, Service, VersionService,
+};
+use atomio::simgrid::clock::run_actors_on;
+use atomio::simgrid::{CostModel, FaultInjector, SimClock};
+use atomio::types::stamp::WriteStamp;
+use atomio::types::tempdir::TempDir;
+use atomio::types::{
+    BackendConfig, ByteRange, ClientId, Error, ExtentList, ProviderId, RetentionPolicy, VersionId,
+};
+use atomio::workloads::verify::{check_serializable_from, WriteRecord};
+use atomio::workloads::TileWorkload;
+use bytes::Bytes;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const CHUNK: u64 = 4096;
+const SEED: u64 = 0x6C0A;
+const LEASE_TTL_MS: u64 = 60_000;
+
+fn base_config(providers: usize) -> StoreConfig {
+    StoreConfig::default()
+        .with_zero_cost()
+        .with_chunk_size(CHUNK)
+        .with_data_providers(providers)
+        .with_meta_shards(2)
+        .with_seed(SEED)
+        .with_retention(RetentionPolicy::KeepLast(2))
+}
+
+fn hosted_store(i: usize, backend: &BackendConfig) -> Arc<dyn ChunkStore> {
+    chunk_store_for(
+        backend,
+        ProviderId::new(i as u64),
+        CostModel::zero(),
+        &Arc::new(FaultInjector::new(0)),
+    )
+    .expect("open hosted chunk store")
+}
+
+/// A three-service TCP deployment (subset of the harness in
+/// `distributed_atomicity.rs`), keeping the version endpoint so the
+/// crash test can rebuild a fresh service from the backend directory.
+struct Deployment {
+    _provider_servers: Vec<RpcServer>,
+    _meta_server: RpcServer,
+    version_server: RpcServer,
+    version_addr: SocketAddr,
+    backend: BackendConfig,
+    _tmp: TempDir,
+    store: Store,
+}
+
+fn three_service_store(providers: usize, mode: RpcMode, backend_of: BackendConfig) -> Deployment {
+    let tmp = TempDir::new("atomio-gc-dist");
+    let backend = match backend_of {
+        BackendConfig::Disk { .. } => BackendConfig::disk(tmp.path()),
+        BackendConfig::Memory => BackendConfig::Memory,
+    };
+    let config = base_config(providers).with_transport_mode(TransportMode::Tcp);
+
+    let mut provider_servers = Vec::new();
+    let mut stores: Vec<Arc<dyn ChunkStore>> = Vec::new();
+    for i in 0..providers {
+        let server = RpcServer::start(
+            "127.0.0.1:0",
+            Arc::new(ProviderService::from_stores(vec![hosted_store(
+                i, &backend,
+            )])),
+        )
+        .expect("bind provider server");
+        let transport = dial(server.local_addr(), mode, RpcConfig::default(), None);
+        stores.push(Arc::new(RemoteProvider::new(
+            ProviderId::new(i as u64),
+            transport,
+        )));
+        provider_servers.push(server);
+    }
+
+    let meta_server = RpcServer::start(
+        "127.0.0.1:0",
+        Arc::new(
+            MetaService::with_backend(config.meta_shards, CHUNK, &backend)
+                .expect("open meta service"),
+        ),
+    )
+    .expect("bind meta server");
+    let meta_transport = dial(meta_server.local_addr(), mode, RpcConfig::default(), None);
+
+    // The server carries the deployment-default retention, exactly as
+    // `atomio-version-server --retention keep-last:2` would.
+    let version_service: Arc<dyn Service> = Arc::new(
+        VersionService::with_backend(CHUNK, backend.clone())
+            .with_retention(RetentionPolicy::KeepLast(2)),
+    );
+    let version_server =
+        RpcServer::start("127.0.0.1:0", version_service).expect("bind version server");
+    let version_addr = version_server.local_addr();
+    let version_transport = dial(version_addr, mode, RpcConfig::default(), None);
+
+    let manager = Arc::new(ProviderManager::from_stores(
+        stores,
+        config.allocation,
+        Arc::new(FaultInjector::new(config.seed ^ 0xFA17)),
+        config.seed,
+    ));
+    let meta = Arc::new(RemoteMetaStore::new(meta_transport));
+    let store = Store::with_substrates(config, manager, meta).with_version_oracles(move |blob| {
+        Arc::new(RemoteVersionManager::new(
+            blob.raw(),
+            Arc::clone(&version_transport),
+        ))
+    });
+
+    Deployment {
+        _provider_servers: provider_servers,
+        _meta_server: meta_server,
+        version_server,
+        version_addr,
+        backend,
+        _tmp: tmp,
+        store,
+    }
+}
+
+/// The shared stress: two base snapshots, a lease pinning the second,
+/// then nine overlapping tile writers racing a concurrent collector.
+fn gc_beside_nine_writers(store: &Store) {
+    let workload = TileWorkload::new(3, 3, 8, 8, 16, 2, 2);
+    assert!(workload.has_overlap());
+    let ranks = workload.processes();
+    let total = workload.dataset_bytes();
+    let full = ExtentList::single(ByteRange::new(0, total));
+
+    let blob = store.create_blob();
+    let clock = SimClock::new();
+    let blob_ref = &blob;
+    let full_ref = &full;
+
+    // Two base snapshots so the collector has sub-floor work; a lease
+    // pins v2 below the KeepLast(2) floor for the whole stress.
+    let (grant, pinned_state) = run_actors_on(&clock, 1, move |_, p| {
+        blob_ref
+            .write(p, 0, Bytes::from(vec![0x11u8; total as usize]))
+            .unwrap();
+        blob_ref
+            .write(p, 0, Bytes::from(vec![0x22u8; total as usize]))
+            .unwrap();
+        let grant = blob_ref.lease_latest(p, LEASE_TTL_MS).unwrap();
+        assert_eq!(grant.version, VersionId::new(2));
+        let state = blob_ref.read_at(p, grant.version, full_ref).unwrap();
+        (grant, state)
+    })
+    .pop()
+    .unwrap();
+
+    // Nine overlapping atomic writers + one collector actor running
+    // capped passes the whole time.
+    let stamps: Vec<WriteStamp> = (0..ranks)
+        .map(|r| WriteStamp::new(ClientId::new(r as u64), 1))
+        .collect();
+    let extents: Vec<ExtentList> = (0..ranks).map(|r| workload.extents_for(r)).collect();
+    let writers_done = Arc::new(AtomicUsize::new(0));
+    let stamps_ref = &stamps;
+    let extents_ref = &extents;
+    let writers_done_ref = &writers_done;
+    let pinned_ref = &pinned_state;
+    let concurrent_retired = run_actors_on(&clock, ranks + 1, move |i, p| {
+        if i == ranks {
+            let mut gc = GcCoordinator::new(blob_ref.clone()).with_pass_cap(2);
+            let mut retired = 0u64;
+            loop {
+                let done = writers_done_ref.load(Ordering::Acquire) == ranks;
+                let pass = gc.run_pass(p).expect("concurrent GC pass failed");
+                assert_eq!(pass.leases_active, 1, "the reader's lease is live");
+                retired += pass.report.versions_retired;
+                if done && pass.report.versions_retired == 0 {
+                    break;
+                }
+                p.sleep(std::time::Duration::from_micros(50));
+            }
+            // Mid-stress reclamation: the leased snapshot still reads
+            // back bit-exact straight after the collector's last pass.
+            let leased = blob_ref
+                .read_leased(p, &grant, LEASE_TTL_MS, full_ref)
+                .expect("leased snapshot must survive collection");
+            assert_eq!(&leased, pinned_ref, "leased v2 is bit-exact after GC");
+            return retired;
+        }
+        let payload = Bytes::from(stamps_ref[i].payload_for(&extents_ref[i]));
+        blob_ref.write_list(p, &extents_ref[i], payload).unwrap();
+        writers_done_ref.fetch_add(1, Ordering::Release);
+        0
+    })
+    .pop()
+    .unwrap();
+    // The lease clamps the floor to v2, so exactly v1 was collectable
+    // during the stress — and it was collected *while* writers wrote.
+    assert_eq!(concurrent_retired, 1, "v1 retired concurrently");
+
+    // The final dataset is one serial order of the nine writers applied
+    // over the v2 base: collection never tore an overlapped byte.
+    let writes: Vec<WriteRecord> = (0..ranks)
+        .map(|r| WriteRecord::new(stamps[r], extents[r].clone()))
+        .collect();
+    let (latest, final_state) = run_actors_on(&clock, 1, move |_, p| {
+        (
+            blob_ref.latest(p).unwrap().version,
+            blob_ref
+                .read_list(p, ReadVersion::Latest, full_ref)
+                .unwrap(),
+        )
+    })
+    .pop()
+    .unwrap();
+    assert_eq!(latest, VersionId::new(2 + ranks as u64));
+    check_serializable_from(Some(&pinned_state), &final_state, &writes)
+        .unwrap_or_else(|v| panic!("GC-concurrent run violates atomicity: {v:?}"));
+
+    // Release the lease and drain to the floor: KeepLast(2) now governs
+    // alone, the retained pair reads whole, the retired tail does not.
+    run_actors_on(&clock, 1, move |_, p| {
+        blob_ref.lease_release(p, grant.lease).unwrap();
+        let mut gc = GcCoordinator::new(blob_ref.clone());
+        let merged = gc.run_to_floor(p).expect("post-release drain failed");
+        assert_eq!(merged.leases_active, 0);
+        assert!(
+            merged.report.versions_retired >= (ranks as u64) - 1,
+            "the unpinned tail is reclaimed once the lease goes: {merged:?}"
+        );
+        assert_eq!(
+            blob_ref
+                .read_list(p, ReadVersion::Latest, full_ref)
+                .unwrap(),
+            final_state,
+            "latest still bit-exact after the drain"
+        );
+        assert!(
+            blob_ref
+                .read_at(p, VersionId::new(latest.raw() - 1), full_ref)
+                .is_ok(),
+            "KeepLast(2) retains latest-1"
+        );
+        let err = blob_ref.read_at(p, grant.version, full_ref).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::ChunkNotFound { .. } | Error::MetadataNodeMissing(_)
+            ),
+            "released v2's exclusive state is gone, typed: {err:?}"
+        );
+    });
+}
+
+#[test]
+fn gc_runs_beside_nine_overlapping_writers_loopback() {
+    gc_beside_nine_writers(&Store::new(base_config(4)));
+}
+
+#[test]
+fn gc_runs_beside_nine_overlapping_writers_tcp_mux() {
+    let d = three_service_store(4, RpcMode::Mux, BackendConfig::Memory);
+    gc_beside_nine_writers(&d.store);
+}
+
+#[test]
+fn lease_expiry_mid_read_is_a_typed_error_over_tcp() {
+    // Server-clock leases: a 20 ms TTL lapses in wall time while the
+    // collector (correctly) treats the pin as gone and reclaims.
+    let d = three_service_store(2, RpcMode::PerCall, BackendConfig::Memory);
+    let blob = d.store.create_blob();
+    let clock = SimClock::new();
+    let blob_ref = &blob;
+    run_actors_on(&clock, 1, move |_, p| {
+        for fill in [0x31u8, 0x32, 0x33, 0x34] {
+            blob_ref
+                .write(p, 0, Bytes::from(vec![fill; 2 * CHUNK as usize]))
+                .unwrap();
+        }
+        let grant = blob_ref.lease_acquire(p, VersionId::new(1), 20).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let mut gc = GcCoordinator::new(blob_ref.clone());
+        let merged = gc.run_to_floor(p).unwrap();
+        assert_eq!(merged.leases_active, 0, "the lapsed lease no longer pins");
+        assert!(merged.report.versions_retired >= 1);
+        assert_eq!(merged.lease_expirations, 1);
+        let err = blob_ref
+            .read_leased(
+                p,
+                &grant,
+                LEASE_TTL_MS,
+                &ExtentList::single(ByteRange::new(0, 2 * CHUNK)),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::LeaseExpired {
+                lease: grant.lease,
+                version: grant.version
+            },
+            "expiry surfaces typed, never as torn bytes"
+        );
+    });
+}
+
+#[test]
+fn version_server_restart_preserves_leases_and_retention_on_disk() {
+    let mut d = three_service_store(2, RpcMode::PerCall, BackendConfig::disk("unused"));
+    let blob = d.store.create_blob();
+    let clock = SimClock::new();
+    let blob_ref = &blob;
+
+    // A per-blob policy *override* (KeepLast(3), not the server default)
+    // plus a long-lived lease on v1: both must come back from the
+    // publish log, not from server memory.
+    let grant = run_actors_on(&clock, 1, move |_, p| {
+        blob_ref
+            .set_retention(p, RetentionPolicy::KeepLast(3))
+            .unwrap();
+        blob_ref
+            .write(p, 0, Bytes::from(vec![0xA1; CHUNK as usize]))
+            .unwrap();
+        let grant = blob_ref
+            .lease_acquire(p, VersionId::new(1), LEASE_TTL_MS)
+            .unwrap();
+        for fill in [0xA2u8, 0xA3, 0xA4, 0xA5, 0xA6] {
+            blob_ref
+                .write(p, 0, Bytes::from(vec![fill; CHUNK as usize]))
+                .unwrap();
+        }
+        grant
+    })
+    .pop()
+    .unwrap();
+
+    // Hard-stop the version server and rebuild a FRESH service from the
+    // on-disk publish log — deliberately without the deployment-default
+    // retention flag, so anything that survives came off the disk.
+    d.version_server.stop();
+    run_actors_on(&clock, 1, move |_, p| {
+        // Down means typed transport errors, never stale answers.
+        assert!(matches!(
+            blob_ref.latest(p).unwrap_err(),
+            Error::Transport { .. }
+        ));
+    });
+    d.version_server = RpcServer::start(
+        d.version_addr,
+        Arc::new(VersionService::with_backend(CHUNK, d.backend.clone())) as Arc<dyn Service>,
+    )
+    .expect("rebind version server");
+
+    run_actors_on(&clock, 1, move |_, p| {
+        // The recovered floor: KeepLast(3) would allow up to v4, the
+        // recovered lease clamps to v1 — so a full drain retires nothing.
+        let mut gc = GcCoordinator::new(blob_ref.clone());
+        let merged = gc.run_to_floor(p).unwrap();
+        assert_eq!(merged.leases_active, 1, "lease survived the crash");
+        assert_eq!(merged.report.versions_retired, 0, "recovered lease pins v1");
+        let leased = blob_ref
+            .read_leased(
+                p,
+                &grant,
+                LEASE_TTL_MS,
+                &ExtentList::single(ByteRange::new(0, CHUNK)),
+            )
+            .unwrap();
+        assert!(
+            leased.iter().all(|&b| b == 0xA1),
+            "v1 bit-exact via the lease"
+        );
+
+        // Releasing the recovered lease (by its pre-crash id!) hands the
+        // floor to the recovered KeepLast(3): v1..v3 become collectable.
+        blob_ref.lease_release(p, grant.lease).unwrap();
+        let merged = gc.run_to_floor(p).unwrap();
+        assert_eq!(
+            merged.report.versions_retired, 3,
+            "recovered KeepLast(3) governs the floor: {merged:?}"
+        );
+        assert!(blob_ref
+            .read(p, 0, CHUNK)
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0xA6));
+    });
+}
