@@ -1,4 +1,4 @@
-//! E11 — extension: the storage cost of versioning under iterative
+//! E11ck — extension: the storage cost of versioning under iterative
 //! checkpointing, and what garbage collection buys back.
 //!
 //! Versioning never overwrites, so an application that checkpoints every
@@ -34,7 +34,7 @@ fn main() {
     let clock = SimClock::new();
     const ITERS: u64 = 8;
 
-    println!("== E11 — checkpoint iterations: storage growth and GC ==");
+    println!("== E11ck — checkpoint iterations: storage growth and GC ==");
     println!(
         "   4 ranks x {} MiB slabs (+{} KiB halos), {} iterations\n",
         workload.cells_per_rank * workload.cell_size / (1024 * 1024),

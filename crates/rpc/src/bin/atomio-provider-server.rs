@@ -6,11 +6,18 @@
 //!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
 //!     [--pool-conns N] [--mux-streams-per-conn N]
+//!     [--server-mode threads|reactor] [--max-conns N]
+//!     [--max-inflight-per-conn N]
 //! ```
 //!
 //! Without `--data-dir` chunks live in memory and vanish with the
 //! process; with it each provider keeps slot-sharded part files under
 //! `PATH/provider-<id>` and recovers them on restart.
+//!
+//! `--server-mode reactor` swaps the thread-per-connection front-end
+//! for one epoll thread multiplexing every connection; `--max-conns`
+//! caps admitted connections (extras receive a typed busy rejection)
+//! and `--max-inflight-per-conn` bounds per-connection pipelining.
 //!
 //! Example: `atomio-provider-server 127.0.0.1:7420 --providers 4 --data-dir /var/lib/atomio`
 

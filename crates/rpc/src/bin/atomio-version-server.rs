@@ -8,12 +8,19 @@
 //!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
 //!     [--pool-conns N] [--mux-streams-per-conn N]
+//!     [--server-mode threads|reactor] [--max-conns N]
+//!     [--max-inflight-per-conn N]
 //! ```
 //!
 //! Without `--data-dir` version state lives in memory and vanishes with
 //! the process; with it each blob's manager appends a publish log under
 //! `PATH/version/blob-<id>` and replays it on restart, so published
 //! snapshots survive and granted-but-unpublished tickets roll back.
+//!
+//! `--server-mode reactor` swaps the thread-per-connection front-end
+//! for one epoll thread multiplexing every connection; `--max-conns`
+//! caps admitted connections (extras receive a typed busy rejection)
+//! and `--max-inflight-per-conn` bounds per-connection pipelining.
 //!
 //! Example: `atomio-version-server 127.0.0.1:7422 --data-dir /var/lib/atomio --fsync group:8`
 

@@ -336,6 +336,16 @@ pub enum Response {
         /// The floor record.
         info: GcFloor,
     },
+    /// Admission-control rejection: the server is at its connection cap
+    /// (`max_conns`) and answered the connection's first request with
+    /// this instead of executing it, then closed the connection.
+    /// Clients surface it as [`Error::AdmissionRejected`].
+    Busy {
+        /// Connections active when the server refused this one.
+        active: u64,
+        /// The server's connection cap.
+        max_conns: u64,
+    },
     /// Operation-level failure.
     Fail {
         /// The error, round-tripped losslessly.
@@ -735,6 +745,10 @@ impl Serialize for Response {
             Snapshot { record } => tagged("Snapshot", vec![field("record", record)]),
             Lease { grant } => tagged("Lease", vec![field("grant", grant)]),
             GcFloor { info } => tagged("GcFloor", vec![field("info", info)]),
+            Busy { active, max_conns } => tagged(
+                "Busy",
+                vec![field("active", active), field("max_conns", max_conns)],
+            ),
             Fail { error } => tagged("Fail", vec![field("error", error)]),
         }
     }
@@ -789,6 +803,10 @@ impl Deserialize for Response {
             },
             "GcFloor" => GcFloor {
                 info: get(v, "info")?,
+            },
+            "Busy" => Busy {
+                active: get(v, "active")?,
+                max_conns: get(v, "max_conns")?,
             },
             "Fail" => Fail {
                 error: get(v, "error")?,
@@ -919,6 +937,10 @@ mod tests {
         });
         roundtrip_resp(&Response::NodePuts {
             results: vec![Ok(()), Err(Error::MetadataNodeMissing(3))],
+        });
+        roundtrip_resp(&Response::Busy {
+            active: 1024,
+            max_conns: 1024,
         });
         roundtrip_resp(&Response::Fail {
             error: Error::Transport {

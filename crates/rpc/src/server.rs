@@ -12,27 +12,35 @@
 //! `arrival` instants clients pass through the protocol therefore echo
 //! back unchanged, keeping remote and in-process bookkeeping aligned.
 //!
-//! [`RpcServer`] is the hosting shell: a nonblocking accept loop on a
-//! dedicated thread, one handler per connection, and a
-//! [`RpcServer::stop`] that also severs accepted connections so failover
-//! tests can kill a live server deterministically.
+//! [`RpcServer`] is the hosting shell with two front-ends (the
+//! [`ServerMode`] knob). **Threads** (the historical default): a
+//! nonblocking accept loop on a dedicated thread, one reader thread per
+//! connection. **Reactor**: a single epoll thread owns the listener and
+//! every accepted socket, so server thread count stays constant no
+//! matter how many clients connect (see `reactor.rs`). Both share
+//! [`RpcServer::stop`], which also severs accepted connections so
+//! failover tests can kill a live server deterministically, and both
+//! enforce admission control: past [`crate::RpcConfig::max_conns`] open
+//! connections a newcomer is accepted, answered with a typed
+//! [`Response::Busy`], and closed.
 //!
-//! Each connection is served by a reader thread feeding one bounded
-//! dispatch pool shared by all connections
-//! ([`crate::RpcConfig::server_workers`], default 4): requests from one
-//! multiplexed client dispatch concurrently, and responses are written
-//! back in **completion** order, tagged with the request id the client
-//! sent — the id, not arrival order, is what routes a response to its
-//! caller. Readers hand workers whole *batches* of buffered frames, so
-//! a backlogged connection pays one dispatch handoff and one response
-//! write per burst rather than per request.
+//! Either front-end feeds one bounded dispatch pool shared by all
+//! connections ([`crate::RpcConfig::server_workers`], default 4):
+//! requests from one multiplexed client dispatch concurrently, and
+//! responses are written back in **completion** order, tagged with the
+//! request id the client sent — the id, not arrival order, is what
+//! routes a response to its caller. Front-ends hand workers whole
+//! *batches* of buffered frames, so a backlogged connection pays one
+//! dispatch handoff and one response write per burst rather than per
+//! request.
 
 use crate::proto::{Request, Response};
-use crate::transport::RpcConfig;
+use crate::reactor::{run_reactor, ReactorShared};
+use crate::transport::{counters, RpcConfig, ServerMode};
 use crate::wire;
 use atomio_meta::{node_store_for, LocalNodeStore, TreeConfig, VersionHistory};
 use atomio_provider::{chunk_store_for, ChunkStore, DataProvider};
-use atomio_simgrid::{ClientNics, CostModel, FaultInjector};
+use atomio_simgrid::{ClientNics, CostModel, FaultInjector, Metrics};
 use atomio_types::{
     BackendConfig, ByteRange, Error, FsyncPolicy, ProviderId, Result, RetentionPolicy,
     TransportErrorKind,
@@ -45,7 +53,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -655,8 +663,14 @@ impl Service for MetaService {
 pub struct RpcServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    front_end: Option<JoinHandle<()>>,
+    /// Threads-mode bookkeeping: the write half of every live
+    /// connection, keyed by accept order, so [`RpcServer::stop`] can
+    /// sever them and each connection's exit can reap its own entry.
+    /// Reactor mode keeps this empty — the reactor owns its sockets.
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    reactor: Option<Arc<ReactorShared>>,
+    open: Arc<AtomicUsize>,
 }
 
 impl RpcServer {
@@ -665,28 +679,47 @@ impl RpcServer {
         Self::start_with_config(addr, service, RpcConfig::default())
     }
 
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections. Each connection gets a reader thread; a
-    /// single bounded pool of `cfg.server_workers` dispatch workers is
-    /// shared by every connection, so requests multiplexed over one
-    /// socket execute concurrently without a thread explosion per
-    /// connection.
+    /// Binds `addr` without a metrics registry; see
+    /// [`RpcServer::start_with_metrics`].
     pub fn start_with_config(
         addr: impl ToSocketAddrs,
         service: Arc<dyn Service>,
         cfg: RpcConfig,
     ) -> io::Result<Self> {
+        Self::start_with_metrics(addr, service, cfg, None)
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections under the configured [`ServerMode`]
+    /// front-end. Either way a single bounded pool of
+    /// `cfg.server_workers` dispatch workers is shared by every
+    /// connection, so requests multiplexed over one socket execute
+    /// concurrently without a thread explosion per connection.
+    ///
+    /// A `metrics` registry (server-side — distinct from any client
+    /// transport registry) receives the connection counters:
+    /// `rpc.accepts`, `rpc.conns_open`, `rpc.conns_peak`,
+    /// `rpc.admission_rejects`, and — reactor only —
+    /// `rpc.reactor_wakeups`.
+    pub fn start_with_metrics(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn Service>,
+        cfg: RpcConfig,
+        metrics: Option<Metrics>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let open = Arc::new(AtomicUsize::new(0));
 
-        // One bounded dispatch pool shared by every connection: readers
-        // feed request batches through this channel, workers execute and
-        // write responses back to the batch's own connection. The pool
-        // exits when the last sender (accept loop + per-connection
-        // readers) is gone.
+        // One bounded dispatch pool shared by every connection: the
+        // front-end feeds request batches through this channel, workers
+        // execute and route responses back to the batch's own
+        // connection. The pool exits when the last sender (the
+        // front-end and, in Threads mode, per-connection readers) is
+        // gone.
         let workers = cfg.server_workers.max(1);
         let (job_tx, job_rx) = mpsc::sync_channel::<DispatchJob>(workers * 2);
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -696,37 +729,87 @@ impl RpcServer {
             std::thread::spawn(move || dispatch_worker(job_rx, service));
         }
 
-        let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let conns = Arc::clone(&conns);
-            std::thread::spawn(move || {
-                while !shutdown.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let _ = stream.set_nodelay(true);
-                            // Connection threads block on frame reads;
-                            // stop() severs the socket to wake them.
-                            let _ = stream.set_nonblocking(false);
-                            if let Ok(clone) = stream.try_clone() {
-                                conns.lock().push(clone);
+        let mut reactor = None;
+        let front_end = match cfg.server_mode {
+            ServerMode::Reactor => {
+                let shared = ReactorShared::new()?;
+                reactor = Some(Arc::clone(&shared));
+                let shutdown = Arc::clone(&shutdown);
+                let open = Arc::clone(&open);
+                std::thread::spawn(move || {
+                    run_reactor(listener, job_tx, shared, shutdown, open, cfg, metrics)
+                })
+            }
+            ServerMode::Threads => {
+                let shutdown = Arc::clone(&shutdown);
+                let conns = Arc::clone(&conns);
+                let open = Arc::clone(&open);
+                std::thread::spawn(move || {
+                    let mut next_id = 0u64;
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                if let Some(m) = &metrics {
+                                    m.counter(counters::ACCEPTS).inc();
+                                }
+                                let _ = stream.set_nodelay(true);
+                                // Connection threads block on frame
+                                // reads; stop() severs the socket to
+                                // wake them.
+                                let _ = stream.set_nonblocking(false);
+                                let active = open.load(Ordering::Relaxed);
+                                if active >= cfg.max_conns {
+                                    if let Some(m) = &metrics {
+                                        m.counter(counters::ADMISSION_REJECTS).inc();
+                                    }
+                                    std::thread::spawn(move || {
+                                        reject_connection(stream, active as u64, cfg)
+                                    });
+                                    continue;
+                                }
+                                let id = next_id;
+                                next_id += 1;
+                                if let Ok(clone) = stream.try_clone() {
+                                    conns.lock().insert(id, clone);
+                                }
+                                let n = open.fetch_add(1, Ordering::Relaxed) + 1;
+                                if let Some(m) = &metrics {
+                                    m.counter(counters::CONNS_OPEN).set(n as u64);
+                                    m.counter(counters::CONNS_PEAK).record_peak(n as u64);
+                                }
+                                let job_tx = job_tx.clone();
+                                let conns = Arc::clone(&conns);
+                                let open = Arc::clone(&open);
+                                let metrics = metrics.clone();
+                                std::thread::spawn(move || {
+                                    serve_connection(stream, job_tx, cfg);
+                                    // Reap on exit: a finished
+                                    // connection must not pin its fd
+                                    // (or the open gauge) until stop().
+                                    conns.lock().remove(&id);
+                                    let n = open.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+                                    if let Some(m) = &metrics {
+                                        m.counter(counters::CONNS_OPEN).set(n as u64);
+                                    }
+                                });
                             }
-                            let job_tx = job_tx.clone();
-                            std::thread::spawn(move || serve_connection(stream, job_tx, cfg));
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
                         }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => break,
                     }
-                }
-            })
+                })
+            }
         };
 
         Ok(RpcServer {
             addr,
             shutdown,
-            accept: Some(accept),
+            front_end: Some(front_end),
             conns,
+            reactor,
+            open,
         })
     }
 
@@ -735,19 +818,56 @@ impl RpcServer {
         self.addr
     }
 
+    /// Connections the server currently holds open. Admission-rejected
+    /// connections never count; a closed connection leaves the gauge as
+    /// soon as the front-end reaps it (connection-thread exit in
+    /// Threads mode, hangup/EOF handling in Reactor mode).
+    pub fn open_conns(&self) -> usize {
+        self.open.load(Ordering::Relaxed)
+    }
+
     /// Stops accepting, severs every accepted connection, and joins the
-    /// accept loop. In-flight calls on severed connections surface
+    /// front-end. In-flight calls on severed connections surface
     /// connection-reset transport errors at their clients — exactly the
-    /// failure the provider manager's failover policy handles.
+    /// failure the provider manager's failover policy handles. (The
+    /// reactor front-end owns its sockets outright: the eventfd wake
+    /// below makes it observe shutdown and drop them all.)
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        for conn in self.conns.lock().drain(..) {
+        for (_, conn) in self.conns.lock().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
-        if let Some(handle) = self.accept.take() {
+        if let Some(shared) = &self.reactor {
+            shared.wake();
+        }
+        if let Some(handle) = self.front_end.take() {
             let _ = handle.join();
         }
     }
+}
+
+/// Answers an admission-rejected connection. The newcomer is past the
+/// server's `max_conns`, but it still deserves a typed refusal instead
+/// of a hang or a reset: read its first frame (blocking, bounded by the
+/// server's timeouts so a silent client cannot pin this thread), reply
+/// with [`Response::Busy`] tagged with that frame's id — the id is what
+/// routes the refusal to the right caller on a multiplexed client —
+/// and close.
+fn reject_connection(mut stream: TcpStream, active: u64, cfg: RpcConfig) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let Ok((id, _header, _payload, _)) = wire::read_frame(&mut &stream) else {
+        return;
+    };
+    let busy = Response::Busy {
+        active,
+        max_conns: cfg.max_conns as u64,
+    };
+    let mut frame = Vec::new();
+    if wire::write_frame(&mut frame, id, &busy.to_value(), &[]).is_ok() {
+        let _ = io::Write::write_all(&mut stream, &frame);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 impl Drop for RpcServer {
@@ -760,7 +880,7 @@ impl Drop for RpcServer {
 /// time. Batches only form when a pipelining client has a backlog of
 /// fully-buffered frames (see [`buffered_frame_ready`]); a strict
 /// per-call client always produces batches of one.
-const MAX_DISPATCH_BATCH: usize = 16;
+pub(crate) const MAX_DISPATCH_BATCH: usize = 16;
 
 /// True when the reader's buffer already holds one complete frame, so
 /// decoding it cannot block. (If the head of the buffer is garbage the
@@ -777,14 +897,33 @@ fn buffered_frame_ready(reader: &std::io::BufReader<&mut TcpStream>) -> bool {
     b.len() >= prefix + head_len + payload_len
 }
 
-/// One unit of dispatch work: the connection's write half plus a batch
-/// of decoded request frames read back-to-back from it.
-type DispatchJob = (Arc<Mutex<TcpStream>>, Vec<(u64, Value, Bytes)>);
+/// Where a dispatch worker delivers one batch's encoded response
+/// frames — the front-ends differ in who is allowed to touch the
+/// socket.
+#[derive(Debug, Clone)]
+pub(crate) enum ResponseSink {
+    /// Threads mode: workers write to the connection's shared write
+    /// half directly (the per-connection writer mutex orders them).
+    Direct(Arc<Mutex<TcpStream>>),
+    /// Reactor mode: the reactor thread is the socket's *single
+    /// writer*, so workers queue frames through [`ReactorShared`] and
+    /// ring its eventfd instead of writing.
+    Reactor {
+        /// The reactor's key for the batch's connection.
+        token: u64,
+        /// The reactor's completion mailbox + eventfd.
+        shared: Arc<ReactorShared>,
+    },
+}
+
+/// One unit of dispatch work: where the responses go, plus a batch of
+/// decoded request frames read back-to-back from one connection.
+pub(crate) type DispatchJob = (ResponseSink, Vec<(u64, Value, Bytes)>);
 
 /// A member of the server's shared dispatch pool: executes request
-/// batches from any connection and writes each batch's responses —
-/// tagged with the request ids — back to that batch's connection with a
-/// single write. Responses leave in completion order; clients match
+/// batches from any connection and routes each batch's responses —
+/// tagged with the request ids — back through the batch's sink in a
+/// single delivery. Responses leave in completion order; clients match
 /// them by id. A dead connection only gets severed; the worker lives on
 /// to serve the other connections.
 fn dispatch_worker(rx: Arc<Mutex<mpsc::Receiver<DispatchJob>>>, service: Arc<dyn Service>) {
@@ -792,12 +931,14 @@ fn dispatch_worker(rx: Arc<Mutex<mpsc::Receiver<DispatchJob>>>, service: Arc<dyn
         // Take the receiver lock only to pull one job; holding it
         // across `handle` would serialize the pool.
         let job = rx.lock().recv();
-        let Ok((writer, batch)) = job else {
+        let Ok((sink, batch)) = job else {
             // Every sender hung up: the server stopped, drain is done.
             return;
         };
-        // Encode every response of the batch into one buffer and put it
-        // on the wire with a single write.
+        // Encode every response of the batch into one buffer and
+        // deliver it with a single write (Threads) or one completion
+        // handoff (Reactor).
+        let responses = batch.len();
         let mut frames = Vec::new();
         let mut poisoned = false;
         for (id, header, payload) in batch {
@@ -814,11 +955,19 @@ fn dispatch_worker(rx: Arc<Mutex<mpsc::Receiver<DispatchJob>>>, service: Arc<dyn
                 break;
             }
         }
-        let mut w = writer.lock();
-        if poisoned || io::Write::write_all(&mut *w, &frames).is_err() {
-            // Writes are dead: sever the socket so the connection's
-            // reader (blocked in read_frame) exits too.
-            let _ = w.shutdown(std::net::Shutdown::Both);
+        match sink {
+            ResponseSink::Direct(writer) => {
+                let mut w = writer.lock();
+                if poisoned || io::Write::write_all(&mut *w, &frames).is_err() {
+                    // Writes are dead: sever the socket so the
+                    // connection's reader (blocked in read_frame)
+                    // exits too.
+                    let _ = w.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            ResponseSink::Reactor { token, shared } => {
+                shared.complete(token, frames, responses, poisoned);
+            }
         }
     }
 }
@@ -832,8 +981,8 @@ fn dispatch_worker(rx: Arc<Mutex<mpsc::Receiver<DispatchJob>>>, service: Arc<dyn
 /// pipelining client pays one worker wakeup and one response-write
 /// syscall per burst instead of per request.
 fn serve_connection(mut stream: TcpStream, jobs: mpsc::SyncSender<DispatchJob>, cfg: RpcConfig) {
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
+    let sink = match stream.try_clone() {
+        Ok(w) => ResponseSink::Direct(Arc::new(Mutex::new(w))),
         Err(_) => return,
     };
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
@@ -860,7 +1009,7 @@ fn serve_connection(mut stream: TcpStream, jobs: mpsc::SyncSender<DispatchJob>, 
                 break;
             }
         }
-        if dispatch_burst(&jobs, &writer, burst).is_err() {
+        if dispatch_burst(&jobs, &sink, burst).is_err() {
             break;
         }
         if read_dead {
@@ -875,9 +1024,9 @@ fn serve_connection(mut stream: TcpStream, jobs: mpsc::SyncSender<DispatchJob>, 
 /// waits) dominates. Once the channel is full the remainder goes down
 /// as a single batched job: under CPU saturation the work serializes
 /// anyway, and one handoff per burst beats one per request.
-fn dispatch_burst(
+pub(crate) fn dispatch_burst(
     jobs: &mpsc::SyncSender<DispatchJob>,
-    writer: &Arc<Mutex<TcpStream>>,
+    sink: &ResponseSink,
     burst: Vec<(u64, Value, Bytes)>,
 ) -> std::result::Result<(), ()> {
     let mut overflow = Vec::new();
@@ -886,13 +1035,13 @@ fn dispatch_burst(
             overflow.push(request);
             continue;
         }
-        match jobs.try_send((Arc::clone(writer), vec![request])) {
+        match jobs.try_send((sink.clone(), vec![request])) {
             Ok(()) => {}
             Err(mpsc::TrySendError::Full((_, batch))) => overflow = batch,
             Err(mpsc::TrySendError::Disconnected(_)) => return Err(()),
         }
     }
-    if !overflow.is_empty() && jobs.send((Arc::clone(writer), overflow)).is_err() {
+    if !overflow.is_empty() && jobs.send((sink.clone(), overflow)).is_err() {
         return Err(());
     }
     Ok(())
@@ -937,7 +1086,9 @@ impl ServerArgs {
     /// shared [`RpcConfig`] flags: `--workers n`, `--pool-conns n`,
     /// `--mux-streams-per-conn n`, `--connect-timeout-ms n`,
     /// `--read-timeout-ms n`, `--write-timeout-ms n`,
-    /// `--connect-retries n`, `--backoff-ms n`.
+    /// `--connect-retries n`, `--backoff-ms n`,
+    /// `--server-mode threads|reactor`, `--max-conns n`,
+    /// `--max-inflight-per-conn n`.
     ///
     /// `--chunk-size`, `--retention`, and `--lease-ttl-ms` are
     /// role-gated: roles without version-manager state (the provider
@@ -1005,6 +1156,13 @@ impl ServerArgs {
                 parsed.cfg.write_timeout = ms()?;
             } else if flag == "--backoff-ms" {
                 parsed.cfg.backoff = ms()?;
+            } else if flag == "--server-mode" {
+                parsed.cfg.server_mode =
+                    ServerMode::parse(&value).map_err(|e| format!("bad {flag}: {e}"))?;
+            } else if flag == "--max-conns" {
+                parsed.cfg.max_conns = value.parse().map_err(|_| bad())?;
+            } else if flag == "--max-inflight-per-conn" {
+                parsed.cfg.max_inflight_per_conn = value.parse().map_err(|_| bad())?;
             } else {
                 return Err(format!("unknown flag {flag}"));
             }
@@ -1033,18 +1191,22 @@ pub fn serve_forever(addr: &str, service: Arc<dyn Service>, cfg: RpcConfig) -> i
     }
 }
 
-/// The shared transport/dispatcher flags every server binary accepts,
-/// in the order the usage line lists them. [`server_usage`] renders
-/// this list, so the advertised flags cannot drift from the parser.
-const SHARED_FLAGS: [&str; 8] = [
-    "--workers",
-    "--read-timeout-ms",
-    "--write-timeout-ms",
-    "--connect-timeout-ms",
-    "--connect-retries",
-    "--backoff-ms",
-    "--pool-conns",
-    "--mux-streams-per-conn",
+/// The shared transport/dispatcher flags every server binary accepts
+/// (with each flag's value hint), in the order the usage line lists
+/// them. [`server_usage`] renders this list, so the advertised flags
+/// cannot drift from the parser.
+const SHARED_FLAGS: [(&str, &str); 11] = [
+    ("--workers", "N"),
+    ("--read-timeout-ms", "N"),
+    ("--write-timeout-ms", "N"),
+    ("--connect-timeout-ms", "N"),
+    ("--connect-retries", "N"),
+    ("--backoff-ms", "N"),
+    ("--pool-conns", "N"),
+    ("--mux-streams-per-conn", "N"),
+    ("--server-mode", "threads|reactor"),
+    ("--max-conns", "N"),
+    ("--max-inflight-per-conn", "N"),
 ];
 
 /// Renders the one-line usage string of a server binary: exactly the
@@ -1062,8 +1224,8 @@ pub fn server_usage(name: &str, count_flag: Option<&str>, accepts_chunk_size: bo
         usage.push_str(" [--lease-ttl-ms N]");
     }
     usage.push_str(" [--data-dir PATH] [--fsync per-publish|group:N|deferred]");
-    for flag in SHARED_FLAGS {
-        usage.push_str(&format!(" [{flag} N]"));
+    for (flag, hint) in SHARED_FLAGS {
+        usage.push_str(&format!(" [{flag} {hint}]"));
     }
     usage
 }

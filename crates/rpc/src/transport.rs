@@ -66,6 +66,21 @@ pub mod counters {
     /// Nanoseconds callers spent queued behind a mux pool writer before
     /// their frame hit the socket.
     pub const MUX_QUEUE_TIME: &str = "rpc.mux_queue_time";
+    /// Connections the server currently holds open (a gauge: rises on
+    /// accept, falls on reap).
+    pub const CONNS_OPEN: &str = "rpc.conns_open";
+    /// Most connections the server ever held open at once
+    /// (high-watermark).
+    pub const CONNS_PEAK: &str = "rpc.conns_peak";
+    /// Connections the server accepted (admission-rejected ones
+    /// included).
+    pub const ACCEPTS: &str = "rpc.accepts";
+    /// Connections refused at admission with a typed
+    /// [`Busy`](crate::proto::Response::Busy) because `max_conns` were
+    /// already open.
+    pub const ADMISSION_REJECTS: &str = "rpc.admission_rejects";
+    /// Times the reactor thread returned from `epoll_wait`.
+    pub const REACTOR_WAKEUPS: &str = "rpc.reactor_wakeups";
 }
 
 /// Counts one round trip. Every transport funnels through this with the
@@ -78,6 +93,82 @@ fn record(metrics: &Option<Metrics>, tx: u64, rx: u64) {
         m.counter(counters::MESSAGES).inc();
         m.counter(counters::BYTES_TX).add(tx);
         m.counter(counters::BYTES_RX).add(rx);
+    }
+}
+
+/// How the server front-end turns sockets into dispatch jobs (the E11
+/// ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// One OS reader thread per accepted connection plus a polling
+    /// accept loop — simple, but at N connections it costs N mostly-idle
+    /// threads. The historical default; every committed `results/` file
+    /// was produced on it.
+    #[default]
+    Threads,
+    /// One epoll-driven reactor thread owns the listener and every
+    /// accepted socket, feeding the same shared dispatch pool
+    /// ([`RpcConfig::server_workers`]); server thread count stays
+    /// constant regardless of connection count.
+    Reactor,
+}
+
+impl ServerMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            ServerMode::Threads => "threads",
+            ServerMode::Reactor => "reactor",
+        }
+    }
+
+    /// Parses the `--server-mode` flag spelling.
+    ///
+    /// # Errors
+    /// A message naming the accepted spellings.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "threads" => Ok(ServerMode::Threads),
+            "reactor" => Ok(ServerMode::Reactor),
+            other => Err(format!("unknown server mode {other:?} (threads|reactor)")),
+        }
+    }
+
+    /// The deployment default, honoring the `ATOMIO_REACTOR=1`
+    /// environment switch (same pattern as `ATOMIO_DISK=1` for storage
+    /// backends): the equivalence suites rerun their full workloads on
+    /// the reactor front-end without editing any `RpcServer::start`
+    /// call site.
+    pub fn from_env() -> Self {
+        match std::env::var("ATOMIO_REACTOR") {
+            Ok(v) if v == "1" => ServerMode::Reactor,
+            _ => ServerMode::Threads,
+        }
+    }
+}
+
+impl std::fmt::Display for ServerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// The vendored derive handles only named-field structs, so the enum's
+// wire form (its flag spelling) is hand-written.
+impl Serialize for ServerMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ServerMode {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Self::parse(s).map_err(serde::DeError::new),
+            // Configs serialized before the reactor existed carry no
+            // mode field; they keep the historical front-end.
+            serde::Value::Null => Ok(ServerMode::Threads),
+            other => Err(serde::DeError::expected("server mode string", other)),
+        }
     }
 }
 
@@ -107,6 +198,18 @@ pub struct RpcConfig {
     pub mux_streams_per_conn: usize,
     /// Size of the server's shared dispatch worker pool.
     pub server_workers: usize,
+    /// Socket front-end strategy ([`ServerMode::Threads`] per-connection
+    /// reader threads, or one [`ServerMode::Reactor`] epoll thread).
+    pub server_mode: ServerMode,
+    /// Admission cap: connections beyond this are accepted, answered
+    /// with a typed [`crate::proto::Response::Busy`], and closed —
+    /// instead of hanging in the backlog or resetting.
+    pub max_conns: usize,
+    /// Backpressure cap: requests one connection may have in dispatch
+    /// at once. A connection at the cap has its reads parked (reactor:
+    /// `EPOLLIN` unregistered; threads: the reader blocks on the
+    /// bounded dispatch channel) until responses drain.
+    pub max_inflight_per_conn: usize,
 }
 
 impl Default for RpcConfig {
@@ -120,6 +223,9 @@ impl Default for RpcConfig {
             pool_conns: 4,
             mux_streams_per_conn: 8,
             server_workers: 4,
+            server_mode: ServerMode::from_env(),
+            max_conns: 1024,
+            max_inflight_per_conn: 64,
         }
     }
 }
@@ -718,11 +824,13 @@ fn protocol_error(context: &str, e: &io::Error) -> Error {
     }
 }
 
-/// Unwraps a [`Response::Fail`] into the carried error; any other
+/// Unwraps a [`Response::Fail`] into the carried error; a
+/// [`Response::Busy`] becomes the typed admission error; any other
 /// unexpected variant becomes a protocol error naming `wanted`.
 pub(crate) fn unexpected(wanted: &str, response: Response) -> Error {
     match response {
         Response::Fail { error } => error,
+        Response::Busy { active, max_conns } => Error::AdmissionRejected { active, max_conns },
         other => Error::Transport {
             kind: TransportErrorKind::Protocol,
             detail: format!("expected {wanted}, got {other:?}"),

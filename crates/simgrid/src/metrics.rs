@@ -32,6 +32,14 @@ impl Counter {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Overwrites the counter with `v` — for gauge-style counters (e.g.
+    /// connections currently open) whose owner snapshots a level that
+    /// can fall as well as rise.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
@@ -302,6 +310,16 @@ mod tests {
         assert_eq!(c.get(), 5);
         c.record_peak(9);
         assert_eq!(c.get(), 9);
+    }
+
+    #[test]
+    fn set_overwrites_as_a_gauge() {
+        let c = Counter::default();
+        c.add(5);
+        c.set(2);
+        assert_eq!(c.get(), 2);
+        c.set(7);
+        assert_eq!(c.get(), 7);
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub enum Error {
         pending_bytes: u64,
         capacity: u64,
     },
+    /// A server at its connection cap (`max_conns`) refused this
+    /// connection at admission: the request was answered with a typed
+    /// busy response and the connection closed, instead of queueing
+    /// unboundedly or resetting. Retrying against another endpoint (or
+    /// after backoff) is safe — nothing was executed.
+    AdmissionRejected { active: u64, max_conns: u64 },
     /// A snapshot lease expired (or was never granted): the version it
     /// pinned may have been reclaimed, so the read is refused with a
     /// typed error instead of risking torn bytes. Re-acquire a lease on
@@ -185,6 +191,10 @@ impl fmt::Display for Error {
                 f,
                 "{resource} is busy: {pending_bytes} of {capacity} bytes pending"
             ),
+            Error::AdmissionRejected { active, max_conns } => write!(
+                f,
+                "server refused the connection: {active} of {max_conns} connections active"
+            ),
             Error::LeaseExpired { lease, version } => {
                 write!(f, "lease {lease} on snapshot {version} has expired")
             }
@@ -292,6 +302,13 @@ impl Serialize for Error {
                     ("capacity".into(), capacity.to_value()),
                 ],
             ),
+            Error::AdmissionRejected { active, max_conns } => tagged(
+                "AdmissionRejected",
+                vec![
+                    ("active".into(), active.to_value()),
+                    ("max_conns".into(), max_conns.to_value()),
+                ],
+            ),
             Error::LeaseExpired { lease, version } => tagged(
                 "LeaseExpired",
                 vec![
@@ -365,6 +382,10 @@ impl Deserialize for Error {
                 resource: String::from_value(field("resource"))?,
                 pending_bytes: u64::from_value(field("pending_bytes"))?,
                 capacity: u64::from_value(field("capacity"))?,
+            },
+            "AdmissionRejected" => Error::AdmissionRejected {
+                active: u64::from_value(field("active"))?,
+                max_conns: u64::from_value(field("max_conns"))?,
             },
             "LeaseExpired" => Error::LeaseExpired {
                 lease: u64::from_value(field("lease"))?,
@@ -455,6 +476,10 @@ mod tests {
                 resource: "wal".into(),
                 pending_bytes: 4096,
                 capacity: 1024,
+            },
+            Error::AdmissionRejected {
+                active: 1024,
+                max_conns: 1024,
             },
             Error::LeaseExpired {
                 lease: 11,

@@ -16,6 +16,11 @@
 #                                    # suite and rerun the equivalence
 #                                    # suites with every hosted service
 #                                    # on the disk backend (ATOMIO_DISK=1)
+#   VERIFY_REACTOR=1 scripts/verify.sh # also rerun the localhost-TCP
+#                                    # suites and the rpc unit suite
+#                                    # with every server on the epoll
+#                                    # reactor front-end
+#                                    # (ATOMIO_REACTOR=1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,6 +59,24 @@ if [[ "${VERIFY_TCP:-0}" == "1" ]]; then
 
     echo "== transport-tcp: rpc unit suite under thread contention =="
     cargo test -q --offline -p atomio-rpc -- --test-threads=16
+fi
+
+if [[ "${VERIFY_REACTOR:-0}" == "1" ]]; then
+    # ATOMIO_REACTOR=1 flips every RpcServer in the suites onto the
+    # event-driven reactor front-end (one epoll thread multiplexing all
+    # connections) in place of thread-per-connection, proving the
+    # front-end swap changes no bytes, versions, or metadata.
+    echo "== reactor: transport equivalence on the epoll front-end (ATOMIO_REACTOR=1) =="
+    ATOMIO_REACTOR=1 cargo test -q --offline --test transport_equivalence
+
+    echo "== reactor: three-service distributed atomicity on the epoll front-end (ATOMIO_REACTOR=1) =="
+    ATOMIO_REACTOR=1 cargo test -q --offline --test distributed_atomicity
+
+    echo "== reactor: WAL drain equivalence on the epoll front-end (ATOMIO_REACTOR=1) =="
+    ATOMIO_REACTOR=1 cargo test -q --offline --test wal_equivalence
+
+    echo "== reactor: rpc unit suite on the epoll front-end (ATOMIO_REACTOR=1) =="
+    ATOMIO_REACTOR=1 cargo test -q --offline -p atomio-rpc -- --test-threads=16
 fi
 
 if [[ "${VERIFY_DISK:-0}" == "1" ]]; then
