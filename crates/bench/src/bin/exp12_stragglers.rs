@@ -1,4 +1,4 @@
-//! E12 — extension: sensitivity to storage stragglers.
+//! E12st — extension: sensitivity to storage stragglers.
 //!
 //! Real clusters are heterogeneous: one slow disk can gate everything
 //! that stripes across it. This experiment slows ONE of the 16 storage
@@ -37,7 +37,7 @@ fn slowed(base: CostModel, factor: u64) -> CostModel {
 fn main() {
     let base = CostModel::grid5000();
     let mut report = ExperimentReport::new(
-        "E12",
+        "E12st",
         "straggler sensitivity: one of 16 servers slowed by s (16 clients, overlap stress)",
         "slowdown",
     );

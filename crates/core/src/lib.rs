@@ -45,6 +45,7 @@ pub mod clone;
 pub mod config;
 pub mod gc;
 pub mod namespace;
+pub mod routing;
 pub mod store;
 pub mod wal;
 
@@ -53,5 +54,6 @@ pub use config::{
     CommitMode, MetaCommitMode, MetaReadMode, StoreConfig, TransferMode, TransportMode,
 };
 pub use gc::{collect_below, GcCoordinator, GcPassReport, GcReport};
+pub use routing::{slot_for_blob, slot_for_name, SlotMap, SlotRange, SLOT_COUNT};
 pub use store::{Store, VersionOracleFactory};
 pub use wal::WriteAheadLog;

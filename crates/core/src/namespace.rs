@@ -11,15 +11,35 @@
 //! unlink semantics.
 
 use crate::blob::Blob;
+use crate::routing::slot_for_name;
 use crate::store::Store;
 use atomio_types::{Error, Result};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
+/// Number of independently-locked directory buckets. Paths route to a
+/// bucket by hash slot ([`slot_for_name`]), so a million-file namespace
+/// under concurrent create/open from many tenants contends on 1/16th of
+/// a lock instead of one global one.
+const NAMESPACE_BUCKETS: usize = 16;
+
 /// Path → blob directory. One per store; thread-safe.
-#[derive(Debug, Default)]
+///
+/// Internally slot-sharded: each path lives in the bucket of its hash
+/// slot. Single-path operations lock one bucket; `rename` locks the two
+/// buckets involved in index order; `list` snapshots all buckets and
+/// merges.
+#[derive(Debug)]
 pub struct Namespace {
-    entries: RwLock<BTreeMap<String, Blob>>,
+    buckets: Vec<RwLock<BTreeMap<String, Blob>>>,
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Namespace {
+            buckets: (0..NAMESPACE_BUCKETS).map(|_| RwLock::default()).collect(),
+        }
+    }
 }
 
 /// Normalizes a path: requires a leading `/`, collapses repeated
@@ -49,8 +69,16 @@ impl Namespace {
         Self::default()
     }
 
+    fn bucket_index(&self, path: &str) -> usize {
+        usize::from(slot_for_name(path)) % self.buckets.len()
+    }
+
+    fn bucket(&self, path: &str) -> &RwLock<BTreeMap<String, Blob>> {
+        &self.buckets[self.bucket_index(path)]
+    }
+
     fn insert(&self, path: String, blob: Blob) -> Result<Blob> {
-        let mut entries = self.entries.write();
+        let mut entries = self.bucket(&path).write();
         if entries.contains_key(&path) {
             return Err(Error::Internal(format!("{path} already exists")));
         }
@@ -59,7 +87,7 @@ impl Namespace {
     }
 
     fn get(&self, path: &str) -> Option<Blob> {
-        self.entries.read().get(path).cloned()
+        self.bucket(path).read().get(path).cloned()
     }
 }
 
@@ -91,7 +119,7 @@ impl Store {
     /// GC, not by unlink.
     pub fn unlink(&self, path: &str) -> Result<()> {
         let path = normalize(path)?;
-        match self.namespace().entries.write().remove(&path) {
+        match self.namespace().bucket(&path).write().remove(&path) {
             Some(_) => Ok(()),
             None => Err(Error::Internal(format!("{path} does not exist"))),
         }
@@ -103,13 +131,37 @@ impl Store {
         let from = normalize(from)?;
         let to = normalize(to)?;
         let ns = self.namespace();
-        let mut entries = ns.entries.write();
-        if entries.contains_key(&to) {
+        let (fi, ti) = (ns.bucket_index(&from), ns.bucket_index(&to));
+        if fi == ti {
+            let mut entries = ns.buckets[fi].write();
+            if entries.contains_key(&to) {
+                return Err(Error::Internal(format!("{to} already exists")));
+            }
+            return match entries.remove(&from) {
+                Some(blob) => {
+                    entries.insert(to, blob);
+                    Ok(())
+                }
+                None => Err(Error::Internal(format!("{from} does not exist"))),
+            };
+        }
+        // Distinct buckets: lock in index order so concurrent renames in
+        // opposite directions cannot deadlock.
+        let (mut from_entries, mut to_entries) = if fi < ti {
+            let a = ns.buckets[fi].write();
+            let b = ns.buckets[ti].write();
+            (a, b)
+        } else {
+            let b = ns.buckets[ti].write();
+            let a = ns.buckets[fi].write();
+            (a, b)
+        };
+        if to_entries.contains_key(&to) {
             return Err(Error::Internal(format!("{to} already exists")));
         }
-        match entries.remove(&from) {
+        match from_entries.remove(&from) {
             Some(blob) => {
-                entries.insert(to, blob);
+                to_entries.insert(to, blob);
                 Ok(())
             }
             None => Err(Error::Internal(format!("{from} does not exist"))),
@@ -118,17 +170,23 @@ impl Store {
 
     /// Lists paths with the given prefix, sorted.
     pub fn list(&self, prefix: &str) -> Vec<String> {
-        let Ok(prefix) = normalize(prefix) else {
-            // "/" lists everything.
-            return self.namespace().entries.read().keys().cloned().collect();
-        };
-        self.namespace()
-            .entries
-            .read()
-            .range(prefix.clone()..)
-            .take_while(|(k, _)| k.starts_with(&prefix))
-            .map(|(k, _)| k.clone())
-            .collect()
+        let ns = self.namespace();
+        let prefix = normalize(prefix).ok(); // "/" lists everything
+        let mut out: Vec<String> = Vec::new();
+        for bucket in &ns.buckets {
+            let entries = bucket.read();
+            match &prefix {
+                None => out.extend(entries.keys().cloned()),
+                Some(p) => out.extend(
+                    entries
+                        .range(p.clone()..)
+                        .take_while(|(k, _)| k.starts_with(p))
+                        .map(|(k, _)| k.clone()),
+                ),
+            }
+        }
+        out.sort_unstable();
+        out
     }
 }
 

@@ -4,6 +4,7 @@
 //! ```text
 //! atomio-meta-server <listen-addr> [--shards N] [--chunk-size BYTES]
 //!     [--retention keep-all|keep-last:N|keep-above:V] [--lease-ttl-ms N]
+//!     [--shard I/N]
 //!     [--data-dir PATH] [--fsync per-publish|group:N|deferred]
 //!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
@@ -29,14 +30,16 @@ use std::sync::Arc;
 
 fn main() {
     run_server_binary("atomio-meta-server", Some(("--shards", 1)), true, |args| {
-        Arc::new(
-            MetaService::with_backend(args.count, args.chunk_size, &args.backend())
-                .unwrap_or_else(|e| {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                })
-                .with_retention(args.retention)
-                .with_lease_ttl_cap(args.lease_ttl_cap_ms),
-        )
+        let mut service = MetaService::with_backend(args.count, args.chunk_size, &args.backend())
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            })
+            .with_retention(args.retention)
+            .with_lease_ttl_cap(args.lease_ttl_cap_ms);
+        if let Some((shard, of)) = args.shard {
+            service = service.with_shard(shard, of);
+        }
+        Arc::new(service)
     });
 }

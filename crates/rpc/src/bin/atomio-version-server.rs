@@ -4,6 +4,7 @@
 //! ```text
 //! atomio-version-server <listen-addr> [--chunk-size BYTES]
 //!     [--retention keep-all|keep-last:N|keep-above:V] [--lease-ttl-ms N]
+//!     [--shard I/N]
 //!     [--data-dir PATH] [--fsync per-publish|group:N|deferred]
 //!     [--workers N] [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--connect-timeout-ms N] [--connect-retries N] [--backoff-ms N]
@@ -22,17 +23,25 @@
 //! caps admitted connections (extras receive a typed busy rejection)
 //! and `--max-inflight-per-conn` bounds per-connection pipelining.
 //!
-//! Example: `atomio-version-server 127.0.0.1:7422 --data-dir /var/lib/atomio --fsync group:8`
+//! `--shard I/N` pins this server to shard `I` of an `N`-way hash-slot
+//! map: it serves only blobs whose slot it owns and refuses the rest
+//! with a typed `WrongShard` redirect. Run one process per shard (same
+//! `N`, distinct `I`) and point clients at the full set via a
+//! slot-routed transport.
+//!
+//! Example: `atomio-version-server 127.0.0.1:7422 --shard 0/4 --data-dir /var/lib/atomio --fsync group:8`
 
 use atomio_rpc::{run_server_binary, VersionService};
 use std::sync::Arc;
 
 fn main() {
     run_server_binary("atomio-version-server", None, true, |args| {
-        Arc::new(
-            VersionService::with_backend(args.chunk_size, args.backend())
-                .with_retention(args.retention)
-                .with_lease_ttl_cap(args.lease_ttl_cap_ms),
-        )
+        let mut service = VersionService::with_backend(args.chunk_size, args.backend())
+            .with_retention(args.retention)
+            .with_lease_ttl_cap(args.lease_ttl_cap_ms);
+        if let Some((shard, of)) = args.shard {
+            service = service.with_shard(shard, of);
+        }
+        Arc::new(service)
     });
 }

@@ -30,6 +30,10 @@
 //! * [`client`] — [`RemoteProvider`], [`RemoteMetaStore`], and
 //!   [`RemoteVersionManager`]: drop-in proxies implementing the
 //!   workspace seams over any [`Transport`].
+//! * [`routed`] — [`SlotRoutedTransport`], a [`Transport`] that fans
+//!   version-manager calls out across `--shard i/N` version servers by
+//!   hash slot, chasing `WrongShard` redirects through map refreshes;
+//!   plus [`handoff_slots`], the online slot-migration coordinator.
 //!
 //! Assembling a socket-backed store is three lines per substrate:
 //! [`dial`] the server addresses, wrap the transports in the remote
@@ -42,12 +46,14 @@
 pub mod client;
 pub mod proto;
 mod reactor;
+pub mod routed;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::{RemoteMetaStore, RemoteProvider, RemoteVersionManager};
-pub use proto::{Request, Response, PROTOCOL_VERSION};
+pub use proto::{BlobExport, Request, Response, PROTOCOL_VERSION};
+pub use routed::{handoff_slots, SlotRoutedTransport};
 pub use server::{
     run_server_binary, serve_forever, server_usage, MetaService, ProviderService, RpcServer,
     ServerArgs, Service, VersionService,
@@ -444,6 +450,32 @@ mod tests {
     }
 
     #[test]
+    fn server_args_parse_shard_flag() {
+        let version_role = |shard: &str| {
+            ServerArgs::parse(
+                ["127.0.0.1:0", "--shard", shard].map(String::from),
+                "",
+                0,
+                true,
+            )
+        };
+        assert_eq!(version_role("2/4").unwrap().shard, Some((2, 4)));
+        assert_eq!(version_role("0/1").unwrap().shard, Some((0, 1)));
+        // Index must be in range, and the spelling is strictly I/N.
+        assert!(version_role("4/4").is_err());
+        assert!(version_role("2").is_err());
+        assert!(version_role("a/b").is_err());
+        // The provider role hosts no version managers.
+        assert!(ServerArgs::parse(
+            ["127.0.0.1:0", "--shard", "0/4"].map(String::from),
+            "--providers",
+            1,
+            false,
+        )
+        .is_err());
+    }
+
+    #[test]
     fn usage_strings_cannot_drift_from_the_parser() {
         // The three deployed roles, exactly as their binaries configure
         // them. For every flag the codebase has ever known, the parser
@@ -465,6 +497,7 @@ mod tests {
             ("--fsync", "per-publish"),
             ("--retention", "keep-last:2"),
             ("--lease-ttl-ms", "60000"),
+            ("--shard", "0/4"),
             ("--workers", "1"),
             ("--pool-conns", "1"),
             ("--mux-streams-per-conn", "1"),

@@ -8,9 +8,10 @@
 //! instead of panicking, so protocol skew fails a single call, not the
 //! process.
 
+use atomio_core::SlotMap;
 use atomio_meta::{Node, NodeKey, WriteSummary};
 use atomio_types::{ByteRange, ChunkId, Error, ProviderId, Result, RetentionPolicy, VersionId};
-use atomio_version::{GcFloor, LeaseGrant, SnapshotRecord, Ticket};
+use atomio_version::{GcFloor, LeaseGrant, SnapshotRecord, Ticket, VersionExport};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Version tag carried by every frame (see [`crate::wire`]).
@@ -250,6 +251,76 @@ pub enum Request {
         /// The blob to query.
         blob: u64,
     },
+    /// The server's current slot map (clients refetch on
+    /// [`Error::WrongShard`]).
+    SlotMapGet,
+    /// Install a new slot map (epoch must not regress).
+    SlotMapInstall {
+        /// The map to install.
+        map: SlotMap,
+    },
+    /// Freeze `slots` ahead of a handoff at `epoch`: new tickets in the
+    /// frozen slots are refused with [`Error::WrongShard`] carrying
+    /// `epoch`, publishes of already-granted tickets still land. The
+    /// response is the number of grants still outstanding across the
+    /// frozen slots; the coordinator polls until it reaches zero.
+    VmFreezeSlots {
+        /// The slots being handed off.
+        slots: Vec<u16>,
+        /// The epoch the reassigned map will carry.
+        epoch: u64,
+    },
+    /// Export every hosted blob in `slots` (published prefixes plus
+    /// retention) for replay on the slots' new owner.
+    VmExportSlots {
+        /// The slots being handed off.
+        slots: Vec<u16>,
+    },
+    /// Install exported blobs verbatim (the receiving half of a slot
+    /// handoff). Idempotent; bypasses the ownership check, because the
+    /// importing server does not own the slots until the reassigned map
+    /// is installed.
+    VmImportBlobs {
+        /// The blobs to install.
+        blobs: Vec<BlobExport>,
+    },
+}
+
+/// One blob's state in a slot-handoff export: its published prefix and
+/// retention policy, replayed verbatim on the new owner. Leases do not
+/// migrate — they lapse by TTL and readers re-acquire on the new shard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlobExport {
+    /// The blob's raw id.
+    pub blob: u64,
+    /// The published prefix, dense from version 1.
+    pub versions: Vec<VersionExport>,
+    /// The blob's retention policy.
+    pub retention: RetentionPolicy,
+}
+
+impl Request {
+    /// The blob a per-blob version-service request targets, if any.
+    /// This is the routing key: a slot-routed transport hashes it to a
+    /// slot and dials the owning shard; requests without one (provider,
+    /// meta, control-plane) are not per-blob and route elsewhere.
+    pub fn vm_blob(&self) -> Option<u64> {
+        use Request::*;
+        match self {
+            VmTicket { blob, .. }
+            | VmTicketAppend { blob, .. }
+            | VmPublish { blob, .. }
+            | VmIsPublished { blob, .. }
+            | VmLatest { blob }
+            | VmSnapshot { blob, .. }
+            | VmSetRetention { blob, .. }
+            | VmLeaseAcquire { blob, .. }
+            | VmLeaseRenew { blob, .. }
+            | VmLeaseRelease { blob, .. }
+            | VmGcFloor { blob } => Some(*blob),
+            _ => None,
+        }
+    }
 }
 
 /// One RPC response. `Fail` carries a full [`Error`] so the remote and
@@ -335,6 +406,17 @@ pub enum Response {
     GcFloor {
         /// The floor record.
         info: GcFloor,
+    },
+    /// A slot map (reply to [`Request::SlotMapGet`]).
+    SlotMapInfo {
+        /// The server's current map.
+        map: SlotMap,
+    },
+    /// The blobs exported from a set of slots (reply to
+    /// [`Request::VmExportSlots`]).
+    SlotExport {
+        /// One record per hosted blob in the requested slots.
+        blobs: Vec<BlobExport>,
     },
     /// Admission-control rejection: the server is at its connection cap
     /// (`max_conns`) and answered the connection's first request with
@@ -571,6 +653,14 @@ impl Serialize for Request {
                 vec![field("blob", blob), field("lease", lease)],
             ),
             VmGcFloor { blob } => tagged("VmGcFloor", vec![field("blob", blob)]),
+            SlotMapGet => tagged("SlotMapGet", vec![]),
+            SlotMapInstall { map } => tagged("SlotMapInstall", vec![field("map", map)]),
+            VmFreezeSlots { slots, epoch } => tagged(
+                "VmFreezeSlots",
+                vec![field("slots", slots), field("epoch", epoch)],
+            ),
+            VmExportSlots { slots } => tagged("VmExportSlots", vec![field("slots", slots)]),
+            VmImportBlobs { blobs } => tagged("VmImportBlobs", vec![field("blobs", blobs)]),
         }
     }
 }
@@ -697,6 +787,20 @@ impl Deserialize for Request {
             "VmGcFloor" => VmGcFloor {
                 blob: get(v, "blob")?,
             },
+            "SlotMapGet" => SlotMapGet,
+            "SlotMapInstall" => SlotMapInstall {
+                map: get(v, "map")?,
+            },
+            "VmFreezeSlots" => VmFreezeSlots {
+                slots: get(v, "slots")?,
+                epoch: get(v, "epoch")?,
+            },
+            "VmExportSlots" => VmExportSlots {
+                slots: get(v, "slots")?,
+            },
+            "VmImportBlobs" => VmImportBlobs {
+                blobs: get(v, "blobs")?,
+            },
             other => return Err(DeError::new(format!("unknown request tag {other:?}"))),
         })
     }
@@ -745,6 +849,8 @@ impl Serialize for Response {
             Snapshot { record } => tagged("Snapshot", vec![field("record", record)]),
             Lease { grant } => tagged("Lease", vec![field("grant", grant)]),
             GcFloor { info } => tagged("GcFloor", vec![field("info", info)]),
+            SlotMapInfo { map } => tagged("SlotMapInfo", vec![field("map", map)]),
+            SlotExport { blobs } => tagged("SlotExport", vec![field("blobs", blobs)]),
             Busy { active, max_conns } => tagged(
                 "Busy",
                 vec![field("active", active), field("max_conns", max_conns)],
@@ -803,6 +909,12 @@ impl Deserialize for Response {
             },
             "GcFloor" => GcFloor {
                 info: get(v, "info")?,
+            },
+            "SlotMapInfo" => SlotMapInfo {
+                map: get(v, "map")?,
+            },
+            "SlotExport" => SlotExport {
+                blobs: get(v, "blobs")?,
             },
             "Busy" => Busy {
                 active: get(v, "active")?,
@@ -899,6 +1011,49 @@ mod tests {
                 range: ByteRange::new(0, 256),
             },
         });
+        roundtrip_req(&Request::SlotMapGet);
+        roundtrip_req(&Request::SlotMapInstall {
+            map: SlotMap::uniform(4),
+        });
+        roundtrip_req(&Request::VmFreezeSlots {
+            slots: vec![0, 7, 1023],
+            epoch: 2,
+        });
+        roundtrip_req(&Request::VmExportSlots { slots: vec![5, 6] });
+        roundtrip_req(&Request::VmImportBlobs {
+            blobs: vec![BlobExport {
+                blob: 9,
+                versions: vec![VersionExport {
+                    version: VersionId::new(1),
+                    root: Some(NodeKey {
+                        blob: atomio_types::BlobId::new(9),
+                        version: VersionId::new(1),
+                        range: ByteRange::new(0, 64),
+                    }),
+                    size: 64,
+                    capacity: 64,
+                    extents: ExtentList::from_pairs([(0u64, 64u64)]),
+                }],
+                retention: RetentionPolicy::KeepLast(3),
+            }],
+        });
+    }
+
+    #[test]
+    fn vm_blob_extracts_the_routing_key() {
+        assert_eq!(Request::VmLatest { blob: 17 }.vm_blob(), Some(17));
+        assert_eq!(
+            Request::VmTicketAppend {
+                blob: 3,
+                len: 8,
+                known: 0
+            }
+            .vm_blob(),
+            Some(3)
+        );
+        assert_eq!(Request::Ping.vm_blob(), None);
+        assert_eq!(Request::MetaNodeCount.vm_blob(), None);
+        assert_eq!(Request::SlotMapGet.vm_blob(), None);
     }
 
     #[test]
@@ -941,6 +1096,13 @@ mod tests {
         roundtrip_resp(&Response::Busy {
             active: 1024,
             max_conns: 1024,
+        });
+        roundtrip_resp(&Response::SlotMapInfo {
+            map: SlotMap::uniform(4).reassign(&[1, 2, 900], 3),
+        });
+        roundtrip_resp(&Response::SlotExport { blobs: vec![] });
+        roundtrip_resp(&Response::Fail {
+            error: Error::WrongShard { epoch: 3, slot: 77 },
         });
         roundtrip_resp(&Response::Fail {
             error: Error::Transport {

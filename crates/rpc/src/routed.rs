@@ -1,0 +1,251 @@
+//! Slot-routed fan-out over a sharded version service.
+//!
+//! [`SlotRoutedTransport`] implements [`Transport`] over a fleet of
+//! per-shard transports: every version-manager request carries a blob id
+//! ([`Request::vm_blob`]), the blob hashes to a slot
+//! ([`slot_for_blob`]), and the client's [`SlotMap`] names the shard
+//! that owns it. Because the routing lives *under* the [`Transport`]
+//! seam, [`crate::client::RemoteVersionManager`] — and everything above
+//! it — runs unchanged against 1 shard or 16.
+//!
+//! Stale maps self-heal: a shard that does not own a slot answers
+//! [`Error::WrongShard`] with its map epoch; the router refetches the
+//! map from every shard, adopts the highest epoch, and retries. During
+//! an online handoff ([`handoff_slots`]) the moving slots are frozen on
+//! the old owner, so the retry loop also rides out the short window in
+//! which neither map nor freeze has settled — bounded, then the typed
+//! error surfaces to the caller.
+
+use crate::proto::{BlobExport, Request, Response};
+use crate::transport::{unexpected, Transport};
+use atomio_core::{slot_for_blob, SlotMap};
+use atomio_types::{Error, Result};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How many times a routed call chases `WrongShard` redirects before
+/// surfacing the error. Each retry refreshes the map and backs off
+/// [`RETRY_BACKOFF`], so the budget comfortably covers a slot handoff.
+const MAX_REDIRECTS: usize = 100;
+
+/// Pause between redirect retries while a handoff settles.
+const RETRY_BACKOFF: Duration = Duration::from_millis(2);
+
+/// A [`Transport`] that routes each version-manager call to the shard
+/// owning the blob's hash slot.
+///
+/// Requests without a routing key (metadata ops, `Ping`, the slot-map
+/// control plane) go to shard 0 — callers wanting a specific shard
+/// should hold that shard's transport directly.
+#[derive(Debug)]
+pub struct SlotRoutedTransport {
+    shards: Vec<Arc<dyn Transport>>,
+    map: RwLock<SlotMap>,
+}
+
+impl SlotRoutedTransport {
+    /// Builds a router over one transport per shard, assuming the
+    /// uniform slot split every `--shard i/N` server boots with. A
+    /// deployment mid-handoff corrects itself on the first
+    /// `WrongShard` redirect.
+    pub fn new(shards: Vec<Arc<dyn Transport>>) -> Self {
+        assert!(!shards.is_empty(), "a routed transport needs shards");
+        let map = SlotMap::uniform(shards.len());
+        SlotRoutedTransport {
+            shards,
+            map: RwLock::new(map),
+        }
+    }
+
+    /// The router's current belief about slot ownership.
+    pub fn slot_map(&self) -> SlotMap {
+        self.map.read().clone()
+    }
+
+    /// Adopts `map` if its epoch is not older than the current one.
+    pub fn install(&self, map: SlotMap) {
+        let mut cur = self.map.write();
+        if map.epoch >= cur.epoch {
+            *cur = map;
+        }
+    }
+
+    /// The per-shard transports, indexed by group.
+    pub fn shards(&self) -> &[Arc<dyn Transport>] {
+        &self.shards
+    }
+
+    /// Refetches the slot map from every reachable shard and adopts the
+    /// highest epoch seen. Unreachable shards are skipped: during a
+    /// shard outage the survivors still agree on the map.
+    pub fn refresh(&self) -> SlotMap {
+        for shard in &self.shards {
+            if let Ok((Response::SlotMapInfo { map }, _)) = shard.call(&Request::SlotMapGet, &[]) {
+                self.install(map);
+            }
+        }
+        self.slot_map()
+    }
+
+    /// The shard transport owning `blob` under the current map, or
+    /// `None` while the blob's slot is unassigned (mid-handoff).
+    fn route(&self, blob: u64) -> Option<Arc<dyn Transport>> {
+        let slot = slot_for_blob(blob);
+        let group = self.map.read().group_of(slot)?;
+        self.shards.get(group).map(Arc::clone)
+    }
+}
+
+impl Transport for SlotRoutedTransport {
+    fn call(&self, request: &Request, payload: &[u8]) -> Result<(Response, Bytes)> {
+        let Some(blob) = request.vm_blob() else {
+            return self.shards[0].call(request, payload);
+        };
+        let mut last: Option<(Response, Bytes)> = None;
+        for attempt in 0..MAX_REDIRECTS {
+            if attempt > 0 {
+                std::thread::sleep(RETRY_BACKOFF);
+                self.refresh();
+            }
+            let Some(target) = self.route(blob) else {
+                // Unassigned slot: a handoff is mid-flight; refresh and
+                // retry until the reassigned map lands.
+                continue;
+            };
+            let reply = target.call(request, payload)?;
+            // A server-side refusal arrives as a transport-level `Ok`
+            // carrying `Fail`; only `WrongShard` means "re-route".
+            if let (
+                Response::Fail {
+                    error: Error::WrongShard { .. },
+                },
+                _,
+            ) = &reply
+            {
+                last = Some(reply);
+                continue;
+            }
+            return Ok(reply);
+        }
+        // Redirect budget exhausted: surface the shard's typed refusal.
+        Ok(last.unwrap_or((
+            Response::Fail {
+                error: Error::Internal(format!(
+                    "slot {} unassigned after {MAX_REDIRECTS} map refreshes",
+                    slot_for_blob(blob)
+                )),
+            },
+            Bytes::new(),
+        )))
+    }
+}
+
+/// Moves `slots` to shard `to` across a live fleet — the online
+/// membership-change protocol:
+///
+/// 1. Compute the reassigned map (epoch + 1).
+/// 2. **Freeze** the moving slots on every current owner: new tickets
+///    are refused with [`Error::WrongShard`] at the *new* epoch, but
+///    in-flight publishes still land.
+/// 3. **Drain**: poll each owner until no granted-but-unpublished
+///    tickets remain in the moving slots (bounded; tickets that never
+///    publish are abandoned — their writers' publishes will be refused
+///    and retried against the new owner, which does not know the ticket
+///    and fails them typed).
+/// 4. **Export** the published prefix (version chains + retention) of
+///    every blob in the moving slots and **import** it on the new
+///    owner. Import is idempotent, so a crashed-and-repeated handoff
+///    replays harmlessly.
+/// 5. **Install** the reassigned map everywhere — new owner first, so
+///    redirected clients find it serving before the old owner thaws.
+///
+/// Snapshot leases are deliberately *not* migrated: they are
+/// TTL-bounded, so readers re-acquire against the new owner and the old
+/// grants lapse on their own.
+///
+/// Returns the installed map.
+///
+/// # Errors
+/// Any transport failure or typed refusal from the fleet aborts the
+/// handoff; the caller can retry (every step is idempotent) or reassert
+/// the old map at a fresh epoch ([`SlotMap::bump_epoch`]) to thaw.
+pub fn handoff_slots(
+    shards: &[Arc<dyn Transport>],
+    map: &SlotMap,
+    slots: &[u16],
+    to: usize,
+) -> Result<SlotMap> {
+    let next = map.reassign(slots, to);
+    let owners: Vec<(usize, Vec<u16>)> = (0..shards.len())
+        .filter(|g| *g != to)
+        .map(|g| {
+            let owned: Vec<u16> = slots.iter().copied().filter(|s| map.owns(g, *s)).collect();
+            (g, owned)
+        })
+        .filter(|(_, owned)| !owned.is_empty())
+        .collect();
+
+    // Freeze + drain each losing shard. The freeze RPC is idempotent
+    // and returns the pending-grant count, so it doubles as the poll.
+    for (g, owned) in &owners {
+        let mut drained = false;
+        for _ in 0..MAX_REDIRECTS {
+            let request = Request::VmFreezeSlots {
+                slots: owned.clone(),
+                epoch: next.epoch,
+            };
+            match shards[*g].call(&request, &[])? {
+                (Response::Count { value: 0 }, _) => {
+                    drained = true;
+                    break;
+                }
+                (Response::Count { .. }, _) => std::thread::sleep(RETRY_BACKOFF),
+                (other, _) => return Err(unexpected("Count", other)),
+            }
+        }
+        // Not drained: proceed anyway — unpublished tickets are
+        // abandoned by design (step 3 above).
+        let _ = drained;
+    }
+
+    // Export from the losing shards, import on the gaining shard.
+    for (g, owned) in &owners {
+        let request = Request::VmExportSlots {
+            slots: owned.clone(),
+        };
+        let blobs: Vec<BlobExport> = match shards[*g].call(&request, &[])? {
+            (Response::SlotExport { blobs }, _) => blobs,
+            (other, _) => return Err(unexpected("SlotExport", other)),
+        };
+        if blobs.is_empty() {
+            continue;
+        }
+        match shards[to].call(&Request::VmImportBlobs { blobs }, &[])? {
+            (Response::Count { .. }, _) => {}
+            (Response::Fail { error }, _) => return Err(error),
+            (other, _) => return Err(unexpected("Count", other)),
+        }
+    }
+
+    // Install the reassigned map: gaining shard first, then the rest
+    // (installing thaws any freeze at or below the new epoch).
+    let install = Request::SlotMapInstall { map: next.clone() };
+    match shards[to].call(&install, &[])? {
+        (Response::Unit, _) => {}
+        (Response::Fail { error }, _) => return Err(error),
+        (other, _) => return Err(unexpected("Unit", other)),
+    }
+    for (g, shard) in shards.iter().enumerate() {
+        if g == to {
+            continue;
+        }
+        match shard.call(&install, &[])? {
+            (Response::Unit, _) => {}
+            (Response::Fail { error }, _) => return Err(error),
+            (other, _) => return Err(unexpected("Unit", other)),
+        }
+    }
+    Ok(next)
+}

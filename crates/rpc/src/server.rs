@@ -34,10 +34,11 @@
 //! dispatch handoff and one response write per burst rather than per
 //! request.
 
-use crate::proto::{Request, Response};
+use crate::proto::{BlobExport, Request, Response};
 use crate::reactor::{run_reactor, ReactorShared};
 use crate::transport::{counters, RpcConfig, ServerMode};
 use crate::wire;
+use atomio_core::{slot_for_blob, SlotMap};
 use atomio_meta::{node_store_for, LocalNodeStore, TreeConfig, VersionHistory};
 use atomio_provider::{chunk_store_for, ChunkStore, DataProvider};
 use atomio_simgrid::{ClientNics, CostModel, FaultInjector, Metrics};
@@ -47,9 +48,9 @@ use atomio_types::{
 };
 use atomio_version::{TicketMode, VersionManager};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -313,7 +314,12 @@ impl Service for ProviderService {
             | VmLeaseAcquire { .. }
             | VmLeaseRenew { .. }
             | VmLeaseRelease { .. }
-            | VmGcFloor { .. } => unsupported("metadata/version op sent to a provider server"),
+            | VmGcFloor { .. }
+            | SlotMapGet
+            | SlotMapInstall { .. }
+            | VmFreezeSlots { .. }
+            | VmExportSlots { .. }
+            | VmImportBlobs { .. } => unsupported("metadata/version op sent to a provider server"),
         }
     }
 }
@@ -330,6 +336,18 @@ pub struct VersionService {
     retention: RetentionPolicy,
     lease_ttl_cap_ms: u64,
     vms: Mutex<HashMap<u64, Arc<VersionManager>>>,
+    /// This server's group in the slot map, or `None` for an unsharded
+    /// deployment (every slot is served, no ownership checks).
+    shard: Option<usize>,
+    /// The slot map this server believes in. Requests for blobs whose
+    /// slot this shard does not own are refused with
+    /// [`Error::WrongShard`] carrying the map's epoch.
+    map: RwLock<SlotMap>,
+    /// Slots frozen for an in-flight handoff, with the epoch the
+    /// reassigned map will carry: new tickets are refused (typed), but
+    /// publishes of already-granted tickets still land so the handoff
+    /// can drain. Cleared when a map at (or past) that epoch installs.
+    frozen: RwLock<Option<(BTreeSet<u16>, u64)>>,
 }
 
 /// Largest lease TTL a server grants by default (10 minutes): a crashed
@@ -355,7 +373,74 @@ impl VersionService {
             retention: RetentionPolicy::default(),
             lease_ttl_cap_ms: DEFAULT_LEASE_TTL_CAP_MS,
             vms: Mutex::new(HashMap::new()),
+            shard: None,
+            map: RwLock::new(SlotMap::single()),
+            frozen: RwLock::new(None),
         }
+    }
+
+    /// Makes this service shard `shard` of an `of`-way deployment (the
+    /// binaries' `--shard I/N` flag): it starts from the uniform
+    /// `of`-group slot map, serves only the slots its group owns, and
+    /// answers everything else with [`Error::WrongShard`] so stale
+    /// clients refetch the map and re-route.
+    pub fn with_shard(mut self, shard: usize, of: usize) -> Self {
+        assert!(shard < of, "shard index {shard} out of {of}");
+        self.shard = Some(shard);
+        self.map = RwLock::new(SlotMap::uniform(of));
+        self
+    }
+
+    /// The slot map this server currently believes in.
+    pub fn slot_map(&self) -> SlotMap {
+        self.map.read().clone()
+    }
+
+    /// Ownership gate: `Ok` when this server serves `blob`'s slot.
+    fn owned(&self, blob: u64) -> Result<()> {
+        let Some(group) = self.shard else {
+            return Ok(());
+        };
+        let slot = slot_for_blob(blob);
+        let map = self.map.read();
+        if !map.owns(group, slot) {
+            return Err(Error::WrongShard {
+                epoch: map.epoch,
+                slot,
+            });
+        }
+        Ok(())
+    }
+
+    /// Gate for state-creating calls (tickets, retention changes): also
+    /// refused while the blob's slot is frozen for a handoff, so the
+    /// drain converges and the export cannot miss trailing state.
+    fn ticket_gate(&self, blob: u64) -> Result<()> {
+        self.owned(blob)?;
+        let slot = slot_for_blob(blob);
+        if let Some((slots, epoch)) = &*self.frozen.read() {
+            if slots.contains(&slot) {
+                return Err(Error::WrongShard {
+                    epoch: *epoch,
+                    slot,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::vm`] behind the ownership check — the dispatch path for
+    /// every per-blob RPC except imports (which install state this
+    /// server does not own *yet*).
+    fn vm_owned(&self, blob: u64) -> Result<Arc<VersionManager>> {
+        self.owned(blob)?;
+        self.vm(blob)
+    }
+
+    /// [`Self::vm`] behind the ownership *and* freeze checks.
+    fn vm_ticket(&self, blob: u64) -> Result<Arc<VersionManager>> {
+        self.ticket_gate(blob)?;
+        self.vm(blob)
     }
 
     /// Sets the deployment's default retention policy (the binaries'
@@ -434,7 +519,7 @@ impl Service for VersionService {
                 extents,
                 known,
             } => match self
-                .vm(blob)
+                .vm_ticket(blob)
                 .and_then(|vm| vm.ticket_local(&extents, known as usize))
             {
                 Ok((ticket, extents, delta)) => ok(Response::TicketGrant {
@@ -446,7 +531,7 @@ impl Service for VersionService {
             },
             VmTicketAppend { blob, len, known } => {
                 match self
-                    .vm(blob)
+                    .vm_ticket(blob)
                     .and_then(|vm| vm.ticket_append_local(len, known as usize))
                 {
                     Ok((ticket, extents, delta)) => ok(Response::TicketGrant {
@@ -458,31 +543,40 @@ impl Service for VersionService {
                 }
             }
             VmPublish { blob, ticket, root } => {
-                match self.vm(blob).and_then(|vm| vm.publish_local(ticket, root)) {
+                match self
+                    .vm_owned(blob)
+                    .and_then(|vm| vm.publish_local(ticket, root))
+                {
                     Ok(()) => ok(Response::Unit),
                     Err(e) => fail(e),
                 }
             }
-            VmIsPublished { blob, version } => match self.vm(blob) {
+            VmIsPublished { blob, version } => match self.vm_owned(blob) {
                 Ok(vm) => ok(Response::Flag {
                     value: vm.is_published(version),
                 }),
                 Err(e) => fail(e),
             },
-            VmLatest { blob } => match self.vm(blob) {
+            VmLatest { blob } => match self.vm_owned(blob) {
                 Ok(vm) => ok(Response::Snapshot {
                     record: vm.latest_local(),
                 }),
                 Err(e) => fail(e),
             },
             VmSnapshot { blob, version } => {
-                match self.vm(blob).and_then(|vm| vm.snapshot_local(version)) {
+                match self
+                    .vm_owned(blob)
+                    .and_then(|vm| vm.snapshot_local(version))
+                {
                     Ok(record) => ok(Response::Snapshot { record }),
                     Err(e) => fail(e),
                 }
             }
             VmSetRetention { blob, policy } => {
-                match self.vm(blob).and_then(|vm| vm.set_retention_local(policy)) {
+                match self
+                    .vm_ticket(blob)
+                    .and_then(|vm| vm.set_retention_local(policy))
+                {
                     Ok(()) => ok(Response::Unit),
                     Err(e) => fail(e),
                 }
@@ -494,7 +588,7 @@ impl Service for VersionService {
             } => {
                 let ttl = ttl_ms.min(self.lease_ttl_cap_ms);
                 match self
-                    .vm(blob)
+                    .vm_owned(blob)
                     .and_then(|vm| vm.lease_acquire_local(version, ttl, Self::now_ms()))
                 {
                     Ok(grant) => ok(Response::Lease { grant }),
@@ -508,7 +602,7 @@ impl Service for VersionService {
             } => {
                 let ttl = ttl_ms.min(self.lease_ttl_cap_ms);
                 match self
-                    .vm(blob)
+                    .vm_owned(blob)
                     .and_then(|vm| vm.lease_renew_local(lease, ttl, Self::now_ms()))
                 {
                     Ok(grant) => ok(Response::Lease { grant }),
@@ -517,19 +611,87 @@ impl Service for VersionService {
             }
             VmLeaseRelease { blob, lease } => {
                 match self
-                    .vm(blob)
+                    .vm_owned(blob)
                     .and_then(|vm| vm.lease_release_local(lease, Self::now_ms()))
                 {
                     Ok(()) => ok(Response::Unit),
                     Err(e) => fail(e),
                 }
             }
-            VmGcFloor { blob } => match self.vm(blob) {
+            VmGcFloor { blob } => match self.vm_owned(blob) {
                 Ok(vm) => ok(Response::GcFloor {
                     info: vm.gc_floor_local(Self::now_ms()),
                 }),
                 Err(e) => fail(e),
             },
+            SlotMapGet => ok(Response::SlotMapInfo {
+                map: self.map.read().clone(),
+            }),
+            SlotMapInstall { map } => {
+                let mut cur = self.map.write();
+                if map.epoch < cur.epoch {
+                    return fail(Error::Internal(format!(
+                        "slot map epoch regressed: have {}, offered {}",
+                        cur.epoch, map.epoch
+                    )));
+                }
+                *cur = map;
+                // Thaw any freeze the new map supersedes.
+                let mut frozen = self.frozen.write();
+                if matches!(&*frozen, Some((_, epoch)) if *epoch <= cur.epoch) {
+                    *frozen = None;
+                }
+                ok(Response::Unit)
+            }
+            VmFreezeSlots { slots, epoch } => {
+                let set: BTreeSet<u16> = slots.into_iter().collect();
+                // Pending grants across the frozen slots: the coordinator
+                // repeats this (idempotent) call until the count is zero.
+                let pending: u64 = self
+                    .vms
+                    .lock()
+                    .iter()
+                    .filter(|(blob, _)| set.contains(&slot_for_blob(**blob)))
+                    .map(|(_, vm)| vm.pending_grants())
+                    .sum();
+                *self.frozen.write() = Some((set, epoch));
+                ok(Response::Count { value: pending })
+            }
+            VmExportSlots { slots } => {
+                let set: BTreeSet<u16> = slots.into_iter().collect();
+                let vms: Vec<(u64, Arc<VersionManager>)> = self
+                    .vms
+                    .lock()
+                    .iter()
+                    .filter(|(blob, _)| set.contains(&slot_for_blob(**blob)))
+                    .map(|(blob, vm)| (*blob, Arc::clone(vm)))
+                    .collect();
+                let blobs = vms
+                    .into_iter()
+                    .map(|(blob, vm)| {
+                        let (versions, retention) = vm.export_published();
+                        BlobExport {
+                            blob,
+                            versions,
+                            retention,
+                        }
+                    })
+                    .collect();
+                ok(Response::SlotExport { blobs })
+            }
+            VmImportBlobs { blobs } => {
+                let mut applied = 0u64;
+                for b in blobs {
+                    match self
+                        .vm(b.blob)
+                        .and_then(|vm| vm.import_published(&b.versions, b.retention))
+                    {
+                        Ok(n) => applied += n,
+                        Err(e) => return fail(e),
+                    }
+                }
+                ok(Response::Count { value: applied })
+            }
             _ => unsupported("chunk/metadata op sent to a version server"),
         }
     }
@@ -591,6 +753,13 @@ impl MetaService {
         self
     }
 
+    /// Pins the nested version service to shard `shard` of `of` (see
+    /// [`VersionService::with_shard`]).
+    pub fn with_shard(mut self, shard: usize, of: usize) -> Self {
+        self.versions = self.versions.with_shard(shard, of);
+        self
+    }
+
     /// Caps lease TTLs of the nested version service (see
     /// [`VersionService::with_lease_ttl_cap`]).
     pub fn with_lease_ttl_cap(mut self, cap_ms: u64) -> Self {
@@ -641,7 +810,12 @@ impl Service for MetaService {
             | VmLeaseAcquire { .. }
             | VmLeaseRenew { .. }
             | VmLeaseRelease { .. }
-            | VmGcFloor { .. } => self.versions.handle(request, payload),
+            | VmGcFloor { .. }
+            | SlotMapGet
+            | SlotMapInstall { .. }
+            | VmFreezeSlots { .. }
+            | VmExportSlots { .. }
+            | VmImportBlobs { .. } => self.versions.handle(request, payload),
             PutChunk { .. }
             | PutChunkBatch { .. }
             | GetChunk { .. }
@@ -1072,6 +1246,10 @@ pub struct ServerArgs {
     /// `--lease-ttl-ms N`: cap on granted snapshot-lease TTLs
     /// (version-capable roles only).
     pub lease_ttl_cap_ms: u64,
+    /// `--shard I/N`: pin the hosted version service to shard `I` of an
+    /// `N`-way slot map (version-capable roles only). `None` (the
+    /// default) serves every slot unchecked.
+    pub shard: Option<(usize, usize)>,
     /// Transport/dispatcher tuning assembled from the `--workers`,
     /// `--read-timeout-ms`, `--write-timeout-ms`, and `--backoff-ms`
     /// style flags (defaults from [`RpcConfig::default`]).
@@ -1111,6 +1289,7 @@ impl ServerArgs {
             fsync: FsyncPolicy::default(),
             retention: RetentionPolicy::default(),
             lease_ttl_cap_ms: DEFAULT_LEASE_TTL_CAP_MS,
+            shard: None,
             cfg: RpcConfig::default(),
         };
         while let Some(flag) = args.next() {
@@ -1135,6 +1314,17 @@ impl ServerArgs {
                     return Err("--lease-ttl-ms: this role hosts no version managers".into());
                 }
                 parsed.lease_ttl_cap_ms = value.parse().map_err(|_| bad())?;
+            } else if flag == "--shard" {
+                if !accepts_chunk_size {
+                    return Err("--shard: this role hosts no version managers".into());
+                }
+                let (i, n) = value.split_once('/').ok_or_else(bad)?;
+                let (i, n): (usize, usize) =
+                    (i.parse().map_err(|_| bad())?, n.parse().map_err(|_| bad())?);
+                if i >= n {
+                    return Err(format!("bad {flag}: shard index {i} out of range for /{n}"));
+                }
+                parsed.shard = Some((i, n));
             } else if flag == "--data-dir" {
                 parsed.data_dir = Some(PathBuf::from(&value));
             } else if flag == "--fsync" {
@@ -1222,6 +1412,7 @@ pub fn server_usage(name: &str, count_flag: Option<&str>, accepts_chunk_size: bo
         usage.push_str(" [--chunk-size BYTES]");
         usage.push_str(" [--retention keep-all|keep-last:N|keep-above:V]");
         usage.push_str(" [--lease-ttl-ms N]");
+        usage.push_str(" [--shard I/N]");
     }
     usage.push_str(" [--data-dir PATH] [--fsync per-publish|group:N|deferred]");
     for (flag, hint) in SHARED_FLAGS {

@@ -74,6 +74,12 @@ pub enum Error {
     /// typed error instead of risking torn bytes. Re-acquire a lease on
     /// a retained snapshot to continue.
     LeaseExpired { lease: u64, version: VersionId },
+    /// A slot-routed request landed on a shard that does not own the
+    /// blob's slot (the client's `SlotMap` is stale, or the slot is
+    /// mid-handoff). The payload carries the server's map epoch and the
+    /// rejected slot so the client can refetch the map and re-route;
+    /// nothing was executed, so the retry is safe.
+    WrongShard { epoch: u64, slot: u16 },
     /// A transport-level failure talking to a remote service. The kind
     /// distinguishes causes so retry policy can branch (a timeout is worth
     /// retrying on the same endpoint; connection-refused is not).
@@ -198,6 +204,9 @@ impl fmt::Display for Error {
             Error::LeaseExpired { lease, version } => {
                 write!(f, "lease {lease} on snapshot {version} has expired")
             }
+            Error::WrongShard { epoch, slot } => {
+                write!(f, "slot {slot} is not served here (map epoch {epoch})")
+            }
             Error::Transport { kind, detail } => {
                 write!(f, "transport failure ({kind}): {detail}")
             }
@@ -316,6 +325,13 @@ impl Serialize for Error {
                     ("version".into(), version.to_value()),
                 ],
             ),
+            Error::WrongShard { epoch, slot } => tagged(
+                "WrongShard",
+                vec![
+                    ("epoch".into(), epoch.to_value()),
+                    ("slot".into(), slot.to_value()),
+                ],
+            ),
             Error::Transport { kind, detail } => tagged(
                 "Transport",
                 vec![
@@ -390,6 +406,10 @@ impl Deserialize for Error {
             "LeaseExpired" => Error::LeaseExpired {
                 lease: u64::from_value(field("lease"))?,
                 version: VersionId::from_value(field("version"))?,
+            },
+            "WrongShard" => Error::WrongShard {
+                epoch: u64::from_value(field("epoch"))?,
+                slot: u16::from_value(field("slot"))?,
             },
             "Transport" => Error::Transport {
                 kind: {
@@ -485,6 +505,7 @@ mod tests {
                 lease: 11,
                 version: VersionId::new(3),
             },
+            Error::WrongShard { epoch: 7, slot: 42 },
             Error::Transport {
                 kind: TransportErrorKind::Timeout,
                 detail: "read deadline".into(),

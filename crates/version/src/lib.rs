@@ -30,5 +30,7 @@ pub mod oracle;
 
 pub use lease::{LeaseGrant, LeaseManager};
 pub use log::{LogReplay, LogStats, PublishLog, PublishRecord};
-pub use manager::{GcFloor, PublicationStats, SnapshotRecord, Ticket, TicketMode, VersionManager};
+pub use manager::{
+    GcFloor, PublicationStats, SnapshotRecord, Ticket, TicketMode, VersionExport, VersionManager,
+};
 pub use oracle::VersionOracle;

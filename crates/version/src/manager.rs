@@ -451,6 +451,104 @@ impl VersionManager {
         }
     }
 
+    /// Versions granted but not yet in the dense published prefix.
+    /// A slot handoff drains a frozen blob by polling this to zero.
+    pub fn pending_grants(&self) -> u64 {
+        let st = self.state.lock();
+        st.next - st.published
+    }
+
+    /// Exports the full published prefix plus the retention policy —
+    /// everything a new shard needs to serve this blob verbatim after a
+    /// slot handoff. Leases deliberately stay behind: they are pins held
+    /// against *this* manager and lapse by TTL; readers re-acquire on
+    /// the new owner.
+    pub fn export_published(&self) -> (Vec<VersionExport>, RetentionPolicy) {
+        let st = self.state.lock();
+        let mut out = Vec::with_capacity(st.snapshots.len());
+        for rec in &st.snapshots {
+            let extents = self
+                .history
+                .summary(rec.version)
+                .map(|s| (*s.extents).clone())
+                .unwrap_or_default();
+            out.push(VersionExport {
+                version: rec.version,
+                root: rec.root,
+                size: rec.size,
+                capacity: rec.capacity,
+                extents,
+            });
+        }
+        (out, st.retention)
+    }
+
+    /// Installs an exported published prefix verbatim (the receiving
+    /// half of a slot handoff). Idempotent: records at or below the
+    /// current published version are skipped, so replaying the same
+    /// export twice is a no-op. Returns how many versions were applied.
+    ///
+    /// # Errors
+    /// [`Error::Internal`] when the records leave a gap above the
+    /// current prefix, or when this manager already handed out grants
+    /// (imports only target a manager that has never ticketed — the
+    /// coordinator installs the map on the new owner before any client
+    /// can route writes at it).
+    pub fn import_published(
+        &self,
+        records: &[VersionExport],
+        retention: RetentionPolicy,
+    ) -> Result<u64> {
+        let mut st = self.state.lock();
+        let mut applied = 0u64;
+        for rec in records {
+            let v = rec.version.raw();
+            if v <= st.published {
+                continue; // double-replay idempotence
+            }
+            if st.next > st.published {
+                return Err(Error::Internal(
+                    "import into a manager with outstanding grants".into(),
+                ));
+            }
+            if v != st.published + 1 {
+                return Err(Error::Internal(format!(
+                    "import gap: prefix ends at v{}, next record is {}",
+                    st.published, rec.version
+                )));
+            }
+            self.history.append(WriteSummary {
+                version: rec.version,
+                extents: Arc::new(rec.extents.clone()),
+                capacity: rec.capacity,
+            });
+            if let Some(log) = &self.log {
+                log.append(&crate::log::PublishRecord {
+                    version: rec.version,
+                    root: rec.root,
+                    size: rec.size,
+                    capacity: rec.capacity,
+                    extents: rec.extents.clone(),
+                })?;
+            }
+            st.next += 1;
+            st.published += 1;
+            st.ticket_sizes.push(rec.size);
+            st.snapshots.push(SnapshotRecord {
+                version: rec.version,
+                root: rec.root,
+                size: rec.size,
+                capacity: rec.capacity,
+            });
+            applied += 1;
+        }
+        st.retention = retention;
+        if let Some(log) = &self.log {
+            log.append_retention(retention)?;
+        }
+        Ok(applied)
+    }
+
     // -----------------------------------------------------------------
     // Reclamation surface: retention policy, snapshot leases, GC floor.
     // Participant-carrying wrappers charge one RPC round plus a
@@ -611,6 +709,24 @@ pub struct GcFloor {
     pub leases_active: u64,
     /// Leases that lapsed (TTL passed without release) since creation.
     pub lease_expirations: u64,
+}
+
+/// One published version in a slot-handoff export: the snapshot record
+/// plus the write summary needed to rebuild the history row. Everything
+/// a new owner installs verbatim via
+/// [`VersionManager::import_published`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionExport {
+    /// The exported version.
+    pub version: VersionId,
+    /// Tree root (`None` only for degenerate empty snapshots).
+    pub root: Option<NodeKey>,
+    /// Blob size at this version.
+    pub size: u64,
+    /// Tree capacity at this version.
+    pub capacity: u64,
+    /// The write's extent footprint (the history row).
+    pub extents: ExtentList,
 }
 
 /// Counters describing the publication pipeline's state.
@@ -1021,6 +1137,55 @@ mod tests {
             m.lease_release(p, lease_id).unwrap();
             m.lease_release(p, g.lease).unwrap();
             assert_eq!(m.gc_floor(p).unwrap().floor, VersionId::new(3));
+        });
+    }
+
+    #[test]
+    fn export_import_replays_the_published_prefix_verbatim() {
+        let src = vm(TicketMode::Pipelined);
+        run_actors(1, |_, p| {
+            for k in 0..4u64 {
+                let t = src.ticket(p, &extents(&[(k * 64, 64)])).unwrap();
+                src.publish(p, t, root_for(t)).unwrap();
+            }
+            src.set_retention(p, RetentionPolicy::KeepLast(2)).unwrap();
+            // A granted-but-unpublished ticket is NOT part of the export.
+            src.ticket(p, &extents(&[(512, 64)])).unwrap();
+        });
+        assert_eq!(src.pending_grants(), 1);
+        let (records, retention) = src.export_published();
+        assert_eq!(records.len(), 4);
+
+        let dst = vm(TicketMode::Pipelined);
+        assert_eq!(dst.import_published(&records, retention).unwrap(), 4);
+        assert_eq!(dst.retention(), RetentionPolicy::KeepLast(2));
+        assert_eq!(dst.stats().published, 4);
+        assert_eq!(dst.history().len(), 4);
+        // Double replay is a no-op (handoff idempotence).
+        assert_eq!(dst.import_published(&records, retention).unwrap(), 0);
+        assert_eq!(dst.stats().published, 4);
+        run_actors(1, |_, p| {
+            for v in 1..=4u64 {
+                assert_eq!(
+                    dst.snapshot(p, VersionId::new(v)).unwrap(),
+                    src.snapshot(p, VersionId::new(v)).unwrap(),
+                    "snapshot v{v} must survive the handoff bit-identically"
+                );
+            }
+            // The new owner resumes ticketing exactly where the prefix
+            // ends: the next grant is v5 at the recovered tail.
+            let (t, ext) = dst.ticket_append(p, 16).unwrap();
+            assert_eq!(t.version, VersionId::new(5));
+            assert_eq!(ext.covering_range().offset, 4 * 64);
+        });
+        // Gapped records are refused.
+        let fresh = vm(TicketMode::Pipelined);
+        assert!(fresh.import_published(&records[1..], retention).is_err());
+        // A manager with its own grants refuses imports outright.
+        run_actors(1, |_, p| {
+            let busy = vm(TicketMode::Pipelined);
+            busy.ticket(p, &extents(&[(0, 64)])).unwrap();
+            assert!(busy.import_published(&records, retention).is_err());
         });
     }
 

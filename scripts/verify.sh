@@ -21,6 +21,11 @@
 #                                    # with every server on the epoll
 #                                    # reactor front-end
 #                                    # (ATOMIO_REACTOR=1)
+#   VERIFY_SHARDS=1 scripts/verify.sh # also run the namespace
+#                                    # distribution suite and rerun the
+#                                    # three-service suite against a
+#                                    # 4-shard slot-routed version fleet
+#                                    # (ATOMIO_SHARDS=4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -99,6 +104,22 @@ if [[ "${VERIFY_DISK:-0}" == "1" ]]; then
 
     echo "== disk: lease-based GC incl. lease/retention crash recovery (ATOMIO_DISK=1) =="
     ATOMIO_DISK=1 cargo test -q --offline --test gc_distributed
+fi
+
+if [[ "${VERIFY_SHARDS:-0}" == "1" ]]; then
+    # The namespace suite pins 1-shard vs 4-shard bit-identity, shard
+    # kill/recovery blast radius, and online slot handoff; ATOMIO_SHARDS=4
+    # then reruns the three-service suite with the version manager split
+    # across a 4-shard slot-routed fleet, proving the routing layer
+    # changes no bytes, versions, or metadata.
+    echo "== shards: namespace distribution suite (slot routing, handoff, shard kill) =="
+    cargo test -q --offline --test namespace_distributed
+
+    echo "== shards: three-service distributed atomicity on a 4-shard version fleet (ATOMIO_SHARDS=4) =="
+    ATOMIO_SHARDS=4 cargo test -q --offline --test distributed_atomicity
+
+    echo "== shards: namespace suite on a 4-shard fleet with disk-backed version services (ATOMIO_SHARDS=4 ATOMIO_DISK=1) =="
+    ATOMIO_SHARDS=4 ATOMIO_DISK=1 cargo test -q --offline --test distributed_atomicity
 fi
 
 echo "verify: all gates passed"

@@ -27,7 +27,7 @@ use atomio::provider::{chunk_store_for, ChunkStore, ProviderManager};
 use atomio::rpc::{
     dial, MetaService, MuxTransport, ProviderService, RemoteMetaStore, RemoteProvider,
     RemoteVersionManager, Request, Response, RpcConfig, RpcMode, RpcServer, Service,
-    VersionService,
+    SlotRoutedTransport, Transport, VersionService,
 };
 use atomio::simgrid::clock::run_actors_on;
 use atomio::simgrid::{CostModel, FaultInjector, SimClock};
@@ -69,6 +69,19 @@ fn env_backend(tmp: &TempDir) -> BackendConfig {
     }
 }
 
+/// How many version-service shards the deployment runs: 1 by default
+/// (the single-oracle deployment this suite has always tested), or N
+/// under `ATOMIO_SHARDS=N` (the `VERIFY_SHARDS=1` rerun in
+/// `scripts/verify.sh`) — every assertion must hold bit for bit when
+/// version traffic is hash-slot-routed across N `--shard i/N` servers.
+fn env_shards() -> usize {
+    std::env::var("ATOMIO_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(1)
+}
+
 /// One server-hosted chunk store over the deployment's backend.
 fn hosted_store(i: usize, backend: &BackendConfig) -> Arc<dyn ChunkStore> {
     chunk_store_for(
@@ -88,14 +101,41 @@ fn hosted_store(i: usize, backend: &BackendConfig) -> Arc<dyn ChunkStore> {
 struct ThreeServiceDeployment {
     provider_servers: Vec<RpcServer>,
     meta_server: RpcServer,
-    version_server: RpcServer,
-    version_service: Arc<VersionService>,
+    version_servers: Vec<RpcServer>,
+    version_services: Vec<Arc<VersionService>>,
     provider_addrs: Vec<SocketAddr>,
     meta_addr: SocketAddr,
-    version_addr: SocketAddr,
+    version_addrs: Vec<SocketAddr>,
     backend: BackendConfig,
     _tmp: TempDir,
     store: Store,
+}
+
+/// One version-service shard over the deployment's backend:
+/// ownership-checked under a sharded deployment, unchecked when the
+/// fleet is a single server. Shards share the backend directory — each
+/// blob's publish log is only ever touched by the shard owning its slot.
+fn hosted_version_service(i: usize, of: usize, backend: &BackendConfig) -> Arc<VersionService> {
+    let mut service = VersionService::with_backend(CHUNK, backend.clone());
+    if of > 1 {
+        service = service.with_shard(i, of);
+    }
+    Arc::new(service)
+}
+
+/// The client-side version transport for a shard fleet: the plain
+/// transport for one server, a slot-routed fan-out for several.
+fn version_transport_for(addrs: &[SocketAddr], mode: RpcMode) -> Arc<dyn Transport> {
+    if addrs.len() == 1 {
+        dial(addrs[0], mode, RpcConfig::default(), None)
+    } else {
+        Arc::new(SlotRoutedTransport::new(
+            addrs
+                .iter()
+                .map(|a| dial(*a, mode, RpcConfig::default(), None))
+                .collect(),
+        ))
+    }
 }
 
 impl ThreeServiceDeployment {
@@ -107,7 +147,34 @@ impl ThreeServiceDeployment {
             s.stop();
         }
         self.meta_server.stop();
-        self.version_server.stop();
+        self.stop_version_servers();
+    }
+
+    /// Hard-drops every version-service shard.
+    fn stop_version_servers(&mut self) {
+        for s in &mut self.version_servers {
+            s.stop();
+        }
+    }
+
+    /// Rebinds each shard's server shell on its original port around the
+    /// surviving service state (std listeners set SO_REUSEADDR, so the
+    /// rebind does not race lingering TIME_WAIT connections).
+    fn rebind_version_servers(&mut self) {
+        for (i, addr) in self.version_addrs.clone().into_iter().enumerate() {
+            self.version_servers[i] = RpcServer::start(
+                addr,
+                Arc::clone(&self.version_services[i]) as Arc<dyn Service>,
+            )
+            .expect("rebind version server");
+        }
+    }
+
+    /// A fresh client transport to the version fleet (slot-routed when
+    /// the deployment is sharded), for tests that talk to the version
+    /// service outside the store's oracle seam.
+    fn dial_version(&self, mode: RpcMode) -> Arc<dyn Transport> {
+        version_transport_for(&self.version_addrs, mode)
     }
 
     /// Rebuilds *fresh* service instances from the backend's directories
@@ -132,12 +199,15 @@ impl ThreeServiceDeployment {
             ),
         )
         .expect("rebind meta server");
-        self.version_service = Arc::new(VersionService::with_backend(CHUNK, self.backend.clone()));
-        self.version_server = RpcServer::start(
-            self.version_addr,
-            Arc::clone(&self.version_service) as Arc<dyn Service>,
-        )
-        .expect("rebind version server");
+        let fleet = self.version_services.len();
+        for (i, addr) in self.version_addrs.clone().into_iter().enumerate() {
+            self.version_services[i] = hosted_version_service(i, fleet, &self.backend);
+            self.version_servers[i] = RpcServer::start(
+                addr,
+                Arc::clone(&self.version_services[i]) as Arc<dyn Service>,
+            )
+            .expect("rebind version server");
+        }
     }
 }
 
@@ -186,14 +256,19 @@ fn three_service_store_on(
     let meta_addr = meta_server.local_addr();
     let meta_transport = dial(meta_addr, mode, RpcConfig::default(), None);
 
-    let version_service = Arc::new(VersionService::with_backend(CHUNK, backend.clone()));
-    let version_server = RpcServer::start(
-        "127.0.0.1:0",
-        Arc::clone(&version_service) as Arc<dyn Service>,
-    )
-    .expect("bind version server");
-    let version_addr = version_server.local_addr();
-    let version_transport = dial(version_addr, mode, RpcConfig::default(), None);
+    let fleet = env_shards();
+    let mut version_services = Vec::new();
+    let mut version_servers = Vec::new();
+    let mut version_addrs = Vec::new();
+    for i in 0..fleet {
+        let service = hosted_version_service(i, fleet, &backend);
+        let server = RpcServer::start("127.0.0.1:0", Arc::clone(&service) as Arc<dyn Service>)
+            .expect("bind version server");
+        version_addrs.push(server.local_addr());
+        version_services.push(service);
+        version_servers.push(server);
+    }
+    let version_transport = version_transport_for(&version_addrs, mode);
 
     let manager = Arc::new(ProviderManager::from_stores(
         stores,
@@ -212,11 +287,11 @@ fn three_service_store_on(
     ThreeServiceDeployment {
         provider_servers,
         meta_server,
-        version_server,
-        version_service,
+        version_servers,
+        version_services,
         provider_addrs,
         meta_addr,
-        version_addr,
+        version_addrs,
         backend,
         _tmp: tmp,
         store,
@@ -332,10 +407,10 @@ fn killing_the_version_server_fails_writes_typed_then_recovers_on_restart() {
         blob_ref.write(p, 0, Bytes::from(vec![0xAB; 8192])).unwrap();
     });
 
-    // Crash the version server. The commit pipeline's first leg is the
+    // Crash the version fleet. The commit pipeline's first leg is the
     // ticket grant, so the write dies typed before any data moves and
     // no version hole is left behind.
-    d.version_server.stop();
+    d.stop_version_servers();
     run_actors_on(&clock, 1, move |_, p| {
         let err = blob_ref
             .write(p, 0, Bytes::from(vec![0xCD; 8192]))
@@ -358,14 +433,9 @@ fn killing_the_version_server_fails_writes_typed_then_recovers_on_restart() {
         ));
     });
 
-    // Restart the server shell on the same port around the surviving
-    // service state (std listeners set SO_REUSEADDR, so the rebind does
-    // not race lingering TIME_WAIT connections).
-    d.version_server = RpcServer::start(
-        d.version_addr,
-        Arc::clone(&d.version_service) as Arc<dyn Service>,
-    )
-    .expect("rebind version server");
+    // Restart the server shells on the same ports around the surviving
+    // service state.
+    d.rebind_version_servers();
 
     run_actors_on(&clock, 1, move |_, p| {
         // v1 survived the crash bit for bit; the failed write left no trace.
@@ -490,10 +560,7 @@ fn disk_backed_deployment_recovers_fresh_services_with_published_versions_intact
     // A doomed writer grabs v3 and dies before publishing. Nothing
     // reaches the publish log until publication, so the grant must not
     // survive the crash.
-    let doomed = RemoteVersionManager::new(
-        blob.id().raw(),
-        dial(d.version_addr, RpcMode::PerCall, RpcConfig::default(), None),
-    );
+    let doomed = RemoteVersionManager::new(blob.id().raw(), d.dial_version(RpcMode::PerCall));
     let (t3, _) = doomed.ticket_append(CHUNK).unwrap();
     assert_eq!(t3.version, VersionId::new(3));
 
@@ -522,10 +589,7 @@ fn disk_backed_deployment_recovers_fresh_services_with_published_versions_intact
 
     // Snapshot isolation across the crash: the torn v3 is invisible in
     // every read path of the recovered version service.
-    let reader = RemoteVersionManager::new(
-        blob.id().raw(),
-        dial(d.version_addr, RpcMode::PerCall, RpcConfig::default(), None),
-    );
+    let reader = RemoteVersionManager::new(blob.id().raw(), d.dial_version(RpcMode::PerCall));
     assert_eq!(reader.latest().unwrap().version, VersionId::new(2));
     assert!(!reader.is_published(t3.version).unwrap());
     assert!(matches!(
