@@ -53,7 +53,7 @@ pub mod wire;
 
 pub use client::{RemoteMetaStore, RemoteProvider, RemoteVersionManager};
 pub use proto::{BlobExport, Request, Response, PROTOCOL_VERSION};
-pub use routed::{handoff_slots, SlotRoutedTransport};
+pub use routed::{handoff_slots, handoff_slots_with_budget, SlotRoutedTransport};
 pub use server::{
     run_server_binary, serve_forever, server_usage, MetaService, ProviderService, RpcServer,
     ServerArgs, Service, VersionService,

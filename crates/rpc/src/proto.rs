@@ -270,6 +270,20 @@ pub enum Request {
         /// The epoch the reassigned map will carry.
         epoch: u64,
     },
+    /// Escalate a freeze to a **seal** ahead of the handoff export:
+    /// publishes in the sealed slots are now refused too (typed, at
+    /// `epoch`), and the server answers only after every in-flight
+    /// publish has landed — so once this RPC returns, the slots' state
+    /// is immutable and [`Request::VmExportSlots`] cannot miss a
+    /// late-landing version. Seals a slot even if it was never frozen.
+    /// The response is the number of grants still outstanding: those
+    /// tickets are abandoned, their eventual publishes refused.
+    VmSealSlots {
+        /// The slots being handed off.
+        slots: Vec<u16>,
+        /// The epoch the reassigned map will carry.
+        epoch: u64,
+    },
     /// Export every hosted blob in `slots` (published prefixes plus
     /// retention) for replay on the slots' new owner.
     VmExportSlots {
@@ -659,6 +673,10 @@ impl Serialize for Request {
                 "VmFreezeSlots",
                 vec![field("slots", slots), field("epoch", epoch)],
             ),
+            VmSealSlots { slots, epoch } => tagged(
+                "VmSealSlots",
+                vec![field("slots", slots), field("epoch", epoch)],
+            ),
             VmExportSlots { slots } => tagged("VmExportSlots", vec![field("slots", slots)]),
             VmImportBlobs { blobs } => tagged("VmImportBlobs", vec![field("blobs", blobs)]),
         }
@@ -792,6 +810,10 @@ impl Deserialize for Request {
                 map: get(v, "map")?,
             },
             "VmFreezeSlots" => VmFreezeSlots {
+                slots: get(v, "slots")?,
+                epoch: get(v, "epoch")?,
+            },
+            "VmSealSlots" => VmSealSlots {
                 slots: get(v, "slots")?,
                 epoch: get(v, "epoch")?,
             },
@@ -1017,6 +1039,10 @@ mod tests {
         });
         roundtrip_req(&Request::VmFreezeSlots {
             slots: vec![0, 7, 1023],
+            epoch: 2,
+        });
+        roundtrip_req(&Request::VmSealSlots {
+            slots: vec![0, 7],
             epoch: 2,
         });
         roundtrip_req(&Request::VmExportSlots { slots: vec![5, 6] });

@@ -11,10 +11,10 @@
 //! Stale maps self-heal: a shard that does not own a slot answers
 //! [`Error::WrongShard`] with its map epoch; the router refetches the
 //! map from every shard, adopts the highest epoch, and retries. During
-//! an online handoff ([`handoff_slots`]) the moving slots are frozen on
-//! the old owner, so the retry loop also rides out the short window in
-//! which neither map nor freeze has settled — bounded, then the typed
-//! error surfaces to the caller.
+//! an online handoff ([`handoff_slots`]) the moving slots are frozen —
+//! then sealed — on the old owner, so the retry loop also rides out the
+//! short window in which neither map nor freeze has settled — bounded,
+//! then the typed error surfaces to the caller.
 
 use crate::proto::{BlobExport, Request, Response};
 use crate::transport::{unexpected, Transport};
@@ -32,6 +32,18 @@ const MAX_REDIRECTS: usize = 100;
 
 /// Pause between redirect retries while a handoff settles.
 const RETRY_BACKOFF: Duration = Duration::from_millis(2);
+
+/// Default wall-clock budget [`handoff_slots`] spends waiting for
+/// granted-but-unpublished tickets to publish before sealing the moving
+/// slots. Sized for this repo's core workload — large checkpoint
+/// uploads can hold a ticket for many seconds — and overridable via
+/// [`handoff_slots_with_budget`]. Tickets still outstanding when the
+/// budget lapses are abandoned: the slots are sealed, so their eventual
+/// publishes are refused typed rather than silently lost.
+pub const DEFAULT_DRAIN_BUDGET: Duration = Duration::from_secs(30);
+
+/// Pause between drain polls during a handoff.
+const DRAIN_POLL_INTERVAL: Duration = Duration::from_millis(10);
 
 /// A [`Transport`] that routes each version-manager call to the shard
 /// owning the blob's hash slot.
@@ -89,12 +101,25 @@ impl SlotRoutedTransport {
         self.slot_map()
     }
 
-    /// The shard transport owning `blob` under the current map, or
-    /// `None` while the blob's slot is unassigned (mid-handoff).
-    fn route(&self, blob: u64) -> Option<Arc<dyn Transport>> {
+    /// The shard transport owning `blob` under the current map:
+    /// `Ok(None)` while the blob's slot is unassigned (mid-handoff,
+    /// worth retrying after a refresh), `Err` when the map routes the
+    /// slot to a shard this router has no transport for (a permanent
+    /// configuration mismatch — `reassign` can grow the group count
+    /// past the dialed fleet — that no amount of retrying fixes).
+    fn route(&self, blob: u64) -> Result<Option<Arc<dyn Transport>>> {
         let slot = slot_for_blob(blob);
-        let group = self.map.read().group_of(slot)?;
-        self.shards.get(group).map(Arc::clone)
+        let Some(group) = self.map.read().group_of(slot) else {
+            return Ok(None);
+        };
+        match self.shards.get(group) {
+            Some(shard) => Ok(Some(Arc::clone(shard))),
+            None => Err(Error::Internal(format!(
+                "slot {slot} is owned by shard {group} but this router only dials {} shards — \
+                 no transport for shard {group}",
+                self.shards.len()
+            ))),
+        }
     }
 }
 
@@ -109,10 +134,14 @@ impl Transport for SlotRoutedTransport {
                 std::thread::sleep(RETRY_BACKOFF);
                 self.refresh();
             }
-            let Some(target) = self.route(blob) else {
+            let target = match self.route(blob) {
+                Ok(Some(target)) => target,
                 // Unassigned slot: a handoff is mid-flight; refresh and
                 // retry until the reassigned map lands.
-                continue;
+                Ok(None) => continue,
+                // Routed past the dialed fleet: fail fast — burning the
+                // redirect budget cannot conjure the missing transport.
+                Err(error) => return Ok((Response::Fail { error }, Bytes::new())),
             };
             let reply = target.call(request, payload)?;
             // A server-side refusal arrives as a transport-level `Ok`
@@ -143,22 +172,27 @@ impl Transport for SlotRoutedTransport {
 }
 
 /// Moves `slots` to shard `to` across a live fleet — the online
-/// membership-change protocol:
+/// membership-change protocol — with the default
+/// [`DEFAULT_DRAIN_BUDGET`]:
 ///
 /// 1. Compute the reassigned map (epoch + 1).
 /// 2. **Freeze** the moving slots on every current owner: new tickets
 ///    are refused with [`Error::WrongShard`] at the *new* epoch, but
 ///    in-flight publishes still land.
 /// 3. **Drain**: poll each owner until no granted-but-unpublished
-///    tickets remain in the moving slots (bounded; tickets that never
-///    publish are abandoned — their writers' publishes will be refused
-///    and retried against the new owner, which does not know the ticket
-///    and fails them typed).
-/// 4. **Export** the published prefix (version chains + retention) of
+///    tickets remain in the moving slots, up to the drain budget.
+/// 4. **Seal** the moving slots on each owner (`VmSealSlots`): from
+///    here publishes are refused too, and the RPC returns only after
+///    every in-flight publish has landed — so nothing can slip into a
+///    slot between the export below and the map install. Tickets still
+///    outstanding are abandoned: their writers' publishes are refused
+///    typed (never silently dropped), and a retry against the new
+///    owner — which does not know the ticket — fails typed as well.
+/// 5. **Export** the published prefix (version chains + retention) of
 ///    every blob in the moving slots and **import** it on the new
 ///    owner. Import is idempotent, so a crashed-and-repeated handoff
 ///    replays harmlessly.
-/// 5. **Install** the reassigned map everywhere — new owner first, so
+/// 6. **Install** the reassigned map everywhere — new owner first, so
 ///    redirected clients find it serving before the old owner thaws.
 ///
 /// Snapshot leases are deliberately *not* migrated: they are
@@ -177,6 +211,20 @@ pub fn handoff_slots(
     slots: &[u16],
     to: usize,
 ) -> Result<SlotMap> {
+    handoff_slots_with_budget(shards, map, slots, to, DEFAULT_DRAIN_BUDGET)
+}
+
+/// [`handoff_slots`] with an explicit drain budget: how long to wait
+/// for in-flight tickets to publish before sealing the moving slots and
+/// abandoning the stragglers. Deployments whose writers hold tickets
+/// across long uploads should size this past their slowest commit.
+pub fn handoff_slots_with_budget(
+    shards: &[Arc<dyn Transport>],
+    map: &SlotMap,
+    slots: &[u16],
+    to: usize,
+    drain_budget: Duration,
+) -> Result<SlotMap> {
     let next = map.reassign(slots, to);
     let owners: Vec<(usize, Vec<u16>)> = (0..shards.len())
         .filter(|g| *g != to)
@@ -189,25 +237,38 @@ pub fn handoff_slots(
 
     // Freeze + drain each losing shard. The freeze RPC is idempotent
     // and returns the pending-grant count, so it doubles as the poll.
+    let drain_polls = (drain_budget.as_millis() / DRAIN_POLL_INTERVAL.as_millis()).max(1) as usize;
     for (g, owned) in &owners {
-        let mut drained = false;
-        for _ in 0..MAX_REDIRECTS {
+        for poll in 0..drain_polls {
             let request = Request::VmFreezeSlots {
                 slots: owned.clone(),
                 epoch: next.epoch,
             };
             match shards[*g].call(&request, &[])? {
-                (Response::Count { value: 0 }, _) => {
-                    drained = true;
-                    break;
+                (Response::Count { value: 0 }, _) => break,
+                (Response::Count { .. }, _) if poll + 1 < drain_polls => {
+                    std::thread::sleep(DRAIN_POLL_INTERVAL)
                 }
-                (Response::Count { .. }, _) => std::thread::sleep(RETRY_BACKOFF),
+                // Budget exhausted with grants outstanding: fall through
+                // to the seal, which abandons them typed.
+                (Response::Count { .. }, _) => {}
                 (other, _) => return Err(unexpected("Count", other)),
             }
         }
-        // Not drained: proceed anyway — unpublished tickets are
-        // abandoned by design (step 3 above).
-        let _ = drained;
+    }
+
+    // Seal: the losing shards now refuse publishes in the moving slots
+    // as well, so the export below is a consistent final snapshot — an
+    // acked publish is either in it or was never acked.
+    for (g, owned) in &owners {
+        let request = Request::VmSealSlots {
+            slots: owned.clone(),
+            epoch: next.epoch,
+        };
+        match shards[*g].call(&request, &[])? {
+            (Response::Count { .. }, _) => {}
+            (other, _) => return Err(unexpected("Count", other)),
+        }
     }
 
     // Export from the losing shards, import on the gaining shard.

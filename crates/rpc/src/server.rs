@@ -50,7 +50,7 @@ use atomio_version::{TicketMode, VersionManager};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize, Value};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -318,6 +318,7 @@ impl Service for ProviderService {
             | SlotMapGet
             | SlotMapInstall { .. }
             | VmFreezeSlots { .. }
+            | VmSealSlots { .. }
             | VmExportSlots { .. }
             | VmImportBlobs { .. } => unsupported("metadata/version op sent to a provider server"),
         }
@@ -343,11 +344,24 @@ pub struct VersionService {
     /// slot this shard does not own are refused with
     /// [`Error::WrongShard`] carrying the map's epoch.
     map: RwLock<SlotMap>,
-    /// Slots frozen for an in-flight handoff, with the epoch the
-    /// reassigned map will carry: new tickets are refused (typed), but
-    /// publishes of already-granted tickets still land so the handoff
-    /// can drain. Cleared when a map at (or past) that epoch installs.
-    frozen: RwLock<Option<(BTreeSet<u16>, u64)>>,
+    /// Per-slot handoff state, keyed by slot so concurrent handoffs
+    /// moving disjoint slot sets off this shard merge instead of
+    /// clobbering each other. A *frozen* slot refuses new tickets
+    /// (typed) but publishes of already-granted tickets still land so
+    /// the handoff can drain; a *sealed* slot refuses publishes too, so
+    /// the export that follows cannot miss a late-landing version.
+    /// Entries are cleared when a map at (or past) their epoch installs.
+    frozen: RwLock<BTreeMap<u16, SlotFreeze>>,
+}
+
+/// One slot's handoff state (see [`VersionService::frozen`]).
+#[derive(Debug, Clone, Copy)]
+struct SlotFreeze {
+    /// The epoch the reassigned map will carry — returned in the
+    /// [`Error::WrongShard`] refusals so clients refetch past it.
+    epoch: u64,
+    /// Escalated: publishes are refused as well as tickets.
+    sealed: bool,
 }
 
 /// Largest lease TTL a server grants by default (10 minutes): a crashed
@@ -375,7 +389,7 @@ impl VersionService {
             vms: Mutex::new(HashMap::new()),
             shard: None,
             map: RwLock::new(SlotMap::single()),
-            frozen: RwLock::new(None),
+            frozen: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -418,13 +432,11 @@ impl VersionService {
     fn ticket_gate(&self, blob: u64) -> Result<()> {
         self.owned(blob)?;
         let slot = slot_for_blob(blob);
-        if let Some((slots, epoch)) = &*self.frozen.read() {
-            if slots.contains(&slot) {
-                return Err(Error::WrongShard {
-                    epoch: *epoch,
-                    slot,
-                });
-            }
+        if let Some(f) = self.frozen.read().get(&slot) {
+            return Err(Error::WrongShard {
+                epoch: f.epoch,
+                slot,
+            });
         }
         Ok(())
     }
@@ -441,6 +453,17 @@ impl VersionService {
     fn vm_ticket(&self, blob: u64) -> Result<Arc<VersionManager>> {
         self.ticket_gate(blob)?;
         self.vm(blob)
+    }
+
+    /// Granted-but-unpublished tickets across the hosted blobs whose
+    /// slot is in `set` — the drain gauge for a handoff coordinator.
+    fn pending_grants_in(&self, set: &BTreeSet<u16>) -> u64 {
+        self.vms
+            .lock()
+            .iter()
+            .filter(|(blob, _)| set.contains(&slot_for_blob(**blob)))
+            .map(|(_, vm)| vm.pending_grants())
+            .sum()
     }
 
     /// Sets the deployment's default retention policy (the binaries'
@@ -543,10 +566,26 @@ impl Service for VersionService {
                 }
             }
             VmPublish { blob, ticket, root } => {
-                match self
-                    .vm_owned(blob)
-                    .and_then(|vm| vm.publish_local(ticket, root))
-                {
+                // The freeze read-guard is held across the publish so a
+                // concurrent `VmSealSlots` (which takes the write lock)
+                // is a true barrier: once the seal RPC returns, every
+                // in-flight publish has either landed — visible to the
+                // export that follows — or is refused below. Without
+                // this, a publish could pass the gate, the seal + export
+                // could run, and the publish would then mutate state the
+                // export already missed while still acking the writer.
+                let frozen = self.frozen.read();
+                let slot = slot_for_blob(blob);
+                let result = match frozen.get(&slot) {
+                    Some(f) if f.sealed => Err(Error::WrongShard {
+                        epoch: f.epoch,
+                        slot,
+                    }),
+                    _ => self
+                        .vm_owned(blob)
+                        .and_then(|vm| vm.publish_local(ticket, root)),
+                };
+                match result {
                     Ok(()) => ok(Response::Unit),
                     Err(e) => fail(e),
                 }
@@ -628,34 +667,69 @@ impl Service for VersionService {
                 map: self.map.read().clone(),
             }),
             SlotMapInstall { map } => {
-                let mut cur = self.map.write();
-                if map.epoch < cur.epoch {
-                    return fail(Error::Internal(format!(
-                        "slot map epoch regressed: have {}, offered {}",
-                        cur.epoch, map.epoch
-                    )));
-                }
-                *cur = map;
-                // Thaw any freeze the new map supersedes.
-                let mut frozen = self.frozen.write();
-                if matches!(&*frozen, Some((_, epoch)) if *epoch <= cur.epoch) {
-                    *frozen = None;
-                }
+                // The map write-guard is released before touching the
+                // freeze state: publishes take `frozen` then `map` (read
+                // side), so holding both write locks here would invert
+                // the order and deadlock.
+                let installed_epoch = {
+                    let mut cur = self.map.write();
+                    if map.epoch < cur.epoch {
+                        return fail(Error::Internal(format!(
+                            "slot map epoch regressed: have {}, offered {}",
+                            cur.epoch, map.epoch
+                        )));
+                    }
+                    *cur = map;
+                    cur.epoch
+                };
+                // Thaw every per-slot freeze the new map supersedes;
+                // freezes for a yet-higher epoch stay in force.
+                self.frozen.write().retain(|_, f| f.epoch > installed_epoch);
                 ok(Response::Unit)
             }
             VmFreezeSlots { slots, epoch } => {
                 let set: BTreeSet<u16> = slots.into_iter().collect();
                 // Pending grants across the frozen slots: the coordinator
                 // repeats this (idempotent) call until the count is zero.
-                let pending: u64 = self
-                    .vms
-                    .lock()
-                    .iter()
-                    .filter(|(blob, _)| set.contains(&slot_for_blob(**blob)))
-                    .map(|(_, vm)| vm.pending_grants())
-                    .sum();
-                *self.frozen.write() = Some((set, epoch));
+                let pending = self.pending_grants_in(&set);
+                // Merge per slot so two handoffs moving disjoint sets off
+                // this shard cannot thaw each other mid-drain; a re-freeze
+                // of a slot keeps any seal already in force.
+                let mut frozen = self.frozen.write();
+                for slot in set {
+                    let f = frozen.entry(slot).or_insert(SlotFreeze {
+                        epoch,
+                        sealed: false,
+                    });
+                    f.epoch = f.epoch.max(epoch);
+                }
+                drop(frozen);
                 ok(Response::Count { value: pending })
+            }
+            VmSealSlots { slots, epoch } => {
+                let set: BTreeSet<u16> = slots.into_iter().collect();
+                {
+                    // Taking the write lock waits out every in-flight
+                    // publish (they hold the read side across
+                    // `publish_local`), so when this RPC returns the
+                    // sealed slots are immutable: landed publishes are
+                    // visible to the export, later ones are refused.
+                    let mut frozen = self.frozen.write();
+                    for slot in &set {
+                        let f = frozen.entry(*slot).or_insert(SlotFreeze {
+                            epoch,
+                            sealed: true,
+                        });
+                        f.epoch = f.epoch.max(epoch);
+                        f.sealed = true;
+                    }
+                }
+                // Grants still outstanding are abandoned: their eventual
+                // publishes draw `WrongShard` and fail typed on the new
+                // owner, which never granted the ticket.
+                ok(Response::Count {
+                    value: self.pending_grants_in(&set),
+                })
             }
             VmExportSlots { slots } => {
                 let set: BTreeSet<u16> = slots.into_iter().collect();
@@ -814,6 +888,7 @@ impl Service for MetaService {
             | SlotMapGet
             | SlotMapInstall { .. }
             | VmFreezeSlots { .. }
+            | VmSealSlots { .. }
             | VmExportSlots { .. }
             | VmImportBlobs { .. } => self.versions.handle(request, payload),
             PutChunk { .. }

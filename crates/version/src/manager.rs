@@ -486,7 +486,10 @@ impl VersionManager {
     /// Installs an exported published prefix verbatim (the receiving
     /// half of a slot handoff). Idempotent: records at or below the
     /// current published version are skipped, so replaying the same
-    /// export twice is a no-op. Returns how many versions were applied.
+    /// export twice is a no-op — a pure duplicate replay also leaves the
+    /// retention policy untouched, so a late re-delivered handoff cannot
+    /// clobber a policy clients set on this owner after the first
+    /// import. Returns how many versions were applied.
     ///
     /// # Errors
     /// [`Error::Internal`] when the records leave a gap above the
@@ -500,6 +503,7 @@ impl VersionManager {
         retention: RetentionPolicy,
     ) -> Result<u64> {
         let mut st = self.state.lock();
+        let prefix_was_empty = st.published == 0;
         let mut applied = 0u64;
         for rec in records {
             let v = rec.version.raw();
@@ -542,9 +546,11 @@ impl VersionManager {
             });
             applied += 1;
         }
-        st.retention = retention;
-        if let Some(log) = &self.log {
-            log.append_retention(retention)?;
+        if applied > 0 || prefix_was_empty {
+            st.retention = retention;
+            if let Some(log) = &self.log {
+                log.append_retention(retention)?;
+            }
         }
         Ok(applied)
     }
@@ -1161,9 +1167,14 @@ mod tests {
         assert_eq!(dst.retention(), RetentionPolicy::KeepLast(2));
         assert_eq!(dst.stats().published, 4);
         assert_eq!(dst.history().len(), 4);
-        // Double replay is a no-op (handoff idempotence).
+        // Double replay is a no-op (handoff idempotence) — and it must
+        // not clobber a retention policy set on the new owner after the
+        // first import landed.
+        dst.set_retention_local(RetentionPolicy::KeepLast(9))
+            .unwrap();
         assert_eq!(dst.import_published(&records, retention).unwrap(), 0);
         assert_eq!(dst.stats().published, 4);
+        assert_eq!(dst.retention(), RetentionPolicy::KeepLast(9));
         run_actors(1, |_, p| {
             for v in 1..=4u64 {
                 assert_eq!(

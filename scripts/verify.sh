@@ -118,7 +118,7 @@ if [[ "${VERIFY_SHARDS:-0}" == "1" ]]; then
     echo "== shards: three-service distributed atomicity on a 4-shard version fleet (ATOMIO_SHARDS=4) =="
     ATOMIO_SHARDS=4 cargo test -q --offline --test distributed_atomicity
 
-    echo "== shards: namespace suite on a 4-shard fleet with disk-backed version services (ATOMIO_SHARDS=4 ATOMIO_DISK=1) =="
+    echo "== shards: three-service distributed atomicity on a 4-shard fleet with disk-backed version services (ATOMIO_SHARDS=4 ATOMIO_DISK=1) =="
     ATOMIO_SHARDS=4 ATOMIO_DISK=1 cargo test -q --offline --test distributed_atomicity
 fi
 

@@ -26,8 +26,8 @@
 use atomio::core::{slot_for_blob, ReadVersion, SlotMap, Store, StoreConfig};
 use atomio::meta::NodeKey;
 use atomio::rpc::{
-    dial, handoff_slots, Loopback, RemoteVersionManager, RpcConfig, RpcMode, RpcServer, Service,
-    SlotRoutedTransport, Transport, VersionService,
+    dial, handoff_slots, handoff_slots_with_budget, Loopback, RemoteVersionManager, RpcConfig,
+    RpcMode, RpcServer, Service, SlotRoutedTransport, Transport, VersionService,
 };
 use atomio::simgrid::clock::run_actors_on;
 use atomio::simgrid::SimClock;
@@ -474,5 +474,221 @@ fn online_handoff_drains_grants_and_double_replay_is_idempotent() {
         }
         other => panic!("expected Count, got {other:?}"),
     }
+    drop(fleet.servers);
+}
+
+/// A writer that holds its ticket past the drain budget cannot be
+/// silently dropped by the handoff: the moving slots are sealed before
+/// the export, so the straggler's publish is *refused* (typed) and the
+/// version is absent everywhere — never acked-then-vanished.
+#[test]
+fn handoff_seals_slots_so_an_abandoned_straggler_fails_typed_not_silently() {
+    let fleet = loopback_fleet(2);
+    let transports: Vec<Arc<dyn Transport>> = fleet
+        .services
+        .iter()
+        .map(|s| Arc::new(Loopback::new(Arc::clone(s) as Arc<dyn Service>)) as Arc<dyn Transport>)
+        .collect();
+    let map = SlotMap::uniform(2);
+
+    let blob = (0..u64::MAX)
+        .find(|b| map.group_of(slot_for_blob(*b)) == Some(1))
+        .unwrap();
+    let vm = RemoteVersionManager::new(blob, Arc::clone(&fleet.transport));
+    publish_once(&vm, blob);
+    publish_once(&vm, blob);
+    // The straggler: granted before the handoff, never published while
+    // it runs, held far past the (tiny) drain budget.
+    let (t3, _) = vm.ticket_append(CHUNK).unwrap();
+
+    let moving = map.slots_of(1);
+    let next = handoff_slots_with_budget(
+        &transports,
+        &map,
+        &moving,
+        0,
+        std::time::Duration::from_millis(30),
+    )
+    .expect("handoff proceeds past an undrained ticket");
+    assert_eq!(next.epoch, 2);
+
+    // The abandoned ticket's publish is refused — the new owner never
+    // granted it — and v3 exists nowhere.
+    let err = vm
+        .publish(
+            t3,
+            NodeKey::new(
+                BlobId::new(blob),
+                t3.version,
+                ByteRange::new(0, t3.capacity),
+            ),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::Internal(_)),
+        "abandoned straggler fails typed, got {err:?}"
+    );
+    assert_eq!(vm.latest().unwrap().version, VersionId::new(2));
+    assert!(!vm.is_published(VersionId::new(3)).unwrap());
+    // The chain resumes cleanly on the new owner, reissuing v3.
+    assert_eq!(publish_once(&vm, blob), VersionId::new(3));
+}
+
+/// `VmSealSlots` escalates a freeze: publishes in the sealed slots are
+/// refused with `WrongShard`, so the post-seal export is a consistent
+/// final snapshot of the moving slots.
+#[test]
+fn sealed_slots_refuse_publishes_with_wrong_shard() {
+    let fleet = loopback_fleet(2);
+    let shard1: Arc<dyn Transport> = Arc::new(Loopback::new(
+        Arc::clone(&fleet.services[1]) as Arc<dyn Service>
+    ));
+    let map = SlotMap::uniform(2);
+    let blob = (0..u64::MAX)
+        .find(|b| map.group_of(slot_for_blob(*b)) == Some(1))
+        .unwrap();
+    let vm = RemoteVersionManager::new(blob, Arc::clone(&fleet.transport));
+    publish_once(&vm, blob);
+    let (t2, _) = vm.ticket_append(CHUNK).unwrap();
+
+    let slot = slot_for_blob(blob);
+    let sealed = shard1
+        .call(
+            &atomio::rpc::Request::VmSealSlots {
+                slots: vec![slot],
+                epoch: 2,
+            },
+            &[],
+        )
+        .unwrap();
+    match sealed.0 {
+        atomio::rpc::Response::Count { value } => {
+            assert_eq!(value, 1, "the in-flight grant is reported as abandoned")
+        }
+        other => panic!("expected Count, got {other:?}"),
+    }
+
+    // Both the held ticket's publish and fresh tickets are refused
+    // typed on the sealed shard.
+    let direct = RemoteVersionManager::new(blob, Arc::clone(&shard1));
+    let err = direct
+        .publish(
+            t2,
+            NodeKey::new(
+                BlobId::new(blob),
+                t2.version,
+                ByteRange::new(0, t2.capacity),
+            ),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::WrongShard { epoch: 2, .. }),
+        "publish into a sealed slot draws WrongShard, got {err:?}"
+    );
+    assert!(matches!(
+        direct.ticket_append(CHUNK),
+        Err(Error::WrongShard { epoch: 2, .. })
+    ));
+    // Reads still serve (the seal freezes mutation, not visibility) and
+    // the sealed state exports exactly the published prefix.
+    assert_eq!(direct.latest().unwrap().version, VersionId::new(1));
+
+    // Installing the reassigned map thaws the seal.
+    let next = map.reassign(&[slot], 0);
+    let (resp, _) = shard1
+        .call(&atomio::rpc::Request::SlotMapInstall { map: next }, &[])
+        .unwrap();
+    assert!(matches!(resp, atomio::rpc::Response::Unit));
+    drop(fleet.servers);
+}
+
+/// Freezes merge per slot: a second handoff freezing a *disjoint* slot
+/// set off the same shard must not thaw the first one's slots mid-drain
+/// (the old all-or-nothing freeze state clobbered them).
+#[test]
+fn disjoint_concurrent_freezes_merge_instead_of_clobbering() {
+    let fleet = loopback_fleet(2);
+    let shard1: Arc<dyn Transport> = Arc::new(Loopback::new(
+        Arc::clone(&fleet.services[1]) as Arc<dyn Service>
+    ));
+    let map = SlotMap::uniform(2);
+    let mut owned = map.slots_of(1).into_iter();
+    let slot_a = owned.next().unwrap();
+    let slot_b = owned.next().unwrap();
+
+    for (slots, epoch) in [(vec![slot_a], 2u64), (vec![slot_b], 2u64)] {
+        let (resp, _) = shard1
+            .call(&atomio::rpc::Request::VmFreezeSlots { slots, epoch }, &[])
+            .unwrap();
+        assert!(matches!(resp, atomio::rpc::Response::Count { .. }));
+    }
+
+    // Both handoffs' slots stay frozen: tickets in slot_a are still
+    // refused after slot_b's freeze landed.
+    for slot in [slot_a, slot_b] {
+        let blob = (0..u64::MAX).find(|b| slot_for_blob(*b) == slot).unwrap();
+        let direct = RemoteVersionManager::new(blob, Arc::clone(&shard1));
+        assert!(
+            matches!(
+                direct.ticket_append(CHUNK),
+                Err(Error::WrongShard { epoch: 2, .. })
+            ),
+            "slot {slot} must remain frozen"
+        );
+    }
+
+    // A map install at the freeze epoch thaws both entries.
+    let (resp, _) = shard1
+        .call(
+            &atomio::rpc::Request::SlotMapInstall {
+                map: map.bump_epoch(),
+            },
+            &[],
+        )
+        .unwrap();
+    assert!(matches!(resp, atomio::rpc::Response::Unit));
+    let blob_a = (0..u64::MAX).find(|b| slot_for_blob(*b) == slot_a).unwrap();
+    let direct = RemoteVersionManager::new(blob_a, Arc::clone(&shard1));
+    direct
+        .ticket_append(CHUNK)
+        .expect("thawed slot grants again");
+    drop(fleet.servers);
+}
+
+/// A map that routes a slot to a shard the router has no transport for
+/// is a permanent configuration mismatch: the router fails fast with an
+/// error naming the missing shard instead of burning its full
+/// redirect-retry budget on a misleading "unassigned" message.
+#[test]
+fn slot_routed_to_an_undialed_shard_fails_fast_with_a_named_shard() {
+    let fleet = loopback_fleet(2);
+    let routed = Arc::new(SlotRoutedTransport::new(
+        fleet
+            .services
+            .iter()
+            .map(|s| {
+                Arc::new(Loopback::new(Arc::clone(s) as Arc<dyn Service>)) as Arc<dyn Transport>
+            })
+            .collect(),
+    ));
+    let map = SlotMap::uniform(2);
+    let blob = 7u64;
+    let slot = slot_for_blob(blob);
+    routed.install(map.reassign(&[slot], 5));
+
+    let vm = RemoteVersionManager::new(blob, routed.clone() as Arc<dyn Transport>);
+    let started = std::time::Instant::now();
+    let err = vm.latest().unwrap_err();
+    let Error::Internal(msg) = &err else {
+        panic!("expected a typed Internal error, got {err:?}");
+    };
+    assert!(
+        msg.contains("shard 5"),
+        "the error names the missing shard: {msg}"
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_millis(100),
+        "fail-fast must not burn the 100-retry redirect budget"
+    );
     drop(fleet.servers);
 }
